@@ -1,0 +1,669 @@
+//! The imperative Chord node.
+
+use std::collections::HashMap;
+
+use p2_netsim::{Envelope, Host};
+use p2_value::{SimTime, Tuple, TupleBuilder, Uint160, Value};
+
+/// Protocol constants for the baseline node.
+///
+/// Defaults match the OverLog specification so that the comparison measures
+/// the implementation style, not the protocol parameters.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Maximum number of successors kept (OverLog evicts above 4).
+    pub successor_count: usize,
+    /// Stabilization period in seconds.
+    pub stabilize_period: f64,
+    /// Finger-fixing period in seconds.
+    pub fix_finger_period: f64,
+    /// Liveness-ping period in seconds.
+    pub ping_period: f64,
+    /// Seconds of silence after which a peer is considered dead.
+    pub liveness_timeout: f64,
+    /// Number of identifier bits (160 for Chord).
+    pub finger_bits: u32,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            successor_count: 4,
+            stabilize_period: 15.0,
+            fix_finger_period: 10.0,
+            ping_period: 5.0,
+            liveness_timeout: 20.0,
+            finger_bits: 160,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Peer {
+    id: Uint160,
+    addr: String,
+}
+
+/// A hand-coded Chord node implementing the simulator [`Host`] interface.
+///
+/// Wire messages reuse the tuple names of the OverLog specification
+/// (`lookup`, `lookupResults`, `stabilizeRequest`, `pingReq`, ...) so the
+/// simulator's per-name byte accounting remains comparable between the two
+/// implementations.
+pub struct BaselineChord {
+    addr: String,
+    id: Uint160,
+    landmark: Option<String>,
+    config: BaselineConfig,
+    successors: Vec<Peer>,
+    predecessor: Option<Peer>,
+    fingers: Vec<Option<Peer>>,
+    next_finger: u32,
+    pending_finger: HashMap<i64, u32>,
+    join_event: Option<i64>,
+    joined: bool,
+    last_heard: HashMap<String, SimTime>,
+    next_stabilize: Option<SimTime>,
+    next_fix: Option<SimTime>,
+    next_ping: Option<SimTime>,
+    lookup_results: Vec<(SimTime, Tuple)>,
+    rng: u64,
+    now: SimTime,
+}
+
+impl BaselineChord {
+    /// Creates a node. `landmark` is `None` for the bootstrap node.
+    pub fn new(addr: &str, landmark: Option<&str>, seed: u64, config: BaselineConfig) -> Self {
+        let bits = config.finger_bits as usize;
+        BaselineChord {
+            addr: addr.to_string(),
+            id: Uint160::hash_of(addr.as_bytes()),
+            landmark: landmark.map(str::to_string),
+            config,
+            successors: Vec::new(),
+            predecessor: None,
+            fingers: vec![None; bits],
+            next_finger: 0,
+            pending_finger: HashMap::new(),
+            join_event: None,
+            joined: false,
+            last_heard: HashMap::new(),
+            next_stabilize: None,
+            next_fix: None,
+            next_ping: None,
+            lookup_results: Vec::new(),
+            rng: if seed == 0 { 1 } else { seed },
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The node's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The node's 160-bit identifier.
+    pub fn id(&self) -> Uint160 {
+        self.id
+    }
+
+    /// Current successor list (closest first).
+    pub fn successors(&self) -> Vec<String> {
+        self.successors.iter().map(|p| p.addr.clone()).collect()
+    }
+
+    /// Current predecessor address, if known.
+    pub fn predecessor(&self) -> Option<String> {
+        self.predecessor.as_ref().map(|p| p.addr.clone())
+    }
+
+    /// Number of distinct finger entries currently populated.
+    pub fn fingers_filled(&self) -> usize {
+        self.fingers.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// True once the node has at least one successor.
+    pub fn is_joined(&self) -> bool {
+        !self.successors.is_empty()
+    }
+
+    /// `lookupResults` tuples that arrived at this node, with arrival times.
+    pub fn lookup_results(&self) -> &[(SimTime, Tuple)] {
+        &self.lookup_results
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn fresh_event(&mut self) -> i64 {
+        (self.next_rand() >> 1) as i64
+    }
+
+    fn best_successor(&self) -> Option<&Peer> {
+        self.successors.first()
+    }
+
+    fn mark_heard(&mut self, addr: &str) {
+        self.last_heard.insert(addr.to_string(), self.now);
+    }
+
+    fn add_successor(&mut self, id: Uint160, addr: &str) {
+        if addr == self.addr {
+            // Self-successor is only meaningful for a single-node ring.
+            if !self.successors.is_empty() {
+                return;
+            }
+        } else {
+            // A real peer supersedes the bootstrap self-successor.
+            let me = self.addr.clone();
+            self.successors.retain(|p| p.addr != me);
+        }
+        if self.successors.iter().any(|p| p.addr == addr) {
+            return;
+        }
+        self.successors.push(Peer {
+            id,
+            addr: addr.to_string(),
+        });
+        let me = self.id;
+        self.successors
+            .sort_by_key(|p| me.ring_distance_to(p.id));
+        self.successors.truncate(self.config.successor_count);
+        // Third-party information starts the liveness clock but does not
+        // count as hearing from the peer itself.
+        self.last_heard
+            .entry(addr.to_string())
+            .or_insert(self.now);
+    }
+
+    fn remove_peer(&mut self, addr: &str) {
+        self.successors.retain(|p| p.addr != addr);
+        if self.predecessor.as_ref().map(|p| p.addr.as_str()) == Some(addr) {
+            self.predecessor = None;
+        }
+        for f in self.fingers.iter_mut() {
+            if f.as_ref().map(|p| p.addr.as_str()) == Some(addr) {
+                *f = None;
+            }
+        }
+    }
+
+    /// The finger (or successor) closest to, but preceding, `key`.
+    fn closest_preceding(&self, key: Uint160) -> Option<&Peer> {
+        let mut best: Option<&Peer> = None;
+        let candidates = self
+            .fingers
+            .iter()
+            .flatten()
+            .chain(self.successors.iter());
+        for peer in candidates {
+            if peer.addr == self.addr {
+                continue;
+            }
+            if peer.id.in_oo(self.id, key) {
+                let better = match best {
+                    None => true,
+                    Some(b) => peer.id.ring_distance_to(key) < b.id.ring_distance_to(key),
+                };
+                if better {
+                    best = Some(peer);
+                }
+            }
+        }
+        best.or_else(|| self.successors.iter().find(|p| p.addr != self.addr))
+    }
+
+    fn handle_lookup(&mut self, key: Uint160, requester: &str, event: i64, out: &mut Vec<Envelope>) {
+        if let Some(succ) = self.best_successor() {
+            if key.in_oc(self.id, succ.id) {
+                let result = TupleBuilder::new("lookupResults")
+                    .push(requester)
+                    .push(Value::Id(key))
+                    .push(Value::Id(succ.id))
+                    .push(succ.addr.as_str())
+                    .push(event)
+                    .build();
+                out.push(Envelope::new(requester, result));
+                return;
+            }
+        }
+        if let Some(next) = self.closest_preceding(key) {
+            let fwd = TupleBuilder::new("lookup")
+                .push(next.addr.as_str())
+                .push(Value::Id(key))
+                .push(requester)
+                .push(event)
+                .build();
+            let dst = next.addr.clone();
+            out.push(Envelope::new(dst, fwd));
+        }
+        // With no routing state at all the lookup is dropped, as in the
+        // declarative specification.
+    }
+
+    fn do_stabilize(&mut self, out: &mut Vec<Envelope>) {
+        let me = self.addr.clone();
+        let my_id = self.id;
+        // Classic Chord stabilization on a self-successor: adopt our own
+        // predecessor as successor (this is how the bootstrap node's ring
+        // pointer leaves itself once the first peer joins).
+        if self.best_successor().map(|s| s.addr == self.addr) == Some(true) {
+            if let Some(pred) = self.predecessor.clone() {
+                self.add_successor(pred.id, &pred.addr);
+            }
+        }
+        if let Some(succ) = self.best_successor().cloned() {
+            if succ.addr != self.addr {
+                out.push(Envelope::new(
+                    succ.addr.clone(),
+                    TupleBuilder::new("stabilizeRequest")
+                        .push(succ.addr.as_str())
+                        .push(me.as_str())
+                        .build(),
+                ));
+                out.push(Envelope::new(
+                    succ.addr.clone(),
+                    TupleBuilder::new("notifyPredecessor")
+                        .push(succ.addr.as_str())
+                        .push(Value::Id(my_id))
+                        .push(me.as_str())
+                        .build(),
+                ));
+            }
+        }
+        for succ in self.successors.clone() {
+            if succ.addr != self.addr {
+                out.push(Envelope::new(
+                    succ.addr.clone(),
+                    TupleBuilder::new("sendSuccessors")
+                        .push(succ.addr.as_str())
+                        .push(me.as_str())
+                        .build(),
+                ));
+            }
+        }
+    }
+
+    fn do_fix_fingers(&mut self, out: &mut Vec<Envelope>) {
+        let i = self.next_finger % self.config.finger_bits;
+        self.next_finger = (self.next_finger + 1) % self.config.finger_bits;
+        let target = self.id.wrapping_add(Uint160::pow2(i));
+        let event = self.fresh_event();
+        self.pending_finger.insert(event, i);
+        let mut envs = Vec::new();
+        self.handle_lookup(target, &self.addr.clone(), event, &mut envs);
+        out.extend(envs);
+    }
+
+    fn do_ping(&mut self, out: &mut Vec<Envelope>) {
+        let mut targets: Vec<String> = self
+            .successors
+            .iter()
+            .map(|p| p.addr.clone())
+            .chain(self.predecessor.iter().map(|p| p.addr.clone()))
+            .filter(|a| *a != self.addr)
+            .collect();
+        targets.dedup();
+        for t in targets {
+            let event = self.fresh_event();
+            out.push(Envelope::new(
+                t.clone(),
+                TupleBuilder::new("pingReq")
+                    .push(t.as_str())
+                    .push(self.addr.as_str())
+                    .push(event)
+                    .build(),
+            ));
+        }
+        // Evict peers that have been silent too long.
+        let timeout = SimTime::from_secs_f64(self.config.liveness_timeout);
+        let dead: Vec<String> = self
+            .successors
+            .iter()
+            .map(|p| p.addr.clone())
+            .chain(self.predecessor.iter().map(|p| p.addr.clone()))
+            .filter(|a| *a != self.addr)
+            .filter(|a| {
+                self.last_heard
+                    .get(a)
+                    .map(|t| self.now.saturating_sub(*t) > timeout)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for d in dead {
+            self.remove_peer(&d);
+        }
+        // A node that has lost every successor rejoins through its landmark.
+        if self.successors.is_empty() {
+            if let Some(envs) = self.initiate_join() {
+                out.extend(envs);
+            }
+        }
+    }
+
+    fn initiate_join(&mut self) -> Option<Vec<Envelope>> {
+        match self.landmark.clone() {
+            None => {
+                let me = self.addr.clone();
+                let id = self.id;
+                self.add_successor(id, &me);
+                self.joined = true;
+                None
+            }
+            Some(landmark) => {
+                let event = self.fresh_event();
+                self.join_event = Some(event);
+                Some(vec![Envelope::new(
+                    landmark.clone(),
+                    TupleBuilder::new("lookup")
+                        .push(landmark.as_str())
+                        .push(Value::Id(self.id))
+                        .push(self.addr.as_str())
+                        .push(event)
+                        .build(),
+                )])
+            }
+        }
+    }
+}
+
+impl Host for BaselineChord {
+    fn start(&mut self, now: SimTime) -> Vec<Envelope> {
+        self.now = now;
+        // Jitter the initial phases so nodes do not act in lock-step.
+        let phase = |period: f64, r: u64| {
+            SimTime::from_secs_f64(period * ((r >> 11) as f64 / (1u64 << 53) as f64))
+        };
+        let r1 = self.next_rand();
+        let r2 = self.next_rand();
+        let r3 = self.next_rand();
+        self.next_stabilize = Some(now + phase(self.config.stabilize_period, r1));
+        self.next_fix = Some(now + phase(self.config.fix_finger_period, r2));
+        self.next_ping = Some(now + phase(self.config.ping_period, r3));
+        self.initiate_join().unwrap_or_default()
+    }
+
+    fn deliver(&mut self, tuple: Tuple, now: SimTime) -> Vec<Envelope> {
+        self.now = self.now.max(now);
+        let mut out = Vec::new();
+        match tuple.name() {
+            "join" => {
+                if let Some(envs) = self.initiate_join() {
+                    out.extend(envs);
+                }
+            }
+            "lookup" => {
+                let (Ok(key), Ok(requester), Ok(event)) =
+                    (tuple.get(1), tuple.get(2), tuple.get(3))
+                else {
+                    return out;
+                };
+                let key = key.to_id().unwrap_or(Uint160::ZERO);
+                let requester = requester.to_display_string();
+                let event = event.to_int().unwrap_or(0);
+                self.handle_lookup(key, &requester, event, &mut out);
+            }
+            "lookupResults" => {
+                self.lookup_results.push((now, tuple.clone()));
+                let (Ok(succ_id), Ok(succ_addr), Ok(event)) =
+                    (tuple.get(2), tuple.get(3), tuple.get(4))
+                else {
+                    return out;
+                };
+                let succ_id = succ_id.to_id().unwrap_or(Uint160::ZERO);
+                let succ_addr = succ_addr.to_display_string();
+                let event = event.to_int().unwrap_or(0);
+                if self.join_event == Some(event) {
+                    self.add_successor(succ_id, &succ_addr);
+                    self.joined = true;
+                } else if let Some(i) = self.pending_finger.remove(&event) {
+                    self.fingers[i as usize] = Some(Peer {
+                        id: succ_id,
+                        addr: succ_addr.clone(),
+                    });
+                }
+            }
+            "stabilizeRequest" => {
+                let Ok(from) = tuple.get(1) else { return out };
+                let from = from.to_display_string();
+                if let Some(pred) = &self.predecessor {
+                    out.push(Envelope::new(
+                        from.clone(),
+                        TupleBuilder::new("sendPredecessor")
+                            .push(from.as_str())
+                            .push(Value::Id(pred.id))
+                            .push(pred.addr.as_str())
+                            .build(),
+                    ));
+                }
+            }
+            "sendPredecessor" => {
+                let (Ok(pid), Ok(paddr)) = (tuple.get(1), tuple.get(2)) else {
+                    return out;
+                };
+                let pid = pid.to_id().unwrap_or(Uint160::ZERO);
+                let paddr = paddr.to_display_string();
+                if let Some(succ) = self.best_successor() {
+                    if pid.in_oo(self.id, succ.id) {
+                        self.add_successor(pid, &paddr);
+                    }
+                }
+            }
+            "sendSuccessors" => {
+                let Ok(from) = tuple.get(1) else { return out };
+                let from = from.to_display_string();
+                for succ in self.successors.clone() {
+                    out.push(Envelope::new(
+                        from.clone(),
+                        TupleBuilder::new("returnSuccessor")
+                            .push(from.as_str())
+                            .push(Value::Id(succ.id))
+                            .push(succ.addr.as_str())
+                            .build(),
+                    ));
+                }
+            }
+            "returnSuccessor" => {
+                let (Ok(sid), Ok(saddr)) = (tuple.get(1), tuple.get(2)) else {
+                    return out;
+                };
+                let sid = sid.to_id().unwrap_or(Uint160::ZERO);
+                let saddr = saddr.to_display_string();
+                self.add_successor(sid, &saddr);
+            }
+            "notifyPredecessor" => {
+                let (Ok(nid), Ok(naddr)) = (tuple.get(1), tuple.get(2)) else {
+                    return out;
+                };
+                let nid = nid.to_id().unwrap_or(Uint160::ZERO);
+                let naddr = naddr.to_display_string();
+                let accept = match &self.predecessor {
+                    None => true,
+                    Some(p) => nid.in_oo(p.id, self.id),
+                };
+                if accept && naddr != self.addr {
+                    self.predecessor = Some(Peer {
+                        id: nid,
+                        addr: naddr.clone(),
+                    });
+                }
+                self.mark_heard(&naddr);
+            }
+            "pingReq" => {
+                let (Ok(from), Ok(event)) = (tuple.get(1), tuple.get(2)) else {
+                    return out;
+                };
+                let from = from.to_display_string();
+                let event = event.to_int().unwrap_or(0);
+                out.push(Envelope::new(
+                    from.clone(),
+                    TupleBuilder::new("pingResp")
+                        .push(from.as_str())
+                        .push(self.addr.as_str())
+                        .push(event)
+                        .build(),
+                ));
+            }
+            "pingResp" => {
+                if let Ok(from) = tuple.get(1) {
+                    let from = from.to_display_string();
+                    self.mark_heard(&from);
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn advance_to(&mut self, now: SimTime) -> Vec<Envelope> {
+        self.now = self.now.max(now);
+        let mut out = Vec::new();
+        if let Some(t) = self.next_stabilize {
+            if t <= now {
+                self.do_stabilize(&mut out);
+                self.next_stabilize =
+                    Some(t + SimTime::from_secs_f64(self.config.stabilize_period));
+            }
+        }
+        if let Some(t) = self.next_fix {
+            if t <= now {
+                self.do_fix_fingers(&mut out);
+                self.next_fix = Some(t + SimTime::from_secs_f64(self.config.fix_finger_period));
+            }
+        }
+        if let Some(t) = self.next_ping {
+            if t <= now {
+                self.do_ping(&mut out);
+                self.next_ping = Some(t + SimTime::from_secs_f64(self.config.ping_period));
+            }
+        }
+        out
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        [self.next_stabilize, self.next_fix, self.next_ping]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_netsim::{NetworkConfig, Simulator};
+
+    fn addr(i: usize) -> String {
+        format!("base{i}:2000")
+    }
+
+    fn bring_up(n: usize) -> Simulator<BaselineChord> {
+        let mut sim = Simulator::new(NetworkConfig::emulab_default(5));
+        for i in 0..n {
+            let landmark = if i == 0 { None } else { Some(addr(0)) };
+            let node = BaselineChord::new(
+                &addr(i),
+                landmark.as_deref(),
+                100 + i as u64,
+                BaselineConfig::default(),
+            );
+            sim.add_node(addr(i), node);
+        }
+        for i in 0..n {
+            sim.start_node(&addr(i));
+            sim.run_for(SimTime::from_secs(1));
+        }
+        sim.run_for(SimTime::from_secs(200));
+        sim
+    }
+
+    #[test]
+    fn single_node_ring_points_to_itself() {
+        let node = BaselineChord::new("solo:1", None, 1, BaselineConfig::default());
+        let mut sim = Simulator::new(NetworkConfig::emulab_default(1));
+        sim.add_node("solo:1", node);
+        sim.start_node("solo:1");
+        sim.run_for(SimTime::from_secs(30));
+        let n = sim.node("solo:1").unwrap();
+        assert!(n.is_joined());
+        assert_eq!(n.successors(), vec!["solo:1".to_string()]);
+    }
+
+    #[test]
+    fn ring_forms_and_lookups_route_correctly() {
+        let n = 8;
+        let mut sim = bring_up(n);
+        let nodes: Vec<String> = (0..n).map(addr).collect();
+
+        // Every node joined and knows its correct ring successor.
+        let mut ids: Vec<(Uint160, String)> = nodes
+            .iter()
+            .map(|a| (Uint160::hash_of(a.as_bytes()), a.clone()))
+            .collect();
+        ids.sort();
+        for a in &nodes {
+            let node = sim.node(a).unwrap();
+            assert!(node.is_joined(), "{a} did not join");
+            let pos = ids.iter().position(|(_, x)| x == a).unwrap();
+            let expect = &ids[(pos + 1) % ids.len()].1;
+            let succs = node.successors();
+            assert_eq!(&succs[0], expect, "{a} has wrong first successor");
+        }
+
+        // Lookups route to the correct owner.
+        let owner_of = |key: Uint160| -> String {
+            for (id, a) in &ids {
+                if key <= *id {
+                    return a.clone();
+                }
+            }
+            ids[0].1.clone()
+        };
+        let mut correct = 0;
+        for k in 0..20 {
+            let key = Uint160::hash_of(format!("key-{k}").as_bytes());
+            let origin = &nodes[k % n];
+            let event = 90_000 + k as i64;
+            let lookup = TupleBuilder::new("lookup")
+                .push(origin.as_str())
+                .push(Value::Id(key))
+                .push(origin.as_str())
+                .push(event)
+                .build();
+            sim.inject(origin, lookup);
+            sim.run_for(SimTime::from_secs(5));
+            let results = sim.node(origin).unwrap().lookup_results();
+            let answer = results
+                .iter()
+                .rev()
+                .find(|(_, t)| t.field(4) == &Value::Int(event))
+                .map(|(_, t)| t.field(3).to_display_string());
+            if answer.as_deref() == Some(owner_of(key).as_str()) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 18, "only {correct}/20 lookups correct");
+    }
+
+    #[test]
+    fn failed_successors_are_evicted() {
+        let mut sim = bring_up(4);
+        let victim = addr(1);
+        sim.take_down(&victim);
+        sim.run_for(SimTime::from_secs(120));
+        for i in [0usize, 2, 3] {
+            let node = sim.node(&addr(i)).unwrap();
+            assert!(
+                !node.successors().contains(&victim),
+                "node{} still lists the failed node as successor",
+                i
+            );
+        }
+    }
+}

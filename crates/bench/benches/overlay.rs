@@ -1,0 +1,44 @@
+//! Whole-overlay benchmark: wall-clock cost of simulating a small Chord ring
+//! for one minute of virtual time, and of a burst of lookups against it.
+//! This keeps the figure-scale experiments honest about simulator overhead
+//! (the heavy experiments themselves run from the `fig3_static` /
+//! `fig4_churn` binaries, not under Criterion).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use p2_harness::ChordCluster;
+use p2_value::Uint160;
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(10);
+
+    group.bench_function("simulate_8_node_ring_60s_virtual", |b| {
+        b.iter_batched(
+            || ChordCluster::build(8, 60, 3),
+            |mut cluster| {
+                cluster.run_for(60.0);
+                black_box(cluster.ring_correctness())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("lookup_burst_on_8_node_ring", |b| {
+        let mut cluster = ChordCluster::build(8, 120, 5);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = Uint160::hash_of(&i.to_be_bytes());
+            let origin = cluster.addrs()[(i % 8) as usize].clone();
+            let handle = cluster.issue_lookup_from(&origin, key);
+            cluster.run_for(3.0);
+            black_box(cluster.outcome(&handle))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay);
+criterion_main!(benches);

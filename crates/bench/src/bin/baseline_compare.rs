@@ -1,0 +1,39 @@
+//! Declarative P2 Chord vs the hand-coded baseline on identical topology and
+//! workload (experiment E9; the paper's §5.2 comparison against MIT Chord).
+//!
+//! Defaults to a small network; pass `--paper` for a 100-node comparison.
+
+use p2_bench::{paper_scale, to_json};
+use p2_harness::experiments::baseline_compare;
+
+fn main() {
+    let (n, lookups, warmup) = if paper_scale() {
+        (100, 200, 900)
+    } else {
+        (24, 40, 300)
+    };
+    eprintln!("comparing P2 Chord vs hand-coded Chord on {n} nodes (use --paper for full scale)");
+    let r = baseline_compare(n, lookups, warmup, 7);
+
+    println!("=== Declarative (P2) vs hand-coded Chord, N={} ===", r.n);
+    println!("{:<34} {:>14} {:>14}", "metric", "P2 (OverLog)", "hand-coded");
+    println!(
+        "{:<34} {:>14.3} {:>14.3}",
+        "ring correctness", r.p2_ring_correctness, r.baseline_ring_correctness
+    );
+    println!(
+        "{:<34} {:>14.3} {:>14.3}",
+        "median lookup latency (s)", r.p2_median_latency, r.baseline_median_latency
+    );
+    println!(
+        "{:<34} {:>14.1} {:>14.1}",
+        "maintenance bandwidth (B/s/node)", r.p2_maintenance_bw, r.baseline_maintenance_bw
+    );
+    println!(
+        "{:<34} {:>14.3} {:>14.3}",
+        "lookup completion rate", r.p2_completion, r.baseline_completion
+    );
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", to_json(&r));
+    }
+}

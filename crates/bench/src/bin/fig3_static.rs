@@ -1,0 +1,77 @@
+//! Reproduces Figure 3 of the paper: performance of static Chord networks.
+//!
+//! * (i)   lookup hop-count distribution;
+//! * (ii)  per-node maintenance bandwidth while idle;
+//! * (iii) lookup-latency CDF.
+//!
+//! By default a scaled-down configuration is used so the binary finishes in
+//! a few minutes; pass `--paper` for the paper's 100/300/500-node networks.
+//! Pass `--json` to additionally dump the raw results as JSON.
+
+use p2_bench::{paper_scale, print_cdf_summary, to_json};
+use p2_harness::experiments::{static_chord, StaticParams};
+
+fn main() {
+    let params = if paper_scale() {
+        StaticParams::paper()
+    } else {
+        StaticParams::quick()
+    };
+    eprintln!(
+        "running static Chord experiment: sizes {:?}, {} lookups each (use --paper for full scale)",
+        params.sizes, params.lookups
+    );
+
+    let results = static_chord(&params);
+
+    println!("=== Figure 3(i): lookup hop-count distribution ===");
+    println!("{:>6} {:>10} {:>12}   frequency by hop count", "N", "mean", "log2(N)/2");
+    for r in &results {
+        let freqs: Vec<String> = r
+            .hop_frequencies
+            .iter()
+            .map(|(h, f)| format!("{h}:{f:.3}"))
+            .collect();
+        println!(
+            "{:>6} {:>10.2} {:>12.2}   {}",
+            r.n,
+            r.mean_hops,
+            (r.n as f64).log2() / 2.0,
+            freqs.join(" ")
+        );
+    }
+
+    println!();
+    println!("=== Figure 3(ii): maintenance bandwidth vs population ===");
+    println!("{:>6} {:>22}", "N", "maintenance (bytes/s)");
+    for r in &results {
+        println!("{:>6} {:>22.1}", r.n, r.maintenance_bw_per_node);
+    }
+
+    println!();
+    println!("=== Figure 3(iii): lookup latency CDF ===");
+    for r in &results {
+        print_cdf_summary(&format!("N={}", r.n), &r.latency_cdf);
+        println!(
+            "    within 6s: {:.1}%   completion: {:.1}%   correct owner: {:.1}%   ring ok: {:.1}%",
+            r.within_6s * 100.0,
+            r.completion_rate * 100.0,
+            r.correctness * 100.0,
+            r.ring_correctness * 100.0
+        );
+    }
+
+    println!();
+    println!("=== Working set (§1 claim: ~800 kB per node) ===");
+    for r in &results {
+        println!(
+            "  N={:>4}: mean resident soft state = {:.1} kB/node",
+            r.n,
+            r.mean_resident_bytes / 1024.0
+        );
+    }
+
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", to_json(&results));
+    }
+}

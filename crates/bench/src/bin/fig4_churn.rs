@@ -1,0 +1,57 @@
+//! Reproduces Figure 4 of the paper: a Chord overlay under churn.
+//!
+//! * (i)   per-node maintenance bandwidth vs mean session time;
+//! * (ii)  CDF of lookup consistency;
+//! * (iii) CDF of lookup latency under churn.
+//!
+//! By default a scaled-down configuration is used; pass `--paper` for the
+//! paper's 400-node, 20-minute-churn runs at session times 8–128 minutes.
+
+use p2_bench::{paper_scale, print_cdf_summary, to_json};
+use p2_harness::experiments::{churn_chord, ChurnParams};
+
+fn main() {
+    let params = if paper_scale() {
+        ChurnParams::paper()
+    } else {
+        ChurnParams::quick()
+    };
+    eprintln!(
+        "running churn experiment: {} nodes, session times {:?} min, churn for {}s (use --paper for full scale)",
+        params.n, params.session_minutes, params.churn_secs
+    );
+
+    let results = churn_chord(&params);
+
+    println!("=== Figure 4(i): maintenance bandwidth under churn ===");
+    println!("{:>14} {:>22}", "session (min)", "maintenance (bytes/s)");
+    for r in &results {
+        println!("{:>14} {:>22.1}", r.session_minutes, r.maintenance_bw_per_node);
+    }
+
+    println!();
+    println!("=== Figure 4(ii): lookup consistency under churn ===");
+    println!(
+        "{:>14} {:>18} {:>22} {:>14}",
+        "session (min)", "mean consistency", ">=99% consistent (%)", "completion (%)"
+    );
+    for r in &results {
+        println!(
+            "{:>14} {:>18.3} {:>22.1} {:>14.1}",
+            r.session_minutes,
+            r.mean_consistency,
+            r.fully_consistent_fraction * 100.0,
+            r.completion_rate * 100.0
+        );
+    }
+
+    println!();
+    println!("=== Figure 4(iii): lookup latency under churn ===");
+    for r in &results {
+        print_cdf_summary(&format!("session {} min", r.session_minutes), &r.latency_cdf);
+    }
+
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", to_json(&results));
+    }
+}

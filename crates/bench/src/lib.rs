@@ -1,0 +1,59 @@
+//! Shared helpers for the figure-reproduction binaries.
+//!
+//! Each binary regenerates one figure of the paper's evaluation (§5); the
+//! heavy lifting lives in `p2-harness::experiments`, this crate only parses
+//! arguments and formats tables. Micro-benchmarks (element handoff cost, PEL
+//! evaluation, table operations, planner throughput — experiment E8) live in
+//! `benches/` and run under Criterion.
+
+/// Returns true when `--paper` was passed (full paper-scale parameters;
+/// the default is a scaled-down run that finishes in minutes).
+pub fn paper_scale() -> bool {
+    std::env::args().any(|a| a == "--paper")
+}
+
+/// Prints a labelled CDF as a compact table of quantiles.
+pub fn print_cdf_summary(label: &str, points: &[(f64, f64)]) {
+    if points.is_empty() {
+        println!("  {label}: (no samples)");
+        return;
+    }
+    let at = |q: f64| {
+        let idx = ((points.len() - 1) as f64 * q).round() as usize;
+        points[idx].0
+    };
+    println!(
+        "  {label}: p10={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3} (n={})",
+        at(0.10),
+        at(0.50),
+        at(0.90),
+        at(0.99),
+        points.last().unwrap().0,
+        points.len()
+    );
+}
+
+/// Serializes any experiment result to pretty JSON for downstream plotting.
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_serialization_works() {
+        #[derive(serde::Serialize)]
+        struct S {
+            x: u32,
+        }
+        assert!(to_json(&S { x: 3 }).contains("\"x\": 3"));
+    }
+
+    #[test]
+    fn cdf_summary_handles_empty_input() {
+        print_cdf_summary("empty", &[]);
+        print_cdf_summary("one", &[(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Planner errors.
+
+use std::fmt;
+
+/// An error raised while compiling an OverLog program into a dataflow graph.
+///
+/// These are programmer-facing: they indicate that the program uses a
+/// construct outside the subset the planner supports (mirroring the
+/// restrictions of the 2005 planner described in §7 of the paper) or that a
+/// rule is internally inconsistent in a way validation could not catch
+/// without table information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// Rule identifier the problem was found in, if applicable.
+    pub rule: Option<String>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl PlanError {
+    /// Creates an error tied to a rule.
+    pub fn in_rule(rule: impl Into<String>, message: impl Into<String>) -> PlanError {
+        PlanError {
+            rule: Some(rule.into()),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a program-level error.
+    pub fn program(message: impl Into<String>) -> PlanError {
+        PlanError {
+            rule: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.rule {
+            Some(r) => write!(f, "plan error in rule {r}: {}", self.message),
+            None => write!(f, "plan error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_rule() {
+        let e = PlanError::in_rule("L2", "two aggregates");
+        assert!(e.to_string().contains("L2"));
+        let e = PlanError::program("no rules");
+        assert!(e.to_string().contains("no rules"));
+    }
+}

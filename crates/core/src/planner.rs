@@ -1,0 +1,1036 @@
+//! The OverLog planner: compiles a validated program into a per-node
+//! dataflow graph.
+//!
+//! The translation follows §3.5 of the paper. Every rule becomes one or more
+//! *strands*; a strand is a chain of elements
+//!
+//! ```text
+//! trigger ─ Select ─ Join* ─ AntiJoin* ─ Project(assign)* ─ Select(cond)
+//!         ─ [AggProbe] ─ Project(head) ─ NetOut ─┐
+//!                                                └── local wrap → Demux
+//! ```
+//!
+//! where the trigger is a `periodic` timer element, the arrival of a stream
+//! tuple (via the node's main demultiplexer) or the insertion delta of a
+//! materialized table. Rules whose body consists solely of a table and whose
+//! head aggregates over it become materialized [`TableAgg`] watchers instead.
+
+use std::collections::{BTreeSet, HashMap};
+
+use p2_dataflow::elements::{
+    AggProbe, AntiJoin, Collector, CollectorHandle, Delete, Demux, Insert, Join, NetOut, Periodic,
+    Project, Select, TableAgg,
+};
+use p2_dataflow::{Engine, Graph, Route};
+use p2_overlog::{AggSpec, BodyTerm, Expr as OExpr, HeadArg, Predicate, Program, Rule, SizeBound};
+use p2_pel::{BinOp, Expr as PExpr, Program as PelProgram};
+use p2_table::{Catalog, TableRef};
+use p2_value::Value;
+
+use crate::binding::Layout;
+use crate::error::PlanError;
+
+/// Options controlling how a program is planned for one node.
+#[derive(Debug, Clone)]
+pub struct PlanOptions {
+    /// The node's network address.
+    pub local_addr: String,
+    /// Seed for the node's deterministic RNG.
+    pub seed: u64,
+    /// Tuple names to attach observation taps to (results are available via
+    /// [`Planned::collectors`]).
+    pub watches: Vec<String>,
+    /// Whether `periodic` sources start at a random phase within their
+    /// period (recommended for simulations; disable for deterministic unit
+    /// tests).
+    pub jitter_periodics: bool,
+}
+
+impl PlanOptions {
+    /// Creates options for a node with the given address and seed.
+    pub fn new(local_addr: impl Into<String>, seed: u64) -> PlanOptions {
+        PlanOptions {
+            local_addr: local_addr.into(),
+            seed,
+            watches: Vec::new(),
+            jitter_periodics: true,
+        }
+    }
+
+    /// Adds a watched tuple name.
+    pub fn watch(mut self, name: impl Into<String>) -> PlanOptions {
+        self.watches.push(name.into());
+        self
+    }
+
+    /// Disables periodic phase jitter.
+    pub fn without_jitter(mut self) -> PlanOptions {
+        self.jitter_periodics = false;
+        self
+    }
+}
+
+/// The result of planning: a ready-to-run engine plus handles to its state.
+pub struct Planned {
+    /// The node's dataflow engine.
+    pub engine: Engine,
+    /// The node's materialized tables.
+    pub catalog: Catalog,
+    /// Observation buffers for each watched tuple name.
+    pub collectors: HashMap<String, CollectorHandle>,
+}
+
+/// Plans a validated OverLog program into a per-node dataflow engine.
+pub fn plan(program: &Program, opts: &PlanOptions) -> Result<Planned, PlanError> {
+    Builder::new(program, opts)?.build()
+}
+
+enum TriggerSource<'a> {
+    /// Arrival of a stream tuple through the main demultiplexer.
+    Stream(&'a str),
+    /// Insert delta of a materialized table.
+    TableDelta(&'a str),
+    /// A `periodic` timer, described by the predicate occurrence.
+    Periodic(&'a Predicate),
+}
+
+struct AggPlan<'a> {
+    spec: &'a AggSpec,
+    /// The table predicate whose rows are aggregated over, when the rule has
+    /// a stream/periodic trigger.
+    table: Option<&'a Predicate>,
+}
+
+struct Builder<'a> {
+    program: &'a Program,
+    opts: &'a PlanOptions,
+    graph: Graph,
+    catalog: Catalog,
+    demux_id: usize,
+    demux_names: Vec<String>,
+    insert_ids: HashMap<String, usize>,
+    /// TableAgg elements per table name, wired to that table's deltas at the
+    /// end of planning.
+    table_aggs: HashMap<String, Vec<usize>>,
+    /// Delete elements per table name (their output also pokes TableAggs).
+    delete_ids: HashMap<String, Vec<usize>>,
+    collectors: HashMap<String, CollectorHandle>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(program: &'a Program, opts: &'a PlanOptions) -> Result<Builder<'a>, PlanError> {
+        if program.rules.is_empty() && program.facts.is_empty() {
+            return Err(PlanError::program("program has no rules or facts"));
+        }
+
+        let mut graph = Graph::new();
+        let mut catalog = Catalog::new();
+        for m in &program.materializations {
+            catalog.declare(m.to_spec());
+        }
+
+        // Collect every tuple name the demultiplexer must know about.
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        for m in &program.materializations {
+            names.insert(m.name.clone());
+        }
+        for f in &program.facts {
+            names.insert(f.name.clone());
+        }
+        for r in &program.rules {
+            names.insert(r.head.name.clone());
+            for p in r.positive_predicates() {
+                if p.name != "periodic" {
+                    names.insert(p.name.clone());
+                }
+            }
+        }
+        for w in &opts.watches {
+            names.insert(w.clone());
+        }
+        let demux_names: Vec<String> = names.into_iter().collect();
+        let demux_id = graph.add("demux", Box::new(Demux::new(demux_names.clone())));
+
+        // One Insert bridge per materialized table, fed from the demux.
+        let mut insert_ids = HashMap::new();
+        for m in &program.materializations {
+            let table = catalog
+                .get(&m.name)
+                .expect("table was declared just above");
+            let id = graph.add(format!("insert:{}", m.name), Box::new(Insert::new(table)));
+            insert_ids.insert(m.name.clone(), id);
+        }
+
+        let mut builder = Builder {
+            program,
+            opts,
+            graph,
+            catalog,
+            demux_id,
+            demux_names,
+            insert_ids,
+            table_aggs: HashMap::new(),
+            delete_ids: HashMap::new(),
+            collectors: HashMap::new(),
+        };
+
+        // Wire demux ports to the table inserts now that ports are known.
+        for m in &program.materializations {
+            let port = builder.demux_port(&m.name).expect("declared above");
+            let insert = builder.insert_ids[&m.name];
+            builder.graph.connect(builder.demux_id, port, insert, 0);
+        }
+        Ok(builder)
+    }
+
+    fn demux_port(&self, name: &str) -> Option<usize> {
+        self.demux_names.iter().position(|n| n == name)
+    }
+
+    fn table_ref(&self, rule: &Rule, name: &str) -> Result<TableRef, PlanError> {
+        self.catalog
+            .get(name)
+            .ok_or_else(|| PlanError::in_rule(&rule.id, format!("`{name}` is not a materialized table")))
+    }
+
+    fn build(mut self) -> Result<Planned, PlanError> {
+        let rules: Vec<&Rule> = self.program.rules.iter().collect();
+        for rule in rules {
+            self.plan_rule(rule)?;
+        }
+
+        // Watchpoints.
+        for w in &self.opts.watches {
+            let (collector, handle) = Collector::new();
+            let id = self.graph.add(format!("watch:{w}"), Box::new(collector));
+            if let Some(port) = self.demux_port(w) {
+                self.graph.connect(self.demux_id, port, id, 0);
+            }
+            self.collectors.insert(w.clone(), handle);
+        }
+
+        // Wire materialized aggregates to their table's insert and delete
+        // deltas.
+        let table_aggs = std::mem::take(&mut self.table_aggs);
+        for (table, aggs) in table_aggs {
+            for agg in aggs {
+                if let Some(insert) = self.insert_ids.get(&table) {
+                    self.graph.connect(*insert, 0, agg, 0);
+                }
+                if let Some(deletes) = self.delete_ids.get(&table) {
+                    for d in deletes {
+                        self.graph.connect(*d, 0, agg, 0);
+                    }
+                }
+            }
+        }
+
+        let mut engine = Engine::new(self.graph, self.opts.local_addr.clone(), self.opts.seed);
+        engine.set_entry(Route {
+            element: self.demux_id,
+            port: 0,
+        });
+        Ok(Planned {
+            engine,
+            catalog: self.catalog,
+            collectors: self.collectors,
+        })
+    }
+
+    fn plan_rule(&mut self, rule: &Rule) -> Result<(), PlanError> {
+        let positives = rule.positive_predicates();
+        let periodics: Vec<&Predicate> = positives
+            .iter()
+            .copied()
+            .filter(|p| p.name == "periodic")
+            .collect();
+        let streams: Vec<&Predicate> = positives
+            .iter()
+            .copied()
+            .filter(|p| p.name != "periodic" && !self.program.is_materialized(&p.name))
+            .collect();
+        let tables: Vec<&Predicate> = positives
+            .iter()
+            .copied()
+            .filter(|p| p.name != "periodic" && self.program.is_materialized(&p.name))
+            .collect();
+
+        if periodics.len() > 1 {
+            return Err(PlanError::in_rule(&rule.id, "at most one `periodic` term per rule"));
+        }
+        if !periodics.is_empty() && !streams.is_empty() {
+            return Err(PlanError::in_rule(
+                &rule.id,
+                "a rule may not join a `periodic` stream with another stream",
+            ));
+        }
+        if streams.len() > 1 {
+            return Err(PlanError::in_rule(
+                &rule.id,
+                "stream-stream joins are not supported (the 2005 planner only joins a stream \
+                 with materialized tables); materialize one of the streams instead",
+            ));
+        }
+
+        if let Some(periodic) = periodics.first() {
+            self.build_strand(rule, periodic, TriggerSource::Periodic(periodic), &tables)
+        } else if let Some(stream) = streams.first() {
+            self.build_strand(rule, stream, TriggerSource::Stream(&stream.name), &tables)
+        } else if rule.has_aggregate() {
+            // Aggregate over a materialized table, maintained incrementally.
+            if tables.len() != 1 {
+                return Err(PlanError::in_rule(
+                    &rule.id,
+                    "materialized aggregates must range over exactly one table",
+                ));
+            }
+            self.build_table_agg_strand(rule, tables[0])
+        } else {
+            if tables.is_empty() {
+                return Err(PlanError::in_rule(&rule.id, "rule body has no predicates"));
+            }
+            // Delta-triggered: updates to any of the body tables re-evaluate
+            // the rule against the others.
+            for (i, trigger) in tables.iter().enumerate() {
+                let others: Vec<&Predicate> = tables
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, p)| *p)
+                    .collect();
+                self.build_strand(rule, trigger, TriggerSource::TableDelta(&trigger.name), &others)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Builds one strand: trigger → joins → filters → (aggregate) →
+    /// projection → routing.
+    fn build_strand(
+        &mut self,
+        rule: &Rule,
+        trigger: &Predicate,
+        source: TriggerSource<'_>,
+        other_tables: &[&Predicate],
+    ) -> Result<(), PlanError> {
+        let mut layout = Layout::new();
+        let mut chain: Vec<usize> = Vec::new();
+
+        // --- Trigger.
+        let trigger_binding = layout
+            .bind_predicate(trigger, true)
+            .map_err(|e| PlanError::in_rule(&rule.id, e.message))?;
+        let mut trigger_checks: Vec<PExpr> = Vec::new();
+        for (col, value) in &trigger_binding.const_checks {
+            trigger_checks.push(PExpr::bin(
+                BinOp::Eq,
+                PExpr::Field(*col),
+                PExpr::Const(value.clone()),
+            ));
+        }
+        for (a, b) in &trigger_binding.repeat_checks {
+            trigger_checks.push(PExpr::bin(BinOp::Eq, PExpr::Field(*a), PExpr::Field(*b)));
+        }
+        if !trigger_checks.is_empty() && !matches!(source, TriggerSource::Periodic(_)) {
+            let select = Select::new(PelProgram::compile(&and_all(trigger_checks)));
+            chain.push(self.graph.add(format!("{}:trigger-select", rule.id), Box::new(select)));
+        }
+
+        // --- Aggregate analysis.
+        let agg_spec = rule.head.args.iter().find_map(|a| match a {
+            HeadArg::Agg(spec) => Some(spec),
+            _ => None,
+        });
+        let agg_plan = match agg_spec {
+            None => None,
+            Some(spec) => {
+                let table = self.choose_agg_table(rule, spec, trigger, other_tables)?;
+                Some(AggPlan { spec, table: Some(table) })
+            }
+        };
+        let join_tables: Vec<&Predicate> = other_tables
+            .iter()
+            .copied()
+            .filter(|p| match &agg_plan {
+                Some(a) => !std::ptr::eq(*p, a.table.expect("set above")),
+                None => true,
+            })
+            .collect();
+
+        // --- Equijoins against materialized tables.
+        for pred in &join_tables {
+            let base = layout.len();
+            let binding = layout
+                .bind_predicate(pred, true)
+                .map_err(|e| PlanError::in_rule(&rule.id, e.message))?;
+            let table = self.table_ref(rule, &pred.name)?;
+            if !binding.join_keys.is_empty() {
+                let mut cols: Vec<usize> = binding.join_keys.iter().map(|(_, c)| *c).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                table.lock().add_index(cols);
+            }
+            let join = Join::new(table, binding.join_keys.clone(), format!("{}#{}", rule.id, pred.name));
+            chain.push(self.graph.add(format!("{}:join:{}", rule.id, pred.name), Box::new(join)));
+
+            let mut checks: Vec<PExpr> = Vec::new();
+            for (col, value) in &binding.const_checks {
+                checks.push(PExpr::bin(
+                    BinOp::Eq,
+                    PExpr::Field(base + col),
+                    PExpr::Const(value.clone()),
+                ));
+            }
+            for (a, b) in &binding.repeat_checks {
+                checks.push(PExpr::bin(
+                    BinOp::Eq,
+                    PExpr::Field(base + a),
+                    PExpr::Field(base + b),
+                ));
+            }
+            if !checks.is_empty() {
+                let select = Select::new(PelProgram::compile(&and_all(checks)));
+                chain.push(self.graph.add(format!("{}:join-select:{}", rule.id, pred.name), Box::new(select)));
+            }
+        }
+
+        // --- Anti-joins for negated predicates.
+        for pred in rule.negated_predicates() {
+            let binding = layout
+                .bind_predicate(pred, false)
+                .map_err(|e| PlanError::in_rule(&rule.id, e.message))?;
+            if !binding.const_checks.is_empty() || !binding.repeat_checks.is_empty() {
+                return Err(PlanError::in_rule(
+                    &rule.id,
+                    format!(
+                        "negated predicate `{}` may only contain variables and wildcards",
+                        pred.name
+                    ),
+                ));
+            }
+            let table = self.table_ref(rule, &pred.name)?;
+            if !binding.join_keys.is_empty() {
+                let mut cols: Vec<usize> = binding.join_keys.iter().map(|(_, c)| *c).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                table.lock().add_index(cols);
+            }
+            let anti = AntiJoin::new(table, binding.join_keys);
+            chain.push(self.graph.add(format!("{}:antijoin:{}", rule.id, pred.name), Box::new(anti)));
+        }
+
+        // --- Assignments (dependency order), excluding the aggregate
+        // expression which is evaluated inside the AggProbe.
+        let agg_var = agg_plan.as_ref().and_then(|a| a.spec.var.clone());
+        let mut pending: Vec<(&String, &OExpr)> = rule
+            .body
+            .iter()
+            .filter_map(|t| match t {
+                BodyTerm::Assign { var, expr } => Some((var, expr)),
+                _ => None,
+            })
+            .filter(|(var, _)| agg_var.as_deref() != Some(var.as_str()))
+            .collect();
+        let agg_assignment: Option<&OExpr> = rule.body.iter().find_map(|t| match t {
+            BodyTerm::Assign { var, expr } if Some(var.clone()) == agg_var => Some(expr),
+            _ => None,
+        });
+        let mut progress = true;
+        while progress && !pending.is_empty() {
+            progress = false;
+            let mut remaining = Vec::new();
+            for (var, expr) in pending {
+                match layout.compile_expr(expr) {
+                    Ok(compiled) => {
+                        let len = layout.len();
+                        let mut fields: Vec<PelProgram> = (0..len)
+                            .map(|i| PelProgram::compile(&PExpr::Field(i)))
+                            .collect();
+                        fields.push(PelProgram::compile(&compiled));
+                        let project = Project::new(format!("{}#assign:{}", rule.id, var), fields);
+                        chain.push(self.graph.add(format!("{}:assign:{}", rule.id, var), Box::new(project)));
+                        layout.push_var(var.clone());
+                        progress = true;
+                    }
+                    Err(_) => remaining.push((var, expr)),
+                }
+            }
+            pending = remaining;
+        }
+        let unresolved_assignments = pending;
+        if !unresolved_assignments.is_empty() && agg_plan.is_none() {
+            let vars: Vec<&String> = unresolved_assignments.iter().map(|(v, _)| *v).collect();
+            return Err(PlanError::in_rule(
+                &rule.id,
+                format!("assignments to {vars:?} reference variables bound by no table in this strand"),
+            ));
+        }
+
+        // --- Conditions: those compilable now become a selection; the rest
+        // must reference the aggregate table and become the AggProbe filter.
+        let mut pre_conditions: Vec<PExpr> = Vec::new();
+        let mut deferred_conditions: Vec<&OExpr> = Vec::new();
+        for term in &rule.body {
+            if let BodyTerm::Condition(expr) = term {
+                match layout.compile_expr(expr) {
+                    Ok(compiled) => pre_conditions.push(compiled),
+                    Err(e) => {
+                        if agg_plan.is_some() {
+                            deferred_conditions.push(expr);
+                        } else {
+                            return Err(PlanError::in_rule(&rule.id, e.message));
+                        }
+                    }
+                }
+            }
+        }
+        if !pre_conditions.is_empty() {
+            let select = Select::new(PelProgram::compile(&and_all(pre_conditions)));
+            chain.push(self.graph.add(format!("{}:select", rule.id), Box::new(select)));
+        }
+
+        // --- Aggregation.
+        let mut agg_field: Option<usize> = None;
+        if let Some(aggp) = &agg_plan {
+            let pred = aggp.table.expect("stream-trigger aggregates have a table");
+            let base = layout.len();
+            let mut agg_layout = layout.clone();
+            let binding = agg_layout
+                .bind_predicate(pred, true)
+                .map_err(|e| PlanError::in_rule(&rule.id, e.message))?;
+            let mut filter: Vec<PExpr> = Vec::new();
+            for (existing, col) in &binding.join_keys {
+                filter.push(PExpr::bin(
+                    BinOp::Eq,
+                    PExpr::Field(*existing),
+                    PExpr::Field(base + col),
+                ));
+            }
+            for (col, value) in &binding.const_checks {
+                filter.push(PExpr::bin(
+                    BinOp::Eq,
+                    PExpr::Field(base + col),
+                    PExpr::Const(value.clone()),
+                ));
+            }
+            for (a, b) in &binding.repeat_checks {
+                filter.push(PExpr::bin(
+                    BinOp::Eq,
+                    PExpr::Field(base + a),
+                    PExpr::Field(base + b),
+                ));
+            }
+            for cond in deferred_conditions {
+                let compiled = agg_layout
+                    .compile_expr(cond)
+                    .map_err(|e| PlanError::in_rule(&rule.id, e.message))?;
+                filter.push(compiled);
+            }
+            // Any assignment that could not be applied earlier must be
+            // definable over the aggregate table's columns; it can only be
+            // the aggregate expression itself (checked below).
+            if !unresolved_assignments.is_empty() {
+                let offending: Vec<&String> = unresolved_assignments
+                    .iter()
+                    .map(|(v, _)| *v)
+                    .filter(|v| Some((*v).clone()) != agg_var)
+                    .collect();
+                if !offending.is_empty() {
+                    return Err(PlanError::in_rule(
+                        &rule.id,
+                        format!(
+                            "assignments to {offending:?} depend on the aggregated table `{}` and \
+                             cannot be evaluated outside the aggregate",
+                            pred.name
+                        ),
+                    ));
+                }
+            }
+            let agg_expr = match (&aggp.spec.var, agg_assignment) {
+                (None, _) => PExpr::Const(Value::Int(1)),
+                (Some(var), _) if agg_layout.is_bound(var) => {
+                    PExpr::Field(agg_layout.get(var).expect("checked bound"))
+                }
+                (Some(_), Some(assign_expr)) => agg_layout
+                    .compile_expr(assign_expr)
+                    .map_err(|e| PlanError::in_rule(&rule.id, e.message))?,
+                (Some(var), None) => {
+                    return Err(PlanError::in_rule(
+                        &rule.id,
+                        format!("aggregate variable `{var}` is bound by neither a table nor an assignment"),
+                    ))
+                }
+            };
+            let table = self.table_ref(rule, &pred.name)?;
+            let probe = AggProbe::new(
+                table,
+                pred.args.len(),
+                aggp.spec.func,
+                if filter.is_empty() {
+                    None
+                } else {
+                    Some(PelProgram::compile(&and_all(filter)))
+                },
+                PelProgram::compile(&agg_expr),
+                format!("{}#agg", rule.id),
+            );
+            chain.push(self.graph.add(format!("{}:agg:{}", rule.id, pred.name), Box::new(probe)));
+            layout = agg_layout;
+            agg_field = Some(layout.push_anonymous());
+        }
+
+        // --- Head projection.
+        let mut fields: Vec<PelProgram> = Vec::with_capacity(rule.head.args.len());
+        for arg in &rule.head.args {
+            match arg {
+                HeadArg::Expr(e) => {
+                    let compiled = layout
+                        .compile_expr(e)
+                        .map_err(|e| PlanError::in_rule(&rule.id, e.message))?;
+                    fields.push(PelProgram::compile(&compiled));
+                }
+                HeadArg::Agg(_) => {
+                    let pos = agg_field.ok_or_else(|| {
+                        PlanError::in_rule(&rule.id, "aggregate head argument without an aggregate plan")
+                    })?;
+                    fields.push(PelProgram::compile(&PExpr::Field(pos)));
+                }
+            }
+        }
+        let project = Project::new(rule.head.name.clone(), fields);
+        chain.push(self.graph.add(format!("{}:head", rule.id), Box::new(project)));
+
+        // --- Routing.
+        self.route_head(rule, &mut chain, agg_field)?;
+
+        // --- Wire the chain and its trigger source.
+        for pair in chain.windows(2) {
+            self.graph.connect(pair[0], 0, pair[1], 0);
+        }
+        let entry = Route {
+            element: chain[0],
+            port: 0,
+        };
+        match source {
+            TriggerSource::Stream(name) => {
+                let port = self.demux_port(name).ok_or_else(|| {
+                    PlanError::in_rule(&rule.id, format!("no demux port for stream `{name}`"))
+                })?;
+                self.graph.connect(self.demux_id, port, entry.element, entry.port);
+            }
+            TriggerSource::TableDelta(name) => {
+                let insert = *self.insert_ids.get(name).ok_or_else(|| {
+                    PlanError::in_rule(&rule.id, format!("no insert element for table `{name}`"))
+                })?;
+                self.graph.connect(insert, 0, entry.element, entry.port);
+            }
+            TriggerSource::Periodic(pred) => {
+                let periodic = self.make_periodic(rule, pred)?;
+                let id = self.graph.add(format!("{}:periodic", rule.id), Box::new(periodic));
+                self.graph.connect(id, 0, entry.element, entry.port);
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes the head projection output: deletes go straight to the head
+    /// table, everything else goes through a network egress element whose
+    /// local side wraps around to the demultiplexer.
+    fn route_head(
+        &mut self,
+        rule: &Rule,
+        chain: &mut Vec<usize>,
+        _agg_field: Option<usize>,
+    ) -> Result<(), PlanError> {
+        if rule.delete {
+            let body_loc = rule
+                .positive_predicates()
+                .iter()
+                .find_map(|p| p.location.clone());
+            if rule.head.location.is_some() && rule.head.location != body_loc {
+                return Err(PlanError::in_rule(
+                    &rule.id,
+                    "delete rules must target the local node's table",
+                ));
+            }
+            let table = self.table_ref(rule, &rule.head.name)?;
+            let delete = Delete::new(table);
+            let id = self.graph.add(format!("{}:delete:{}", rule.id, rule.head.name), Box::new(delete));
+            chain.push(id);
+            self.delete_ids
+                .entry(rule.head.name.clone())
+                .or_default()
+                .push(id);
+            return Ok(());
+        }
+
+        match &rule.head.location {
+            None => {
+                // No location specifier: the tuple stays local; feed it back
+                // through the demultiplexer.
+                let last = *chain.last().expect("head projection exists");
+                self.graph.connect(last, 0, self.demux_id, 0);
+                Ok(())
+            }
+            Some(loc) => {
+                let dest_field = rule
+                    .head
+                    .args
+                    .iter()
+                    .position(|a| match a {
+                        HeadArg::Expr(OExpr::Var(v)) => v == loc,
+                        HeadArg::Agg(spec) => spec.var.as_deref() == Some(loc.as_str()),
+                        _ => false,
+                    })
+                    .ok_or_else(|| {
+                        PlanError::in_rule(
+                            &rule.id,
+                            format!("head location variable `{loc}` must appear among the head arguments"),
+                        )
+                    })?;
+                let netout = NetOut::new(dest_field);
+                let id = self.graph.add(format!("{}:netout", rule.id), Box::new(netout));
+                chain.push(id);
+                // Local tuples wrap around into the demultiplexer.
+                self.graph.connect(id, 0, self.demux_id, 0);
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the materialized-aggregate strand for a rule whose body is a
+    /// single table and whose head aggregates over it.
+    fn build_table_agg_strand(&mut self, rule: &Rule, pred: &Predicate) -> Result<(), PlanError> {
+        let spec = rule
+            .head
+            .args
+            .iter()
+            .find_map(|a| match a {
+                HeadArg::Agg(s) => Some(s),
+                _ => None,
+            })
+            .expect("caller checked has_aggregate");
+
+        if rule
+            .body
+            .iter()
+            .any(|t| matches!(t, BodyTerm::Condition(_) | BodyTerm::Assign { .. }))
+        {
+            // Appendix rules of this shape (S1, N3) have no extra terms; the
+            // assignment-carrying ones (N2) are stream-triggered instead.
+            return Err(PlanError::in_rule(
+                &rule.id,
+                "materialized aggregates support only a bare table predicate in the body",
+            ));
+        }
+
+        // Column of each table field, per variable.
+        let mut columns: HashMap<&str, usize> = HashMap::new();
+        for (col, arg) in pred.args.iter().enumerate() {
+            if let OExpr::Var(v) = arg {
+                columns.entry(v.as_str()).or_insert(col);
+            }
+        }
+
+        let mut group_cols = Vec::new();
+        for arg in &rule.head.args {
+            match arg {
+                HeadArg::Agg(_) => {}
+                HeadArg::Expr(OExpr::Var(v)) => {
+                    let col = columns.get(v.as_str()).ok_or_else(|| {
+                        PlanError::in_rule(
+                            &rule.id,
+                            format!("head variable `{v}` is not a column of `{}`", pred.name),
+                        )
+                    })?;
+                    group_cols.push(*col);
+                }
+                HeadArg::Expr(other) => {
+                    return Err(PlanError::in_rule(
+                        &rule.id,
+                        format!("materialized aggregate heads must use plain variables, found {other:?}"),
+                    ))
+                }
+            }
+        }
+        let agg_col = match &spec.var {
+            None => None,
+            Some(v) => Some(*columns.get(v.as_str()).ok_or_else(|| {
+                PlanError::in_rule(
+                    &rule.id,
+                    format!("aggregate variable `{v}` is not a column of `{}`", pred.name),
+                )
+            })?),
+        };
+
+        let table = self.table_ref(rule, &pred.name)?;
+        let agg = TableAgg::new(
+            table,
+            spec.func,
+            agg_col,
+            group_cols.clone(),
+            format!("{}#tagg", rule.id),
+        );
+        let agg_id = self.graph.add(format!("{}:tableagg:{}", rule.id, pred.name), Box::new(agg));
+        self.table_aggs
+            .entry(pred.name.clone())
+            .or_default()
+            .push(agg_id);
+
+        // The TableAgg emits (group values in head order, aggregate); project
+        // into the head's declared argument order.
+        let group_len = group_cols.len();
+        let mut group_cursor = 0usize;
+        let mut fields = Vec::with_capacity(rule.head.args.len());
+        for arg in &rule.head.args {
+            match arg {
+                HeadArg::Agg(_) => fields.push(PelProgram::compile(&PExpr::Field(group_len))),
+                HeadArg::Expr(_) => {
+                    fields.push(PelProgram::compile(&PExpr::Field(group_cursor)));
+                    group_cursor += 1;
+                }
+            }
+        }
+        let project = Project::new(rule.head.name.clone(), fields);
+        let mut chain = vec![agg_id, self.graph.add(format!("{}:head", rule.id), Box::new(project))];
+        self.route_head(rule, &mut chain, Some(group_len))?;
+        for pair in chain.windows(2) {
+            self.graph.connect(pair[0], 0, pair[1], 0);
+        }
+        Ok(())
+    }
+
+    /// Chooses which table predicate an aggregate rule aggregates over.
+    ///
+    /// Preference order: a table that binds the aggregate variable directly;
+    /// otherwise a non-singleton table (declared size ≠ 1) binding a variable
+    /// used in the aggregate's defining assignment; otherwise the last
+    /// candidate in body order. (Singleton tables such as `node` act as
+    /// parameters, not as the collection being aggregated.)
+    fn choose_agg_table<'r>(
+        &self,
+        rule: &Rule,
+        spec: &AggSpec,
+        _trigger: &Predicate,
+        candidates: &[&'r Predicate],
+    ) -> Result<&'r Predicate, PlanError> {
+        if candidates.is_empty() {
+            return Err(PlanError::in_rule(
+                &rule.id,
+                "an aggregate rule must join at least one materialized table to aggregate over",
+            ));
+        }
+        if candidates.len() == 1 {
+            return Ok(candidates[0]);
+        }
+        let binds = |pred: &Predicate, var: &str| {
+            pred.args
+                .iter()
+                .any(|a| matches!(a, OExpr::Var(v) if v == var))
+        };
+        if let Some(var) = &spec.var {
+            if let Some(p) = candidates.iter().find(|p| binds(p, var)) {
+                return Ok(p);
+            }
+            // The aggregate variable is assignment-defined; look at the
+            // variables feeding that assignment.
+            let assign_vars: Vec<String> = rule
+                .body
+                .iter()
+                .find_map(|t| match t {
+                    BodyTerm::Assign { var: v, expr } if v == var => Some(expr.variables()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            let non_singleton = |pred: &Predicate| {
+                self.program
+                    .materialization(&pred.name)
+                    .map(|m| m.max_size != SizeBound::Rows(1))
+                    .unwrap_or(true)
+            };
+            if let Some(p) = candidates
+                .iter()
+                .find(|p| non_singleton(p) && assign_vars.iter().any(|v| binds(p, v)))
+            {
+                return Ok(p);
+            }
+        }
+        Ok(candidates[candidates.len() - 1])
+    }
+
+    /// Builds the `periodic` source element for a rule.
+    fn make_periodic(&self, rule: &Rule, pred: &Predicate) -> Result<Periodic, PlanError> {
+        if pred.args.len() < 3 {
+            return Err(PlanError::in_rule(
+                &rule.id,
+                "`periodic` requires at least (Node, EventId, Period) arguments",
+            ));
+        }
+        let period_value = match &pred.args[2] {
+            OExpr::Const(v) => v.clone(),
+            other => {
+                return Err(PlanError::in_rule(
+                    &rule.id,
+                    format!("`periodic` period must be a constant, found {other:?}"),
+                ))
+            }
+        };
+        let period = period_value.to_double().map_err(|_| {
+            PlanError::in_rule(&rule.id, "`periodic` period must be numeric")
+        })?;
+        let mut count = None;
+        let mut extra = Vec::new();
+        for arg in pred.args.iter().skip(3) {
+            match arg {
+                OExpr::Const(v) => {
+                    if count.is_none() {
+                        count = Some(v.to_int().map_err(|_| {
+                            PlanError::in_rule(&rule.id, "`periodic` count must be an integer")
+                        })? as u64);
+                    }
+                    extra.push(v.clone());
+                }
+                other => {
+                    return Err(PlanError::in_rule(
+                        &rule.id,
+                        format!("`periodic` extra arguments must be constants, found {other:?}"),
+                    ))
+                }
+            }
+        }
+        let mut periodic = Periodic::new("periodic", period, count)
+            .with_period_value(period_value)
+            .with_extra_args(extra);
+        if !self.opts.jitter_periodics {
+            periodic = periodic.without_phase_jitter();
+        }
+        Ok(periodic)
+    }
+}
+
+/// Conjunction of a non-empty list of boolean expressions.
+fn and_all(mut exprs: Vec<PExpr>) -> PExpr {
+    let mut acc = exprs.remove(0);
+    for e in exprs {
+        acc = PExpr::bin(BinOp::And, acc, e);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_overlog::compile_checked;
+
+    fn plan_src(src: &str) -> Result<Planned, PlanError> {
+        let program = compile_checked(src).expect("program should parse and validate");
+        plan(&program, &PlanOptions::new("n1", 7).without_jitter())
+    }
+
+    #[test]
+    fn plans_a_minimal_ping_program() {
+        let src = r#"
+            materialize(node, infinity, 1, keys(1)).
+            P1 ping@Y(Y, X, E) :- pingEvent@X(X, Y, E).
+            P2 pong@X(X, Y, E) :- ping@Y(Y, X, E).
+        "#;
+        let planned = plan_src(src).unwrap();
+        let desc = planned.engine.graph().describe();
+        assert!(desc.contains("Demux"));
+        assert!(desc.contains("NetOut"));
+        assert!(desc.contains("P1:head"));
+        assert!(desc.contains("P2:head"));
+    }
+
+    #[test]
+    fn plans_periodic_join_and_aggregate_rules() {
+        let src = r#"
+            materialize(member, 120, infinity, keys(2)).
+            materialize(sequence, infinity, 1, keys(1)).
+            R1 refreshEvent@X(X) :- periodic@X(X, E, 3).
+            R2 refreshSeq@X(X, NewSeq) :- refreshEvent@X(X), sequence@X(X, Seq), NewSeq := Seq + 1.
+            R3 sequence@X(X, NewS) :- refreshSeq@X(X, NewS).
+            P0 pingEvent@X(X, Y, E, max<R>) :- periodic@X(X, E, 2), member@X(X, Y, S, T, L), R := f_rand().
+            S1 memberCount@X(X, count<*>) :- member@X(X, A, S, T, L).
+        "#;
+        let planned = plan_src(src).unwrap();
+        let desc = planned.engine.graph().describe();
+        assert!(desc.contains("Periodic"));
+        assert!(desc.contains("R2:join:sequence"));
+        assert!(desc.contains("P0:agg:member"));
+        assert!(desc.contains("S1:tableagg:member"));
+        assert!(planned.catalog.is_table("member"));
+    }
+
+    #[test]
+    fn plans_delete_rules_to_delete_elements() {
+        let src = r#"
+            materialize(neighbor, infinity, infinity, keys(2)).
+            L3 delete neighbor@X(X, Y) :- deadNeighbor@X(X, Y).
+        "#;
+        let planned = plan_src(src).unwrap();
+        assert!(planned.engine.graph().describe().contains("Delete"));
+    }
+
+    #[test]
+    fn rejects_stream_stream_joins() {
+        let src = r#"
+            R1 out@X(X, Y) :- a@X(X, Y), b@X(X, Y).
+        "#;
+        let err = plan_src(src).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("stream-stream"), "{err}");
+    }
+
+    #[test]
+    fn rejects_delete_of_non_table() {
+        let src = r#"
+            R1 delete ghost@X(X) :- trigger@X(X).
+        "#;
+        let err = plan_src(src).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("not a materialized table"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_head_location_argument() {
+        let src = r#"
+            R1 out@Y(X) :- trigger@X(X, Y).
+        "#;
+        let err = plan_src(src).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("must appear among the head arguments"), "{err}");
+    }
+
+    #[test]
+    fn rejects_aggregate_without_table() {
+        let src = r#"
+            R1 out@X(X, count<*>) :- trigger@X(X, Y).
+        "#;
+        let err = plan_src(src).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("aggregate"), "{err}");
+    }
+
+    #[test]
+    fn watches_create_collectors() {
+        let src = r#"
+            P2 pong@X(X, Y, E) :- ping@Y(Y, X, E).
+        "#;
+        let program = compile_checked(src).unwrap();
+        let planned = plan(
+            &program,
+            &PlanOptions::new("n1", 7).watch("pong").without_jitter(),
+        )
+        .unwrap();
+        assert!(planned.collectors.contains_key("pong"));
+    }
+
+    #[test]
+    fn secondary_indices_are_created_for_join_columns() {
+        let src = r#"
+            materialize(member, 120, infinity, keys(2)).
+            R1 out@X(X, A) :- trigger@X(X, A), member@X(X, A, S, T, L).
+        "#;
+        let planned = plan_src(src).unwrap();
+        let table = planned.catalog.get("member").unwrap();
+        let indexes = table.lock().indexes();
+        assert!(indexes.contains(&vec![0, 1]), "indexes: {indexes:?}");
+    }
+}

@@ -1,0 +1,146 @@
+//! The element interface.
+
+use p2_pel::EvalContext;
+use p2_value::{SimTime, Tuple};
+
+/// A tuple leaving the node for another node's address.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outgoing {
+    /// Destination node address (resolved by the network substrate).
+    pub dst: String,
+    /// The tuple to deliver.
+    pub tuple: Tuple,
+}
+
+/// Execution context handed to an element while it processes a tuple,
+/// a timer or the start-up hook.
+///
+/// Elements communicate exclusively through this context: they emit tuples on
+/// their output ports, hand tuples destined for other nodes to the network,
+/// and schedule timers. The engine routes emissions to downstream input
+/// ports after the element returns (run-to-completion per element).
+pub struct ElementCtx<'a> {
+    now: SimTime,
+    eval: &'a mut EvalContext,
+    emissions: &'a mut Vec<(usize, Tuple)>,
+    outgoing: &'a mut Vec<Outgoing>,
+    timers: &'a mut Vec<(u64, SimTime)>,
+}
+
+impl<'a> ElementCtx<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        eval: &'a mut EvalContext,
+        emissions: &'a mut Vec<(usize, Tuple)>,
+        outgoing: &'a mut Vec<Outgoing>,
+        timers: &'a mut Vec<(u64, SimTime)>,
+    ) -> ElementCtx<'a> {
+        ElementCtx {
+            now,
+            eval,
+            emissions,
+            outgoing,
+            timers,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node-local PEL evaluation context (clock, RNG, local address).
+    pub fn eval(&mut self) -> &mut EvalContext {
+        self.eval
+    }
+
+    /// The local node's address.
+    pub fn local_addr(&self) -> String {
+        self.eval.local_addr_str().to_string()
+    }
+
+    /// Emits a tuple on the given output port.
+    pub fn emit(&mut self, port: usize, tuple: Tuple) {
+        self.emissions.push((port, tuple));
+    }
+
+    /// Hands a tuple to the network for delivery to `dst`.
+    pub fn send(&mut self, dst: impl Into<String>, tuple: Tuple) {
+        self.outgoing.push(Outgoing {
+            dst: dst.into(),
+            tuple,
+        });
+    }
+
+    /// Schedules a timer callback for this element after `delay`; the
+    /// element's [`Element::on_timer`] will be invoked with `token`.
+    pub fn schedule(&mut self, token: u64, delay: SimTime) {
+        self.timers.push((token, self.now + delay));
+    }
+}
+
+/// A node in the dataflow graph.
+///
+/// Elements are single-threaded and processed to completion: `push` is called
+/// with one tuple at a time and must not block. All effects go through the
+/// [`ElementCtx`].
+pub trait Element: Send {
+    /// Short class name used in graph dumps and statistics
+    /// (e.g. `"Join"`, `"Insert"`).
+    fn class(&self) -> &'static str;
+
+    /// Handles a tuple arriving on input `port`.
+    fn push(&mut self, port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>);
+
+    /// Handles a timer previously scheduled with [`ElementCtx::schedule`].
+    fn on_timer(&mut self, _token: u64, _ctx: &mut ElementCtx<'_>) {}
+
+    /// Called once when the engine starts, before any tuple is processed.
+    /// Elements use this to emit initial facts or schedule their first timer.
+    fn on_start(&mut self, _ctx: &mut ElementCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_value::TupleBuilder;
+
+    struct Echo;
+
+    impl Element for Echo {
+        fn class(&self) -> &'static str {
+            "Echo"
+        }
+
+        fn push(&mut self, port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+            ctx.emit(port, tuple.clone());
+            ctx.send("n2", tuple.clone());
+            ctx.schedule(7, SimTime::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn context_collects_effects() {
+        let mut eval = EvalContext::new("n1", 1);
+        let mut emissions = Vec::new();
+        let mut outgoing = Vec::new();
+        let mut timers = Vec::new();
+        let mut ctx = ElementCtx::new(
+            SimTime::from_secs(5),
+            &mut eval,
+            &mut emissions,
+            &mut outgoing,
+            &mut timers,
+        );
+        assert_eq!(ctx.local_addr(), "n1");
+        assert_eq!(ctx.now(), SimTime::from_secs(5));
+
+        let t = TupleBuilder::new("ping").push("n1").build();
+        Echo.push(3, &t, &mut ctx);
+
+        assert_eq!(emissions, vec![(3, TupleBuilder::new("ping").push("n1").build())]);
+        assert_eq!(outgoing.len(), 1);
+        assert_eq!(outgoing[0].dst, "n2");
+        assert_eq!(timers, vec![(7, SimTime::from_secs(6))]);
+    }
+}

@@ -1,0 +1,212 @@
+//! General-purpose "glue" elements: demultiplexer, queue, and tap.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use p2_value::{SimTime, Tuple};
+
+use crate::element::{Element, ElementCtx};
+
+/// Routes tuples to an output port chosen by tuple name.
+///
+/// Tuple name `names[i]` goes to output port `i`; tuples whose name is not
+/// listed go to the *default port* `names.len()`. This is the big
+/// classifier at the entry of every planned dataflow (Figure 2's
+/// "Demux (tuple name)").
+pub struct Demux {
+    names: Vec<String>,
+}
+
+impl Demux {
+    /// Creates a demux for the given tuple names.
+    pub fn new(names: Vec<String>) -> Demux {
+        Demux { names }
+    }
+
+    /// The port unmatched tuples are emitted on.
+    pub fn default_port(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The port a given tuple name is routed to, if it is known.
+    pub fn port_for(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+impl Element for Demux {
+    fn class(&self) -> &'static str {
+        "Demux"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let port = self
+            .port_for(tuple.name())
+            .unwrap_or_else(|| self.default_port());
+        ctx.emit(port, tuple.clone());
+    }
+}
+
+/// A pass-through queue.
+///
+/// In the original system queues decouple push and pull sections of the
+/// graph and block when full. In this reproduction intra-node flow control
+/// is not needed (the engine drains a FIFO work queue), so `Queue` simply
+/// forwards tuples while keeping occupancy statistics, and optionally
+/// enforces a drop-tail capacity so that planner-generated graphs still have
+/// an explicit queueing point in front of the network.
+pub struct Queue {
+    capacity: Option<usize>,
+    in_flight: usize,
+    /// Number of tuples dropped because the queue was full.
+    pub dropped: u64,
+    /// Highest occupancy observed.
+    pub high_watermark: usize,
+}
+
+impl Queue {
+    /// Creates a queue with an optional drop-tail capacity.
+    pub fn new(capacity: Option<usize>) -> Queue {
+        Queue {
+            capacity,
+            in_flight: 0,
+            dropped: 0,
+            high_watermark: 0,
+        }
+    }
+}
+
+impl Element for Queue {
+    fn class(&self) -> &'static str {
+        "Queue"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        if let Some(cap) = self.capacity {
+            if self.in_flight >= cap {
+                self.dropped += 1;
+                return;
+            }
+        }
+        // The engine processes the emission immediately after this element
+        // returns, so occupancy is transient; we still track a watermark for
+        // benchmarks.
+        self.in_flight += 1;
+        self.high_watermark = self.high_watermark.max(self.in_flight);
+        ctx.emit(0, tuple.clone());
+        self.in_flight -= 1;
+    }
+}
+
+/// Shared buffer filled by a [`Collector`] element.
+pub type CollectorHandle = Arc<Mutex<Vec<(SimTime, Tuple)>>>;
+
+/// A tap that records every tuple it sees (with its arrival time) into a
+/// shared buffer and forwards it unchanged.
+///
+/// The experiment harness uses collectors to observe `lookupResults`
+/// tuples; the paper's logging facility (§3.5) plays the same role.
+pub struct Collector {
+    buffer: CollectorHandle,
+}
+
+impl Collector {
+    /// Creates a collector and returns it along with the shared buffer.
+    pub fn new() -> (Collector, CollectorHandle) {
+        let buffer: CollectorHandle = Arc::new(Mutex::new(Vec::new()));
+        (
+            Collector {
+                buffer: buffer.clone(),
+            },
+            buffer,
+        )
+    }
+
+    /// Creates a collector writing into an existing buffer.
+    pub fn with_buffer(buffer: CollectorHandle) -> Collector {
+        Collector { buffer }
+    }
+}
+
+impl Element for Collector {
+    fn class(&self) -> &'static str {
+        "Collector"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        self.buffer.lock().push((ctx.now(), tuple.clone()));
+        ctx.emit(0, tuple.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, Graph, Route};
+    use p2_value::TupleBuilder;
+
+    #[test]
+    fn demux_routes_by_name() {
+        let mut g = Graph::new();
+        let d = g.add(
+            "demux",
+            Box::new(Demux::new(vec!["lookup".into(), "succ".into()])),
+        );
+        let (c_lookup, lookup_buf) = Collector::new();
+        let (c_succ, succ_buf) = Collector::new();
+        let (c_other, other_buf) = Collector::new();
+        let l = g.add("lookups", Box::new(c_lookup));
+        let s = g.add("succs", Box::new(c_succ));
+        let o = g.add("other", Box::new(c_other));
+        g.connect(d, 0, l, 0);
+        g.connect(d, 1, s, 0);
+        g.connect(d, 2, o, 0);
+
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route { element: d, port: 0 });
+        engine.start(SimTime::ZERO);
+        for name in ["lookup", "succ", "succ", "ping"] {
+            engine.deliver(TupleBuilder::new(name).push("n1").build(), SimTime::ZERO);
+        }
+        assert_eq!(lookup_buf.lock().len(), 1);
+        assert_eq!(succ_buf.lock().len(), 2);
+        assert_eq!(other_buf.lock().len(), 1);
+    }
+
+    #[test]
+    fn demux_port_queries() {
+        let d = Demux::new(vec!["a".into(), "b".into()]);
+        assert_eq!(d.port_for("b"), Some(1));
+        assert_eq!(d.port_for("zzz"), None);
+        assert_eq!(d.default_port(), 2);
+    }
+
+    #[test]
+    fn queue_forwards_and_counts() {
+        let mut g = Graph::new();
+        let q = g.add("queue", Box::new(Queue::new(None)));
+        let (c, buf) = Collector::new();
+        let c = g.add("tap", Box::new(c));
+        g.connect(q, 0, c, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route { element: q, port: 0 });
+        for i in 0..5i64 {
+            engine.deliver(TupleBuilder::new("x").push(i).build(), SimTime::ZERO);
+        }
+        assert_eq!(buf.lock().len(), 5);
+    }
+
+    #[test]
+    fn collector_records_arrival_time() {
+        let mut g = Graph::new();
+        let (c, buf) = Collector::new();
+        let c = g.add("tap", Box::new(c));
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route { element: c, port: 0 });
+        engine.deliver(TupleBuilder::new("x").build(), SimTime::from_secs(9));
+        let entries = buf.lock();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, SimTime::from_secs(9));
+    }
+}

@@ -1,0 +1,92 @@
+//! Network egress element.
+
+use p2_value::Tuple;
+
+use crate::element::{Element, ElementCtx};
+
+/// Routes derived tuples by their destination address.
+///
+/// The planner arranges for every head tuple to carry its destination
+/// address (the head's location specifier) in a known field. `NetOut`
+/// compares that field with the local address: local tuples wrap around on
+/// port 0 (back into the node's main demultiplexer, like the "local" arc of
+/// Figure 2), remote tuples are handed to the network substrate.
+pub struct NetOut {
+    dest_field: usize,
+    /// Tuples dropped because the destination field was missing or empty.
+    pub malformed: u64,
+}
+
+impl NetOut {
+    /// Creates a network egress element reading the destination from
+    /// `dest_field`.
+    pub fn new(dest_field: usize) -> NetOut {
+        NetOut {
+            dest_field,
+            malformed: 0,
+        }
+    }
+}
+
+impl Element for NetOut {
+    fn class(&self) -> &'static str {
+        "NetOut"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let Ok(dest) = tuple.get(self.dest_field) else {
+            self.malformed += 1;
+            return;
+        };
+        let dest = dest.to_display_string();
+        if dest.is_empty() || dest == "null" {
+            self.malformed += 1;
+            return;
+        }
+        if dest == ctx.local_addr() {
+            ctx.emit(0, tuple.clone());
+        } else {
+            ctx.send(dest, tuple.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Collector;
+    use crate::engine::{Engine, Graph, Route};
+    use p2_value::{SimTime, TupleBuilder};
+
+    #[test]
+    fn local_wraps_and_remote_sends() {
+        let mut g = Graph::new();
+        let n = g.add("netout", Box::new(NetOut::new(0)));
+        let (c, local_buf) = Collector::new();
+        let c = g.add("local", Box::new(c));
+        g.connect(n, 0, c, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route { element: n, port: 0 });
+
+        let local = TupleBuilder::new("succ").push("n1").push(5i64).build();
+        let out = engine.deliver(local, SimTime::ZERO);
+        assert!(out.is_empty());
+        assert_eq!(local_buf.lock().len(), 1);
+
+        let remote = TupleBuilder::new("succ").push("n7").push(5i64).build();
+        let out = engine.deliver(remote, SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, "n7");
+        assert_eq!(local_buf.lock().len(), 1);
+    }
+
+    #[test]
+    fn malformed_destinations_are_dropped() {
+        let mut g = Graph::new();
+        let n = g.add("netout", Box::new(NetOut::new(5)));
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route { element: n, port: 0 });
+        let out = engine.deliver(TupleBuilder::new("x").push("n1").build(), SimTime::ZERO);
+        assert!(out.is_empty());
+    }
+}

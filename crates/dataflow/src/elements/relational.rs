@@ -1,0 +1,285 @@
+//! Relational operator elements: equijoin, anti-join, selection, projection.
+
+use p2_pel::Program;
+use p2_table::TableRef;
+use p2_value::{Tuple, Value};
+
+use crate::element::{Element, ElementCtx};
+
+/// Stream × table equijoin.
+///
+/// The arriving tuple (the *stream* side, typically an event) probes the
+/// materialized table on equality of the configured key columns; every match
+/// is emitted as the concatenation `stream ++ table_row` under `out_name`.
+/// This is the workhorse of OverLog rule bodies — "the unification of
+/// variables in the body of a rule is implemented by an equality-based
+/// relational join" (§2.4).
+pub struct Join {
+    table: TableRef,
+    /// Pairs of (stream field, table field) that must be equal.
+    key: Vec<(usize, usize)>,
+    out_name: String,
+}
+
+impl Join {
+    /// Creates an equijoin against `table` on the given key pairs.
+    pub fn new(table: TableRef, key: Vec<(usize, usize)>, out_name: impl Into<String>) -> Join {
+        Join {
+            table,
+            key,
+            out_name: out_name.into(),
+        }
+    }
+}
+
+impl Element for Join {
+    fn class(&self) -> &'static str {
+        "Join"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let probe: Option<Vec<Value>> = self
+            .key
+            .iter()
+            .map(|(s, _)| tuple.get(*s).ok().cloned())
+            .collect();
+        let Some(probe) = probe else { return };
+        let table_cols: Vec<usize> = self.key.iter().map(|(_, t)| *t).collect();
+        let matches = if table_cols.is_empty() {
+            self.table.lock().scan()
+        } else {
+            self.table.lock().lookup(&table_cols, &probe)
+        };
+        for row in matches {
+            ctx.emit(0, tuple.join(&self.out_name, &row));
+        }
+    }
+}
+
+/// Stream × table anti-join (negation).
+///
+/// Forwards the arriving tuple unchanged when **no** table row matches the
+/// key columns; used to implement `not member(...)`-style body terms.
+pub struct AntiJoin {
+    table: TableRef,
+    key: Vec<(usize, usize)>,
+}
+
+impl AntiJoin {
+    /// Creates an anti-join against `table` on the given key pairs.
+    pub fn new(table: TableRef, key: Vec<(usize, usize)>) -> AntiJoin {
+        AntiJoin { table, key }
+    }
+}
+
+impl Element for AntiJoin {
+    fn class(&self) -> &'static str {
+        "AntiJoin"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let probe: Option<Vec<Value>> = self
+            .key
+            .iter()
+            .map(|(s, _)| tuple.get(*s).ok().cloned())
+            .collect();
+        let Some(probe) = probe else { return };
+        let table_cols: Vec<usize> = self.key.iter().map(|(_, t)| *t).collect();
+        let any_match = if table_cols.is_empty() {
+            !self.table.lock().is_empty()
+        } else {
+            !self.table.lock().lookup(&table_cols, &probe).is_empty()
+        };
+        if !any_match {
+            ctx.emit(0, tuple.clone());
+        }
+    }
+}
+
+/// Selection: forwards tuples for which the PEL filter evaluates to true.
+///
+/// Evaluation errors drop the tuple (a malformed remote tuple must not take
+/// the node down); the number of such drops is recorded.
+pub struct Select {
+    filter: Program,
+    /// Tuples dropped because the filter raised an evaluation error.
+    pub eval_errors: u64,
+}
+
+impl Select {
+    /// Creates a selection from a compiled PEL predicate.
+    pub fn new(filter: Program) -> Select {
+        Select {
+            filter,
+            eval_errors: 0,
+        }
+    }
+}
+
+impl Element for Select {
+    fn class(&self) -> &'static str {
+        "Select"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        match self.filter.eval_bool(tuple, ctx.eval()) {
+            Ok(true) => ctx.emit(0, tuple.clone()),
+            Ok(false) => {}
+            Err(_) => self.eval_errors += 1,
+        }
+    }
+}
+
+/// Projection: builds the head tuple by evaluating one PEL program per output
+/// field ("a 'project' element implements a superset of a purely logical
+/// database projection operator by running a PEL program on each incoming
+/// tuple", §3.4).
+pub struct Project {
+    out_name: String,
+    fields: Vec<Program>,
+    /// Tuples dropped because a field program raised an evaluation error.
+    pub eval_errors: u64,
+}
+
+impl Project {
+    /// Creates a projection producing tuples named `out_name`.
+    pub fn new(out_name: impl Into<String>, fields: Vec<Program>) -> Project {
+        Project {
+            out_name: out_name.into(),
+            fields,
+            eval_errors: 0,
+        }
+    }
+}
+
+impl Element for Project {
+    fn class(&self) -> &'static str {
+        "Project"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let mut values = Vec::with_capacity(self.fields.len());
+        for program in &self.fields {
+            match program.eval(tuple, ctx.eval()) {
+                Ok(v) => values.push(v),
+                Err(_) => {
+                    self.eval_errors += 1;
+                    return;
+                }
+            }
+        }
+        ctx.emit(0, Tuple::new(&self.out_name, values));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Collector;
+    use crate::engine::{Engine, Graph, Route};
+    use p2_pel::{BinOp, Expr};
+    use p2_table::{Table, TableSpec};
+    use p2_value::{SimTime, TupleBuilder};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn succ_table() -> TableRef {
+        let mut t = Table::new(TableSpec::new("succ", vec![1]));
+        t.add_index(vec![0]);
+        for (s, si) in [(5i64, "n5"), (9, "n9")] {
+            t.insert(
+                TupleBuilder::new("succ").push("n1").push(s).push(si).build(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        Arc::new(Mutex::new(t))
+    }
+
+    fn run_one(element: Box<dyn Element>, input: Tuple) -> Vec<Tuple> {
+        let mut g = Graph::new();
+        let e = g.add("elt", element);
+        let (c, buf) = Collector::new();
+        let c = g.add("tap", Box::new(c));
+        g.connect(e, 0, c, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route { element: e, port: 0 });
+        engine.deliver(input, SimTime::ZERO);
+        let out = buf.lock().iter().map(|(_, t)| t.clone()).collect();
+        out
+    }
+
+    #[test]
+    fn join_emits_one_tuple_per_match() {
+        let table = succ_table();
+        let join = Join::new(table, vec![(0, 0)], "ev_succ");
+        let input = TupleBuilder::new("ev").push("n1").push(42i64).build();
+        let out = run_one(Box::new(join), input);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|t| t.name() == "ev_succ" && t.arity() == 5));
+        // Stream fields come first, then the table row.
+        assert_eq!(out[0].field(1), &Value::Int(42));
+    }
+
+    #[test]
+    fn join_with_no_match_emits_nothing() {
+        let table = succ_table();
+        let join = Join::new(table, vec![(0, 0)], "ev_succ");
+        let input = TupleBuilder::new("ev").push("n2").build();
+        assert!(run_one(Box::new(join), input).is_empty());
+    }
+
+    #[test]
+    fn join_on_empty_key_is_cartesian_with_table() {
+        let table = succ_table();
+        let join = Join::new(table, vec![], "ev_succ");
+        let input = TupleBuilder::new("ev").push("whatever").build();
+        assert_eq!(run_one(Box::new(join), input).len(), 2);
+    }
+
+    #[test]
+    fn antijoin_forwards_only_non_matching() {
+        let table = succ_table();
+        let anti = AntiJoin::new(table.clone(), vec![(0, 0)]);
+        let hit = TupleBuilder::new("ev").push("n1").build();
+        assert!(run_one(Box::new(anti), hit).is_empty());
+
+        let anti = AntiJoin::new(table, vec![(0, 0)]);
+        let miss = TupleBuilder::new("ev").push("n7").build();
+        assert_eq!(run_one(Box::new(anti), miss).len(), 1);
+    }
+
+    #[test]
+    fn select_filters_and_survives_errors() {
+        let filter = Program::compile(&Expr::bin(BinOp::Gt, Expr::Field(1), Expr::int(5)));
+        let sel = Select::new(filter);
+        let keep = TupleBuilder::new("x").push("n1").push(9i64).build();
+        assert_eq!(run_one(Box::new(sel), keep).len(), 1);
+
+        let filter = Program::compile(&Expr::bin(BinOp::Gt, Expr::Field(1), Expr::int(5)));
+        let sel = Select::new(filter);
+        let drop = TupleBuilder::new("x").push("n1").push(3i64).build();
+        assert!(run_one(Box::new(sel), drop).is_empty());
+
+        // A tuple that is too short triggers an evaluation error and is
+        // dropped without panicking.
+        let filter = Program::compile(&Expr::bin(BinOp::Gt, Expr::Field(1), Expr::int(5)));
+        let sel = Select::new(filter);
+        let short = TupleBuilder::new("x").push("n1").build();
+        assert!(run_one(Box::new(sel), short).is_empty());
+    }
+
+    #[test]
+    fn project_reorders_and_computes() {
+        let fields = vec![
+            Program::compile(&Expr::Field(2)),
+            Program::compile(&Expr::bin(BinOp::Add, Expr::Field(1), Expr::int(1))),
+        ];
+        let proj = Project::new("out", fields);
+        let input = TupleBuilder::new("in").push("n1").push(10i64).push("n9").build();
+        let out = run_one(Box::new(proj), input);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name(), "out");
+        assert_eq!(out[0].values(), &[Value::str("n9"), Value::Int(11)]);
+    }
+}

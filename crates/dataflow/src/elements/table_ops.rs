@@ -1,0 +1,440 @@
+//! Elements bridging the dataflow graph and stored tables: insert, delete,
+//! per-event aggregation probes, and materialized table aggregates.
+
+use std::collections::HashMap;
+
+use p2_pel::Program;
+use p2_table::{AggFunc, TableRef};
+use p2_value::{Tuple, Value};
+
+use crate::element::{Element, ElementCtx};
+
+/// Stores arriving tuples into a table and re-emits them as *deltas*.
+///
+/// Every accepted insert (new row, replacement, or soft-state refresh) is
+/// forwarded on port 0 so that downstream rules triggered by updates to this
+/// table (e.g. `bestSucc :- succ, ...`) see the change. Rows evicted by the
+/// size bound are emitted on port 1 for optional handling.
+pub struct Insert {
+    table: TableRef,
+    /// Number of inserts that failed (malformed tuples).
+    pub errors: u64,
+}
+
+impl Insert {
+    /// Creates an insert bridge for `table`.
+    pub fn new(table: TableRef) -> Insert {
+        Insert { table, errors: 0 }
+    }
+}
+
+impl Element for Insert {
+    fn class(&self) -> &'static str {
+        "Insert"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let result = self.table.lock().insert(tuple.clone(), ctx.now());
+        match result {
+            Ok((_outcome, evicted)) => {
+                ctx.emit(0, tuple.clone());
+                for e in evicted {
+                    ctx.emit(1, e);
+                }
+            }
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+/// Removes the arriving tuple from a table (OverLog `delete` rules).
+///
+/// Removed rows are emitted on port 0 so deletions can drive further
+/// processing (e.g. re-computing a materialized aggregate).
+pub struct Delete {
+    table: TableRef,
+    /// Number of deletes that failed (malformed tuples).
+    pub errors: u64,
+}
+
+impl Delete {
+    /// Creates a delete bridge for `table`.
+    pub fn new(table: TableRef) -> Delete {
+        Delete { table, errors: 0 }
+    }
+}
+
+impl Element for Delete {
+    fn class(&self) -> &'static str {
+        "Delete"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let result = self.table.lock().delete_matching(tuple);
+        match result {
+            Ok(removed) => {
+                for r in removed {
+                    ctx.emit(0, r);
+                }
+            }
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+/// Per-event aggregation over a table (Figure 2's "Agg min<D> on finger").
+///
+/// For every arriving (partially joined) event tuple, the probe scans the
+/// configured table; each candidate row is concatenated onto the event
+/// tuple, the optional `filter` decides whether it contributes, and
+/// `agg_expr` computes the contributed value.
+///
+/// The emitted tuple is `event ++ witness_row ++ [aggregate]`:
+///
+/// * for `min`/`max` the witness is the table row achieving the extremum
+///   (first one scanned on ties), which gives OverLog its "choose the member
+///   associated with the maximum random number" / "first address of a finger
+///   with that minimum distance" semantics — the head of the rule may refer
+///   to columns of the winning row;
+/// * for `count`/`sum`/`avg` there is no meaningful witness, so the row part
+///   is null-padded; `count` and `sum` emit a zero even when no row
+///   contributes (Narada's `membersFound ... count<*>` relies on seeing 0),
+///   while `min`/`max`/`avg` emit nothing.
+pub struct AggProbe {
+    table: TableRef,
+    table_arity: usize,
+    func: AggFunc,
+    filter: Option<Program>,
+    agg_expr: Program,
+    out_name: String,
+}
+
+impl AggProbe {
+    /// Creates an aggregation probe over a table whose rows have
+    /// `table_arity` fields.
+    pub fn new(
+        table: TableRef,
+        table_arity: usize,
+        func: AggFunc,
+        filter: Option<Program>,
+        agg_expr: Program,
+        out_name: impl Into<String>,
+    ) -> AggProbe {
+        AggProbe {
+            table,
+            table_arity,
+            func,
+            filter,
+            agg_expr,
+            out_name: out_name.into(),
+        }
+    }
+}
+
+impl Element for AggProbe {
+    fn class(&self) -> &'static str {
+        "AggProbe"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let rows = self.table.lock().scan();
+        let mut contributions: Vec<Value> = Vec::new();
+        let mut witness: Option<(Value, Tuple)> = None;
+        for row in rows {
+            let joined = tuple.join(&self.out_name, &row);
+            if let Some(filter) = &self.filter {
+                match filter.eval_bool(&joined, ctx.eval()) {
+                    Ok(true) => {}
+                    _ => continue,
+                }
+            }
+            let Ok(v) = self.agg_expr.eval(&joined, ctx.eval()) else {
+                continue;
+            };
+            let better = match (&witness, self.func) {
+                (None, _) => true,
+                (Some((best, _)), AggFunc::Min) => v < *best,
+                (Some((best, _)), AggFunc::Max) => v > *best,
+                _ => false,
+            };
+            if better {
+                witness = Some((v.clone(), row));
+            }
+            contributions.push(v);
+        }
+        let aggregate = match self.func.apply(&contributions) {
+            Ok(Some(v)) => v,
+            _ => return,
+        };
+        // min/max/avg over an empty contribution set produce no tuple at all;
+        // count/sum legitimately produce 0.
+        if contributions.is_empty() && !matches!(self.func, AggFunc::Count | AggFunc::Sum) {
+            return;
+        }
+        let row_part: Vec<Value> = match (self.func, witness) {
+            (AggFunc::Min | AggFunc::Max, Some((_, row))) => row.values().to_vec(),
+            _ => vec![Value::Null; self.table_arity],
+        };
+        let mut extra = row_part;
+        extra.push(aggregate);
+        ctx.emit(0, tuple.extended(extra).renamed(&self.out_name));
+    }
+}
+
+/// Materialized aggregate over a table, re-emitted whenever it changes.
+///
+/// Implements rules whose body consists solely of a table and whose head
+/// carries an aggregate (`succCount(NI, count<*>) :- succ(NI, S, SI)`):
+/// whenever the underlying table changes (the planner routes that table's
+/// insert and delete deltas here), the aggregate is recomputed per group and
+/// groups whose value changed are emitted as `out_name(group..., agg)`.
+pub struct TableAgg {
+    table: TableRef,
+    func: AggFunc,
+    agg_col: Option<usize>,
+    group_cols: Vec<usize>,
+    out_name: String,
+    last: HashMap<Vec<Value>, Value>,
+}
+
+impl TableAgg {
+    /// Creates a materialized table aggregate.
+    pub fn new(
+        table: TableRef,
+        func: AggFunc,
+        agg_col: Option<usize>,
+        group_cols: Vec<usize>,
+        out_name: impl Into<String>,
+    ) -> TableAgg {
+        TableAgg {
+            table,
+            func,
+            agg_col,
+            group_cols,
+            out_name: out_name.into(),
+            last: HashMap::new(),
+        }
+    }
+
+    fn recompute(&mut self, ctx: &mut ElementCtx<'_>) {
+        let groups = match self
+            .table
+            .lock()
+            .aggregate(self.func, self.agg_col, &self.group_cols)
+        {
+            Ok(g) => g,
+            Err(_) => return,
+        };
+        for (key, agg) in groups {
+            let changed = self.last.get(&key) != Some(&agg);
+            if changed {
+                self.last.insert(key.clone(), agg.clone());
+                let mut values = key;
+                values.push(agg);
+                ctx.emit(0, Tuple::new(&self.out_name, values));
+            }
+        }
+    }
+}
+
+impl Element for TableAgg {
+    fn class(&self) -> &'static str {
+        "TableAgg"
+    }
+
+    fn push(&mut self, _port: usize, _tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        self.recompute(ctx);
+    }
+
+    fn on_start(&mut self, ctx: &mut ElementCtx<'_>) {
+        self.recompute(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Collector;
+    use crate::engine::{Engine, Graph, Route};
+    use p2_pel::{BinOp, Expr, IntervalKind};
+    use p2_table::{Table, TableSpec};
+    use p2_value::{SimTime, TupleBuilder, Uint160};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn table(spec: TableSpec, rows: Vec<Tuple>) -> TableRef {
+        let mut t = Table::new(spec);
+        for r in rows {
+            t.insert(r, SimTime::ZERO).unwrap();
+        }
+        Arc::new(Mutex::new(t))
+    }
+
+    fn run_one(element: Box<dyn Element>, inputs: Vec<Tuple>) -> Vec<Tuple> {
+        let mut g = Graph::new();
+        let e = g.add("elt", element);
+        let (c, buf) = Collector::new();
+        let c = g.add("tap", Box::new(c));
+        g.connect(e, 0, c, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route { element: e, port: 0 });
+        engine.start(SimTime::ZERO);
+        for i in inputs {
+            engine.deliver(i, SimTime::from_secs(1));
+        }
+        let out = buf.lock().iter().map(|(_, t)| t.clone()).collect();
+        out
+    }
+
+    #[test]
+    fn insert_stores_and_emits_delta() {
+        let t = table(TableSpec::new("succ", vec![1]), vec![]);
+        let insert = Insert::new(t.clone());
+        let tup = TupleBuilder::new("succ").push("n1").push(5i64).push("n5").build();
+        let out = run_one(Box::new(insert), vec![tup.clone()]);
+        assert_eq!(out, vec![tup]);
+        assert_eq!(t.lock().len(), 1);
+    }
+
+    #[test]
+    fn insert_emits_evictions_on_port_one() {
+        let t = table(TableSpec::new("succ", vec![1]).with_max_size(1), vec![]);
+        let mut g = Graph::new();
+        let e = g.add("insert", Box::new(Insert::new(t.clone())));
+        let (c, evicted_buf) = Collector::new();
+        let c = g.add("evicted", Box::new(c));
+        g.connect(e, 1, c, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route { element: e, port: 0 });
+        for s in [5i64, 9] {
+            let tup = TupleBuilder::new("succ").push("n1").push(s).push("x").build();
+            engine.deliver(tup, SimTime::from_secs(s as u64));
+        }
+        assert_eq!(t.lock().len(), 1);
+        assert_eq!(evicted_buf.lock().len(), 1);
+    }
+
+    #[test]
+    fn delete_removes_and_emits() {
+        let row = TupleBuilder::new("neighbor").push("n1").push("n2").build();
+        let t = table(TableSpec::new("neighbor", vec![1]), vec![row.clone()]);
+        let delete = Delete::new(t.clone());
+        let out = run_one(Box::new(delete), vec![row.clone()]);
+        assert_eq!(out, vec![row]);
+        assert!(t.lock().is_empty());
+    }
+
+    #[test]
+    fn agg_probe_min_distance_like_chord_lookup() {
+        // finger(NI, I, B, BI) rows; the event is lookup(NI, K, R, E) and we
+        // aggregate D := K - B - 1 over fingers with B in (N, K).
+        let fingers = vec![
+            TupleBuilder::new("finger").push("n1").push(0i64).push(Value::Id(Uint160::from_u64(10))).push("n10").build(),
+            TupleBuilder::new("finger").push("n1").push(1i64).push(Value::Id(Uint160::from_u64(40))).push("n40").build(),
+            TupleBuilder::new("finger").push("n1").push(2i64).push(Value::Id(Uint160::from_u64(90))).push("n90").build(),
+        ];
+        let t = table(TableSpec::new("finger", vec![2]), fingers);
+        // Event tuple layout: (NI, K, R, E, N) — K at 1, N at 4.
+        // Joined layout appends finger fields: I at 6, B at 7, BI at 8.
+        let filter = Program::compile(&Expr::Interval {
+            kind: IntervalKind::OpenOpen,
+            value: Box::new(Expr::Field(7)),
+            low: Box::new(Expr::Field(4)),
+            high: Box::new(Expr::Field(1)),
+        });
+        let agg = Program::compile(&Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Sub, Expr::Field(1), Expr::Field(7)),
+            Expr::int(1),
+        ));
+        let probe = AggProbe::new(t, 4, AggFunc::Min, Some(filter), agg, "bestLookupDist");
+        let event = TupleBuilder::new("lookup_node")
+            .push("n1")
+            .push(Value::Id(Uint160::from_u64(70)))
+            .push("n1")
+            .push(123i64)
+            .push(Value::Id(Uint160::from_u64(5)))
+            .build();
+        let out = run_one(Box::new(probe), vec![event]);
+        assert_eq!(out.len(), 1);
+        let got = &out[0];
+        assert_eq!(got.name(), "bestLookupDist");
+        // event (5 fields) ++ witness finger row (4 fields) ++ aggregate.
+        assert_eq!(got.arity(), 10);
+        // Fingers 10 and 40 are in (5, 70); min distance is 70-40-1 = 29,
+        // achieved by the finger pointing at n40.
+        assert_eq!(got.field(9), &Value::Id(Uint160::from_u64(29)));
+        assert_eq!(got.field(8), &Value::str("n40"));
+        assert_eq!(got.field(7), &Value::Id(Uint160::from_u64(40)));
+    }
+
+    #[test]
+    fn agg_probe_max_picks_witness_row() {
+        // Narada P0: pick the member with the maximum random number. Here we
+        // use a deterministic "score" column instead of f_rand().
+        let members = vec![
+            TupleBuilder::new("member").push("n1").push("m1").push(3i64).build(),
+            TupleBuilder::new("member").push("n1").push("m2").push(9i64).build(),
+            TupleBuilder::new("member").push("n1").push("m3").push(5i64).build(),
+        ];
+        let t = table(TableSpec::new("member", vec![2]), members);
+        // Event: (X, E); joined row starts at field 2, score at field 4.
+        let agg = Program::compile(&Expr::Field(4));
+        let probe = AggProbe::new(t, 3, AggFunc::Max, None, agg, "pingEvent");
+        let event = TupleBuilder::new("periodic").push("n1").push(77i64).build();
+        let out = run_one(Box::new(probe), vec![event]);
+        assert_eq!(out.len(), 1);
+        // Witness row is m2 (score 9).
+        assert_eq!(out[0].field(3), &Value::str("m2"));
+        assert_eq!(out[0].field(5), &Value::Int(9));
+    }
+
+    #[test]
+    fn agg_probe_count_emits_zero_and_min_does_not() {
+        let t = table(TableSpec::new("member", vec![1]), vec![]);
+        let agg = Program::compile(&Expr::Field(0));
+        let probe = AggProbe::new(t.clone(), 3, AggFunc::Count, None, agg, "membersFound");
+        let event = TupleBuilder::new("refresh").push("n1").build();
+        let out = run_one(Box::new(probe), vec![event.clone()]);
+        assert_eq!(out.len(), 1);
+        // event (1) ++ null row padding (3) ++ count.
+        assert_eq!(out[0].arity(), 5);
+        assert_eq!(out[0].field(1), &Value::Null);
+        assert_eq!(out[0].field(4), &Value::Int(0));
+
+        let agg = Program::compile(&Expr::Field(0));
+        let probe = AggProbe::new(t, 3, AggFunc::Min, None, agg, "best");
+        assert!(run_one(Box::new(probe), vec![event]).is_empty());
+    }
+
+    #[test]
+    fn table_agg_emits_only_on_change() {
+        let t = table(TableSpec::new("succ", vec![1]), vec![]);
+        let mut g = Graph::new();
+        let ins = g.add("insert", Box::new(Insert::new(t.clone())));
+        let agg = g.add(
+            "count",
+            Box::new(TableAgg::new(t.clone(), AggFunc::Count, None, vec![0], "succCount")),
+        );
+        let (c, buf) = Collector::new();
+        let c = g.add("tap", Box::new(c));
+        g.connect(ins, 0, agg, 0);
+        g.connect(agg, 0, c, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route { element: ins, port: 0 });
+        engine.start(SimTime::ZERO);
+
+        let s1 = TupleBuilder::new("succ").push("n1").push(5i64).push("n5").build();
+        engine.deliver(s1.clone(), SimTime::from_secs(1));
+        // Re-inserting the identical tuple does not change the count, so no
+        // new aggregate is emitted.
+        engine.deliver(s1, SimTime::from_secs(2));
+        let s2 = TupleBuilder::new("succ").push("n1").push(9i64).push("n9").build();
+        engine.deliver(s2, SimTime::from_secs(3));
+
+        let emitted: Vec<Tuple> = buf.lock().iter().map(|(_, t)| t.clone()).collect();
+        assert_eq!(emitted.len(), 2);
+        assert_eq!(emitted[0].values(), &[Value::str("n1"), Value::Int(1)]);
+        assert_eq!(emitted[1].values(), &[Value::str("n1"), Value::Int(2)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! The P2 dataflow framework.
+//!
+//! P2 executes overlay specifications as graphs of small dataflow *elements*
+//! in the style of the Click modular router: each element has input and
+//! output ports, tuples flow along the edges, and a per-node engine drives
+//! the graph to completion for every external event (timer firing or packet
+//! arrival), mirroring the single-threaded, run-to-completion `libasync`
+//! loop of the original system.
+//!
+//! The crate provides:
+//!
+//! * [`Element`] and [`ElementCtx`] — the element interface;
+//! * [`Engine`] and [`Graph`] — per-node execution: an explicit work queue
+//!   (push semantics), a timer wheel, network send collection, and runtime
+//!   statistics;
+//! * [`elements`] — the element library used by the OverLog planner:
+//!   demultiplexers, queues, equijoins, anti-joins, selections, projections,
+//!   per-event and materialized aggregates, table insert/delete bridges,
+//!   periodic event sources, network output, and debugging taps.
+//!
+//! Deviation from the 2005 C++ implementation: the original uses push *and*
+//! pull ports with continuation callbacks for flow control; here every edge
+//! is push-driven from an explicit FIFO work queue and back-pressure is
+//! exercised at the network boundary by the simulator (see DESIGN.md §5.1).
+
+pub mod element;
+pub mod elements;
+pub mod engine;
+
+pub use element::{Element, ElementCtx, Outgoing};
+pub use engine::{Engine, EngineStats, Graph, Route};

@@ -1,0 +1,111 @@
+//! Churn generation following Rhea et al. ("Handling Churn in a DHT"), the
+//! methodology cited by §5.2 of the paper.
+//!
+//! Node session times are drawn from an exponential distribution with the
+//! configured mean; when a session ends the node crashes and is immediately
+//! replaced by a fresh node at the same address, which rejoins through the
+//! landmark. The population therefore stays constant while membership turns
+//! over, exactly as in the paper's churn experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Schedule of upcoming churn events for a fixed node population.
+#[derive(Debug)]
+pub struct ChurnSchedule {
+    mean_session_secs: f64,
+    rng: SmallRng,
+    /// (next death time in seconds, node index); the landmark (index 0) is
+    /// never churned so rejoining nodes always have a working entry point.
+    deaths: Vec<(f64, usize)>,
+}
+
+impl ChurnSchedule {
+    /// Creates a schedule for `n` nodes with the given mean session time.
+    pub fn new(n: usize, mean_session_secs: f64, start_secs: f64, seed: u64) -> ChurnSchedule {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut deaths = Vec::new();
+        for i in 1..n {
+            let lifetime = sample_exponential(&mut rng, mean_session_secs);
+            deaths.push((start_secs + lifetime, i));
+        }
+        deaths.sort_by(|a, b| a.0.total_cmp(&b.0));
+        ChurnSchedule {
+            mean_session_secs,
+            rng,
+            deaths,
+        }
+    }
+
+    /// The time (in seconds) of the next churn event, if any.
+    pub fn next_event_at(&self) -> Option<f64> {
+        self.deaths.first().map(|(t, _)| *t)
+    }
+
+    /// Pops the next churn event, returning `(time, node index)` and
+    /// scheduling that node's next death (after it rejoins).
+    pub fn pop(&mut self) -> Option<(f64, usize)> {
+        if self.deaths.is_empty() {
+            return None;
+        }
+        let (at, idx) = self.deaths.remove(0);
+        let next_lifetime = sample_exponential(&mut self.rng, self.mean_session_secs);
+        let next = (at + next_lifetime, idx);
+        let pos = self
+            .deaths
+            .binary_search_by(|(t, _)| t.total_cmp(&next.0))
+            .unwrap_or_else(|p| p);
+        self.deaths.insert(pos, next);
+        Some((at, idx))
+    }
+
+    /// Expected number of churn events per second across the population.
+    pub fn expected_rate(&self, population: usize) -> f64 {
+        if self.mean_session_secs <= 0.0 {
+            return 0.0;
+        }
+        population.saturating_sub(1) as f64 / self.mean_session_secs
+    }
+}
+
+fn sample_exponential(rng: &mut SmallRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_time_ordered_and_continuous() {
+        let mut schedule = ChurnSchedule::new(50, 600.0, 100.0, 7);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let (at, idx) = schedule.pop().unwrap();
+            assert!(at >= last, "events must be non-decreasing in time");
+            assert!(at >= 100.0);
+            assert!(idx >= 1 && idx < 50, "landmark must never churn");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn mean_lifetime_approximates_the_configured_session_time() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mean = 480.0;
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_exponential(&mut rng, mean)).collect();
+        let observed = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(
+            (observed - mean).abs() / mean < 0.05,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn expected_rate_scales_inversely_with_session_time() {
+        let short = ChurnSchedule::new(100, 8.0 * 60.0, 0.0, 1);
+        let long = ChurnSchedule::new(100, 128.0 * 60.0, 0.0, 1);
+        assert!(short.expected_rate(100) > long.expected_rate(100) * 10.0);
+    }
+}

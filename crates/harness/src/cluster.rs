@@ -1,0 +1,467 @@
+//! Whole-overlay cluster bring-up, workload generation and measurement.
+
+use p2_netsim::{NetworkConfig, Simulator};
+use p2_overlays::{chord, P2Host};
+use p2_baseline::{BaselineChord, BaselineConfig};
+use p2_value::{SimTime, Tuple, TupleBuilder, Uint160, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A lookup in flight, identified by its origin and event identifier.
+#[derive(Debug, Clone)]
+pub struct LookupHandle {
+    /// Node at which the lookup was issued (and to which the result
+    /// returns).
+    pub origin: String,
+    /// The looked-up key.
+    pub key: Uint160,
+    /// Event identifier correlating request and response.
+    pub event: i64,
+    /// Virtual time at which the lookup was injected.
+    pub issued_at: SimTime,
+}
+
+/// The observed completion of a lookup.
+#[derive(Debug, Clone)]
+pub struct LookupOutcome {
+    /// Address reported as the key's owner (successor of the key).
+    pub owner: String,
+    /// Seconds from issue to the result arriving back at the origin.
+    pub latency: f64,
+    /// Number of overlay hops the request traversed.
+    pub hops: usize,
+}
+
+fn node_addr(i: usize) -> String {
+    format!("node{i}:11111")
+}
+
+/// The correct owner of `key` among `nodes`: the node whose identifier is
+/// the key's clockwise successor on the ring.
+pub fn expected_owner(key: Uint160, nodes: &[String]) -> Option<String> {
+    if nodes.is_empty() {
+        return None;
+    }
+    let mut ids: Vec<(Uint160, &String)> = nodes.iter().map(|a| (chord::node_id(a), a)).collect();
+    ids.sort();
+    for (id, a) in &ids {
+        if key <= *id {
+            return Some((*a).clone());
+        }
+    }
+    Some(ids[0].1.clone())
+}
+
+/// A cluster of declarative (P2) Chord nodes running on the simulated
+/// Emulab-like topology.
+pub struct ChordCluster {
+    /// The underlying simulator; exposed for stats access and advanced use.
+    pub sim: Simulator<P2Host>,
+    addrs: Vec<String>,
+    seed: u64,
+    next_event: i64,
+    rng: SmallRng,
+}
+
+impl ChordCluster {
+    /// Builds and boots an `n`-node ring: node 0 is the bootstrap landmark,
+    /// every other node joins through it. Joins are staggered and re-issued
+    /// until every node has learned a successor, then the ring is left to
+    /// stabilize for `warmup_secs` of virtual time.
+    pub fn build(n: usize, warmup_secs: u64, seed: u64) -> ChordCluster {
+        let mut sim = Simulator::new(NetworkConfig::emulab_default(seed));
+        let addrs: Vec<String> = (0..n).map(node_addr).collect();
+        for (i, addr) in addrs.iter().enumerate() {
+            let landmark = if i == 0 { None } else { Some(addrs[0].as_str()) };
+            let host = chord::build_node(addr, landmark, seed.wrapping_add(i as u64), true)
+                .expect("chord node must plan");
+            sim.add_node(addr.clone(), host);
+        }
+        let mut cluster = ChordCluster {
+            sim,
+            addrs,
+            seed,
+            next_event: 1_000_000,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5EED),
+        };
+        cluster.boot(warmup_secs);
+        cluster
+    }
+
+    fn boot(&mut self, warmup_secs: u64) {
+        let addrs = self.addrs.clone();
+        for addr in &addrs {
+            self.sim.start_node(addr);
+            let event = self.fresh_event();
+            self.sim.inject(addr, chord::join_tuple(addr, event));
+            self.sim.run_for(SimTime::from_millis(500));
+        }
+        // Re-issue joins for stragglers (the `join` tuple only lives 10 s).
+        for _ in 0..12 {
+            self.sim.run_for(SimTime::from_secs(20));
+            let mut all_joined = true;
+            for addr in &addrs {
+                if !self.is_joined(addr) {
+                    all_joined = false;
+                    let event = self.fresh_event();
+                    self.sim.inject(addr, chord::join_tuple(addr, event));
+                }
+            }
+            if all_joined {
+                break;
+            }
+        }
+        self.sim.run_for(SimTime::from_secs(warmup_secs));
+        self.clear_observations();
+        self.sim.reset_stats();
+    }
+
+    fn fresh_event(&mut self) -> i64 {
+        self.next_event += 1;
+        self.next_event
+    }
+
+    /// All node addresses.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Addresses of nodes currently up.
+    pub fn up_addrs(&self) -> Vec<String> {
+        self.sim.up_addresses()
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Advances virtual time.
+    pub fn run_for(&mut self, secs: f64) {
+        self.sim.run_for(SimTime::from_secs_f64(secs));
+    }
+
+    /// True if the node has learned a best successor.
+    pub fn is_joined(&self, addr: &str) -> bool {
+        self.sim
+            .node(addr)
+            .map(|h| {
+                h.node()
+                    .table("bestSucc")
+                    .map(|t| !t.lock().is_empty())
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false)
+    }
+
+    /// The node's current best-successor address, if any.
+    pub fn best_successor(&self, addr: &str) -> Option<String> {
+        let host = self.sim.node(addr)?;
+        let table = host.node().table("bestSucc")?;
+        let rows = table.lock().scan();
+        rows.first().map(|t| t.field(2).to_display_string())
+    }
+
+    /// Fraction of up nodes whose best successor is the correct ring
+    /// successor among up nodes (a ring-consistency health metric).
+    pub fn ring_correctness(&self) -> f64 {
+        let up = self.up_addrs();
+        if up.len() < 2 {
+            return 1.0;
+        }
+        let mut ids: Vec<(Uint160, String)> =
+            up.iter().map(|a| (chord::node_id(a), a.clone())).collect();
+        ids.sort();
+        let correct = up
+            .iter()
+            .filter(|a| {
+                let pos = ids.iter().position(|(_, x)| x == *a).unwrap();
+                let expect = &ids[(pos + 1) % ids.len()].1;
+                self.best_successor(a).as_deref() == Some(expect.as_str())
+            })
+            .count();
+        correct as f64 / up.len() as f64
+    }
+
+    /// Issues a lookup for `key` at `origin`.
+    pub fn issue_lookup_from(&mut self, origin: &str, key: Uint160) -> LookupHandle {
+        let event = self.fresh_event();
+        let handle = LookupHandle {
+            origin: origin.to_string(),
+            key,
+            event,
+            issued_at: self.sim.now(),
+        };
+        self.sim
+            .inject(origin, chord::lookup_tuple(origin, key, origin, event));
+        handle
+    }
+
+    /// Issues a lookup for a uniformly random key from a random up node.
+    pub fn issue_random_lookup(&mut self) -> LookupHandle {
+        let up = self.up_addrs();
+        let origin = up[self.rng.gen_range(0..up.len())].clone();
+        let key = Uint160::hash_of(&self.rng.gen::<[u8; 16]>());
+        self.issue_lookup_from(&origin, key)
+    }
+
+    /// Looks for the completion of a previously issued lookup.
+    pub fn outcome(&self, handle: &LookupHandle) -> Option<LookupOutcome> {
+        let host = self.sim.node(&handle.origin)?;
+        let results = host.node().collector("lookupResults")?;
+        let results = results.lock();
+        let (arrived_at, tuple) = results
+            .iter()
+            .find(|(_, t)| t.field(4) == &Value::Int(handle.event))?;
+        let owner = tuple.field(3).to_display_string();
+        let latency = arrived_at.saturating_sub(handle.issued_at).as_secs_f64();
+        Some(LookupOutcome {
+            owner,
+            latency,
+            hops: self.count_hops(handle.event),
+        })
+    }
+
+    /// Counts how many overlay hops a lookup event traversed by counting the
+    /// nodes that observed the `lookup` tuple (the origin's own injection is
+    /// excluded).
+    fn count_hops(&self, event: i64) -> usize {
+        let mut seen = 0usize;
+        for addr in &self.addrs {
+            if let Some(host) = self.sim.node(addr) {
+                if let Some(collector) = host.node().collector("lookup") {
+                    seen += collector
+                        .lock()
+                        .iter()
+                        .filter(|(_, t)| t.field(3) == &Value::Int(event))
+                        .count();
+                }
+            }
+        }
+        seen.saturating_sub(1)
+    }
+
+    /// Clears all observation buffers (lookup and result taps) to bound
+    /// memory during long experiments.
+    pub fn clear_observations(&mut self) {
+        for addr in &self.addrs {
+            if let Some(host) = self.sim.node(addr) {
+                for name in ["lookup", "lookupResults"] {
+                    if let Some(c) = host.node().collector(name) {
+                        c.lock().clear();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crashes a node (fail-stop).
+    pub fn crash(&mut self, addr: &str) {
+        self.sim.take_down(addr);
+    }
+
+    /// Replaces a crashed node with a fresh instance that rejoins through
+    /// the landmark.
+    pub fn rejoin(&mut self, addr: &str) {
+        self.seed = self.seed.wrapping_add(0x9E37_79B9);
+        let landmark = if addr == self.addrs[0] {
+            None
+        } else {
+            Some(self.addrs[0].as_str())
+        };
+        let host = chord::build_node(addr, landmark, self.seed, true).expect("chord node plans");
+        self.sim.replace_node(addr, host);
+        let event = self.fresh_event();
+        self.sim.inject(addr, chord::join_tuple(addr, event));
+    }
+
+    /// Average bytes of soft state per up node (working-set style metric).
+    pub fn mean_resident_bytes(&self) -> f64 {
+        let up = self.up_addrs();
+        if up.is_empty() {
+            return 0.0;
+        }
+        let total: usize = up
+            .iter()
+            .filter_map(|a| self.sim.node(a))
+            .map(|h| h.node().resident_table_bytes())
+            .sum();
+        total as f64 / up.len() as f64
+    }
+}
+
+/// A cluster of hand-coded baseline Chord nodes on the same substrate.
+pub struct BaselineCluster {
+    /// The underlying simulator.
+    pub sim: Simulator<BaselineChord>,
+    addrs: Vec<String>,
+    next_event: i64,
+    rng: SmallRng,
+}
+
+impl BaselineCluster {
+    /// Builds and boots an `n`-node baseline ring (same bring-up protocol as
+    /// [`ChordCluster::build`]).
+    pub fn build(n: usize, warmup_secs: u64, seed: u64) -> BaselineCluster {
+        let mut sim = Simulator::new(NetworkConfig::emulab_default(seed));
+        let addrs: Vec<String> = (0..n).map(node_addr).collect();
+        for (i, addr) in addrs.iter().enumerate() {
+            let landmark = if i == 0 { None } else { Some(addrs[0].as_str()) };
+            let node = BaselineChord::new(
+                addr,
+                landmark,
+                seed.wrapping_add(1000 + i as u64),
+                BaselineConfig::default(),
+            );
+            sim.add_node(addr.clone(), node);
+        }
+        let mut cluster = BaselineCluster {
+            sim,
+            addrs,
+            next_event: 5_000_000,
+            rng: SmallRng::seed_from_u64(seed ^ 0xBA5E),
+        };
+        for addr in cluster.addrs.clone() {
+            cluster.sim.start_node(&addr);
+            cluster.sim.run_for(SimTime::from_millis(500));
+        }
+        cluster.sim.run_for(SimTime::from_secs(warmup_secs));
+        cluster.sim.reset_stats();
+        cluster
+    }
+
+    /// All node addresses.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Advances virtual time.
+    pub fn run_for(&mut self, secs: f64) {
+        self.sim.run_for(SimTime::from_secs_f64(secs));
+    }
+
+    /// Fraction of nodes whose first successor is the correct ring
+    /// successor.
+    pub fn ring_correctness(&self) -> f64 {
+        let up = self.sim.up_addresses();
+        if up.len() < 2 {
+            return 1.0;
+        }
+        let mut ids: Vec<(Uint160, String)> =
+            up.iter().map(|a| (chord::node_id(a), a.clone())).collect();
+        ids.sort();
+        let correct = up
+            .iter()
+            .filter(|a| {
+                let pos = ids.iter().position(|(_, x)| x == *a).unwrap();
+                let expect = &ids[(pos + 1) % ids.len()].1;
+                self.sim
+                    .node(a)
+                    .map(|n| n.successors().first() == Some(expect))
+                    .unwrap_or(false)
+            })
+            .count();
+        correct as f64 / up.len() as f64
+    }
+
+    /// Issues a lookup for `key` from `origin`.
+    pub fn issue_lookup_from(&mut self, origin: &str, key: Uint160) -> LookupHandle {
+        self.next_event += 1;
+        let event = self.next_event;
+        let handle = LookupHandle {
+            origin: origin.to_string(),
+            key,
+            event,
+            issued_at: self.sim.now(),
+        };
+        let tuple: Tuple = TupleBuilder::new("lookup")
+            .push(origin)
+            .push(Value::Id(key))
+            .push(origin)
+            .push(event)
+            .build();
+        self.sim.inject(origin, tuple);
+        handle
+    }
+
+    /// Issues a lookup for a uniformly random key from a random up node.
+    pub fn issue_random_lookup(&mut self) -> LookupHandle {
+        let up = self.sim.up_addresses();
+        let origin = up[self.rng.gen_range(0..up.len())].clone();
+        let key = Uint160::hash_of(&self.rng.gen::<[u8; 16]>());
+        self.issue_lookup_from(&origin, key)
+    }
+
+    /// Looks for the completion of a previously issued lookup (hop counts
+    /// are not tracked for the baseline).
+    pub fn outcome(&self, handle: &LookupHandle) -> Option<LookupOutcome> {
+        let node = self.sim.node(&handle.origin)?;
+        let (arrived_at, tuple) = node
+            .lookup_results()
+            .iter()
+            .find(|(_, t)| t.field(4) == &Value::Int(handle.event))?;
+        Some(LookupOutcome {
+            owner: tuple.field(3).to_display_string(),
+            latency: arrived_at.saturating_sub(handle.issued_at).as_secs_f64(),
+            hops: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2_cluster_forms_and_answers_lookups() {
+        let mut cluster = ChordCluster::build(6, 90, 11);
+        assert!(cluster.ring_correctness() > 0.99, "ring did not form");
+        let key = Uint160::hash_of(b"some object");
+        let origin = cluster.addrs()[2].clone();
+        let handle = cluster.issue_lookup_from(&origin, key);
+        cluster.run_for(8.0);
+        let outcome = cluster.outcome(&handle).expect("lookup completes");
+        assert_eq!(
+            Some(outcome.owner.clone()),
+            expected_owner(key, &cluster.up_addrs())
+        );
+        assert!(outcome.latency > 0.0 && outcome.latency < 8.0);
+        assert!(cluster.mean_resident_bytes() > 0.0);
+        cluster.clear_observations();
+    }
+
+    #[test]
+    fn baseline_cluster_forms_and_answers_lookups() {
+        let mut cluster = BaselineCluster::build(6, 150, 13);
+        assert!(cluster.ring_correctness() > 0.99, "baseline ring did not form");
+        let mut handles = Vec::new();
+        for _ in 0..5 {
+            handles.push(cluster.issue_random_lookup());
+            cluster.run_for(3.0);
+        }
+        cluster.run_for(5.0);
+        let completed = handles.iter().filter(|h| cluster.outcome(h).is_some()).count();
+        assert!(completed >= 4, "only {completed}/5 baseline lookups completed");
+    }
+
+    #[test]
+    fn expected_owner_is_clockwise_successor() {
+        let nodes: Vec<String> = (0..4).map(node_addr).collect();
+        let mut ids: Vec<Uint160> = nodes.iter().map(|a| chord::node_id(a)).collect();
+        ids.sort();
+        // A key just below the second-lowest id belongs to that node.
+        let key = ids[1].wrapping_sub(Uint160::ONE);
+        let owner = expected_owner(key, &nodes).unwrap();
+        assert_eq!(chord::node_id(&owner), ids[1]);
+    }
+}

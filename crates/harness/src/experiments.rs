@@ -1,0 +1,502 @@
+//! The experiments of the paper's evaluation section (§5), one function per
+//! figure. See DESIGN.md's experiment index (E1–E9) for the mapping.
+
+use serde::Serialize;
+
+use p2_value::Uint160;
+
+use crate::churn::ChurnSchedule;
+use crate::cluster::{expected_owner, BaselineCluster, ChordCluster, LookupHandle};
+use crate::metrics::{Cdf, Histogram};
+
+/// Parameters for the static-network experiments (Figure 3).
+#[derive(Debug, Clone, Serialize)]
+pub struct StaticParams {
+    /// Network sizes to evaluate (the paper uses 100, 300, 500).
+    pub sizes: Vec<usize>,
+    /// Number of lookups per size.
+    pub lookups: usize,
+    /// Warm-up time after all nodes joined, in virtual seconds (lets finger
+    /// tables converge).
+    pub warmup_secs: u64,
+    /// Idle window over which maintenance bandwidth is measured.
+    pub idle_measure_secs: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl StaticParams {
+    /// A scaled-down configuration that finishes quickly (used by tests and
+    /// the default `cargo bench` run).
+    pub fn quick() -> StaticParams {
+        StaticParams {
+            sizes: vec![20, 40],
+            lookups: 30,
+            warmup_secs: 240,
+            idle_measure_secs: 120,
+            seed: 42,
+        }
+    }
+
+    /// The paper-scale configuration (100/300/500 nodes).
+    pub fn paper() -> StaticParams {
+        StaticParams {
+            sizes: vec![100, 300, 500],
+            lookups: 300,
+            warmup_secs: 900,
+            idle_measure_secs: 300,
+            seed: 42,
+        }
+    }
+}
+
+/// Results for one network size of the static experiments (Figure 3 rows).
+#[derive(Debug, Clone, Serialize)]
+pub struct StaticChordResult {
+    /// Network size.
+    pub n: usize,
+    /// Fraction of nodes whose best successor is ring-correct after warm-up.
+    pub ring_correctness: f64,
+    /// Mean lookup hop count (expected ≈ log2(N)/2).
+    pub mean_hops: f64,
+    /// Hop-count distribution: `(hops, relative frequency)` (Figure 3(i)).
+    pub hop_frequencies: Vec<(usize, f64)>,
+    /// Per-node maintenance bandwidth while idle, in bytes/s (Figure 3(ii)).
+    pub maintenance_bw_per_node: f64,
+    /// Lookup latency CDF points `(seconds, cumulative fraction)`
+    /// (Figure 3(iii)).
+    pub latency_cdf: Vec<(f64, f64)>,
+    /// Median lookup latency in seconds.
+    pub median_latency: f64,
+    /// Fraction of lookups completing within 6 seconds (the paper reports
+    /// 96% for the 500-node network).
+    pub within_6s: f64,
+    /// Fraction of issued lookups that completed at all.
+    pub completion_rate: f64,
+    /// Fraction of completed lookups that reported the correct owner.
+    pub correctness: f64,
+    /// Mean resident soft-state bytes per node.
+    pub mean_resident_bytes: f64,
+}
+
+/// Runs the static-network experiments (E1–E3: Figure 3 (i)–(iii)).
+pub fn static_chord(params: &StaticParams) -> Vec<StaticChordResult> {
+    params
+        .sizes
+        .iter()
+        .map(|&n| static_chord_single(n, params))
+        .collect()
+}
+
+fn static_chord_single(n: usize, params: &StaticParams) -> StaticChordResult {
+    let mut cluster = ChordCluster::build(n, params.warmup_secs, params.seed);
+    let ring_correctness = cluster.ring_correctness();
+
+    // --- Maintenance bandwidth over an idle window (no lookups).
+    cluster.sim.reset_stats();
+    cluster.run_for(params.idle_measure_secs as f64);
+    let maintenance_bw_per_node = cluster.sim.stats().maintenance_bytes() as f64
+        / params.idle_measure_secs as f64
+        / n as f64;
+    cluster.clear_observations();
+
+    // --- Uniform lookup workload.
+    let mut handles: Vec<LookupHandle> = Vec::with_capacity(params.lookups);
+    for _ in 0..params.lookups {
+        handles.push(cluster.issue_random_lookup());
+        cluster.run_for(1.0);
+    }
+    cluster.run_for(15.0);
+
+    let mut hops = Histogram::new();
+    let mut latency = Cdf::new();
+    let mut completed = 0usize;
+    let mut correct = 0usize;
+    let up = cluster.up_addrs();
+    for handle in &handles {
+        if let Some(outcome) = cluster.outcome(handle) {
+            completed += 1;
+            hops.add(outcome.hops);
+            latency.add(outcome.latency);
+            if Some(outcome.owner.clone()) == expected_owner(handle.key, &up) {
+                correct += 1;
+            }
+        }
+    }
+
+    StaticChordResult {
+        n,
+        ring_correctness,
+        mean_hops: hops.mean(),
+        hop_frequencies: hops.frequencies(),
+        maintenance_bw_per_node,
+        latency_cdf: latency.points(),
+        median_latency: latency.quantile(0.5),
+        within_6s: latency.fraction_at_or_below(6.0),
+        completion_rate: completed as f64 / handles.len().max(1) as f64,
+        correctness: if completed == 0 {
+            0.0
+        } else {
+            correct as f64 / completed as f64
+        },
+        mean_resident_bytes: cluster.mean_resident_bytes(),
+    }
+}
+
+/// Parameters for the churn experiments (Figure 4).
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnParams {
+    /// Network size (the paper uses 400).
+    pub n: usize,
+    /// Mean session times to evaluate, in minutes (the paper uses 8–128).
+    pub session_minutes: Vec<f64>,
+    /// Warm-up before churn starts, in virtual seconds.
+    pub warmup_secs: u64,
+    /// Duration of the churn phase, in virtual seconds (the paper churns for
+    /// 20 minutes).
+    pub churn_secs: u64,
+    /// Interval between consistency probes, in seconds.
+    pub probe_interval_secs: u64,
+    /// Number of nodes that look up the same key in each consistency probe.
+    pub probes_per_round: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl ChurnParams {
+    /// A scaled-down configuration that finishes quickly.
+    pub fn quick() -> ChurnParams {
+        ChurnParams {
+            n: 24,
+            session_minutes: vec![8.0, 64.0],
+            warmup_secs: 300,
+            churn_secs: 300,
+            probe_interval_secs: 30,
+            probes_per_round: 5,
+            seed: 99,
+        }
+    }
+
+    /// The paper-scale configuration (400 nodes, 20-minute churn, session
+    /// times 8–128 minutes).
+    pub fn paper() -> ChurnParams {
+        ChurnParams {
+            n: 400,
+            session_minutes: vec![8.0, 16.0, 32.0, 64.0, 128.0],
+            warmup_secs: 1200,
+            churn_secs: 1200,
+            probe_interval_secs: 20,
+            probes_per_round: 10,
+            seed: 99,
+        }
+    }
+}
+
+/// Results for one churn rate (Figure 4 series).
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnResult {
+    /// Mean session time in minutes.
+    pub session_minutes: f64,
+    /// Per-node maintenance bandwidth during churn, bytes/s (Figure 4(i)).
+    pub maintenance_bw_per_node: f64,
+    /// Consistency CDF points `(consistent fraction, cumulative fraction of
+    /// probes)` (Figure 4(ii)).
+    pub consistency_cdf: Vec<(f64, f64)>,
+    /// Mean consistent fraction across probes.
+    pub mean_consistency: f64,
+    /// Fraction of probes that were at least 99% consistent.
+    pub fully_consistent_fraction: f64,
+    /// Lookup latency CDF under churn `(seconds, cumulative fraction)`
+    /// (Figure 4(iii)).
+    pub latency_cdf: Vec<(f64, f64)>,
+    /// Median lookup latency under churn, seconds.
+    pub median_latency: f64,
+    /// Fraction of issued probe lookups that completed.
+    pub completion_rate: f64,
+}
+
+/// Runs the churn experiments (E4–E6: Figure 4 (i)–(iii)).
+pub fn churn_chord(params: &ChurnParams) -> Vec<ChurnResult> {
+    params
+        .session_minutes
+        .iter()
+        .map(|&m| churn_chord_single(m, params))
+        .collect()
+}
+
+fn churn_chord_single(session_minutes: f64, params: &ChurnParams) -> ChurnResult {
+    let mut cluster = ChordCluster::build(params.n, params.warmup_secs, params.seed);
+    let start = cluster.now().as_secs_f64();
+    let end = start + params.churn_secs as f64;
+    let mut schedule = ChurnSchedule::new(
+        params.n,
+        session_minutes * 60.0,
+        start,
+        params.seed ^ 0xC0FFEE,
+    );
+    cluster.sim.reset_stats();
+    cluster.clear_observations();
+
+    let mut consistency = Cdf::new();
+    let mut latency = Cdf::new();
+    let mut issued = 0usize;
+    let mut completed = 0usize;
+
+    let mut next_probe = start + params.probe_interval_secs as f64;
+    let mut outstanding: Vec<(Uint160, Vec<LookupHandle>)> = Vec::new();
+    let mut rng_key = params.seed;
+
+    while cluster.now().as_secs_f64() < end {
+        let now = cluster.now().as_secs_f64();
+        let next_churn = schedule.next_event_at().unwrap_or(end).min(end);
+        let next_event = next_churn.min(next_probe).min(end);
+        if next_event > now {
+            cluster.run_for(next_event - now);
+        }
+
+        if schedule.next_event_at().map(|t| t <= cluster.now().as_secs_f64() + 1e-9) == Some(true) {
+            if let Some((_, idx)) = schedule.pop() {
+                let addr = cluster.addrs()[idx].clone();
+                cluster.crash(&addr);
+                cluster.rejoin(&addr);
+            }
+        }
+
+        if cluster.now().as_secs_f64() + 1e-9 >= next_probe {
+            // Harvest the previous round of probes before issuing new ones.
+            harvest_probes(&cluster, &mut outstanding, &mut consistency, &mut latency, &mut completed);
+            cluster.clear_observations();
+            rng_key = rng_key.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = Uint160::hash_of(&rng_key.to_be_bytes());
+            let up = cluster.up_addrs();
+            let mut handles = Vec::new();
+            for i in 0..params.probes_per_round.min(up.len()) {
+                let origin = up[(rng_key as usize + i * 7919) % up.len()].clone();
+                handles.push(cluster.issue_lookup_from(&origin, key));
+                issued += 1;
+            }
+            outstanding.push((key, handles));
+            next_probe += params.probe_interval_secs as f64;
+        }
+    }
+    cluster.run_for(15.0);
+    harvest_probes(&cluster, &mut outstanding, &mut consistency, &mut latency, &mut completed);
+
+    let maintenance_bw_per_node = cluster.sim.stats().maintenance_bytes() as f64
+        / params.churn_secs as f64
+        / params.n as f64;
+
+    ChurnResult {
+        session_minutes,
+        maintenance_bw_per_node,
+        consistency_cdf: consistency.points(),
+        mean_consistency: consistency.mean(),
+        fully_consistent_fraction: 1.0 - consistency.fraction_at_or_below(0.989),
+        latency_cdf: latency.points(),
+        median_latency: latency.quantile(0.5),
+        completion_rate: if issued == 0 {
+            0.0
+        } else {
+            completed as f64 / issued as f64
+        },
+    }
+}
+
+/// Scores outstanding consistency probes: each probe round looked up the
+/// same key from several nodes; the round's consistent fraction is the share
+/// of issued probes that returned the majority answer (the Bamboo
+/// methodology used by the paper).
+fn harvest_probes(
+    cluster: &ChordCluster,
+    outstanding: &mut Vec<(Uint160, Vec<LookupHandle>)>,
+    consistency: &mut Cdf,
+    latency: &mut Cdf,
+    completed: &mut usize,
+) {
+    for (_key, handles) in outstanding.drain(..) {
+        let mut answers: Vec<String> = Vec::new();
+        for h in &handles {
+            if let Some(outcome) = cluster.outcome(h) {
+                *completed += 1;
+                latency.add(outcome.latency);
+                answers.push(outcome.owner);
+            }
+        }
+        if handles.is_empty() {
+            continue;
+        }
+        let majority = answers
+            .iter()
+            .map(|a| (a, answers.iter().filter(|b| *b == a).count()))
+            .max_by_key(|(_, c)| *c)
+            .map(|(a, c)| (a.clone(), c));
+        let consistent = match majority {
+            Some((_, count)) => count as f64 / handles.len() as f64,
+            None => 0.0,
+        };
+        consistency.add(consistent);
+    }
+}
+
+/// The specification-compactness comparison (E7, §1/§2.3/§4 claims).
+#[derive(Debug, Clone, Serialize)]
+pub struct CompactnessReport {
+    /// Rules in our executable Chord specification.
+    pub chord_rules: usize,
+    /// Base-fact clauses in our Chord specification.
+    pub chord_facts: usize,
+    /// Rules in our Narada mesh specification.
+    pub narada_rules: usize,
+    /// Rules in the latency-monitor overlay (§2.3's P0–P3).
+    pub monitor_rules: usize,
+    /// Rules in the gossip overlay.
+    pub gossip_rules: usize,
+    /// Lines of Rust in the hand-coded baseline Chord (comparison point).
+    pub baseline_chord_loc: usize,
+    /// The paper's quoted figure for Chord ("47 rules").
+    pub paper_chord_rules: usize,
+    /// The paper's quoted figure for the Narada mesh ("16 rules").
+    pub paper_narada_rules: usize,
+    /// The paper's quoted figure for MACEDON's Chord ("more than 320
+    /// statements").
+    pub macedon_chord_statements: usize,
+}
+
+/// Computes the compactness report from the shipped artifacts.
+pub fn compactness() -> CompactnessReport {
+    let baseline_src = include_str!("../../baseline/src/chord.rs");
+    let baseline_chord_loc = baseline_src
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with("//") && !t.starts_with("///") && !t.starts_with("//!")
+        })
+        .count();
+    CompactnessReport {
+        chord_rules: p2_overlays::chord::rule_count(),
+        chord_facts: p2_overlays::chord::fact_count(),
+        narada_rules: p2_overlays::narada::rule_count(),
+        monitor_rules: p2_overlays::monitor::rule_count(),
+        gossip_rules: p2_overlays::gossip::rule_count(),
+        baseline_chord_loc,
+        paper_chord_rules: 47,
+        paper_narada_rules: 16,
+        macedon_chord_statements: 320,
+    }
+}
+
+/// Results of the declarative-vs-hand-coded comparison (E9).
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineCompareResult {
+    /// Network size used.
+    pub n: usize,
+    /// Ring correctness of the declarative implementation after warm-up.
+    pub p2_ring_correctness: f64,
+    /// Ring correctness of the hand-coded baseline after warm-up.
+    pub baseline_ring_correctness: f64,
+    /// Median lookup latency (s) of the declarative implementation.
+    pub p2_median_latency: f64,
+    /// Median lookup latency (s) of the baseline.
+    pub baseline_median_latency: f64,
+    /// Per-node maintenance bandwidth (bytes/s) of the declarative
+    /// implementation.
+    pub p2_maintenance_bw: f64,
+    /// Per-node maintenance bandwidth (bytes/s) of the baseline.
+    pub baseline_maintenance_bw: f64,
+    /// Lookup completion rate of the declarative implementation.
+    pub p2_completion: f64,
+    /// Lookup completion rate of the baseline.
+    pub baseline_completion: f64,
+}
+
+/// Runs the baseline comparison on identical topology and workload (E9).
+pub fn baseline_compare(n: usize, lookups: usize, warmup_secs: u64, seed: u64) -> BaselineCompareResult {
+    // Declarative side.
+    let mut p2 = ChordCluster::build(n, warmup_secs, seed);
+    let p2_ring = p2.ring_correctness();
+    p2.sim.reset_stats();
+    p2.run_for(120.0);
+    let p2_bw = p2.sim.stats().maintenance_bytes() as f64 / 120.0 / n as f64;
+    let mut p2_latency = Cdf::new();
+    let mut p2_completed = 0usize;
+    let mut handles = Vec::new();
+    for _ in 0..lookups {
+        handles.push(p2.issue_random_lookup());
+        p2.run_for(1.0);
+    }
+    p2.run_for(15.0);
+    for h in &handles {
+        if let Some(o) = p2.outcome(h) {
+            p2_completed += 1;
+            p2_latency.add(o.latency);
+        }
+    }
+
+    // Hand-coded side.
+    let mut base = BaselineCluster::build(n, warmup_secs, seed);
+    let base_ring = base.ring_correctness();
+    base.sim.reset_stats();
+    base.run_for(120.0);
+    let base_bw = base.sim.stats().maintenance_bytes() as f64 / 120.0 / n as f64;
+    let mut base_latency = Cdf::new();
+    let mut base_completed = 0usize;
+    let mut handles = Vec::new();
+    for _ in 0..lookups {
+        handles.push(base.issue_random_lookup());
+        base.run_for(1.0);
+    }
+    base.run_for(15.0);
+    for h in &handles {
+        if let Some(o) = base.outcome(h) {
+            base_completed += 1;
+            base_latency.add(o.latency);
+        }
+    }
+
+    BaselineCompareResult {
+        n,
+        p2_ring_correctness: p2_ring,
+        baseline_ring_correctness: base_ring,
+        p2_median_latency: p2_latency.quantile(0.5),
+        baseline_median_latency: base_latency.quantile(0.5),
+        p2_maintenance_bw: p2_bw,
+        baseline_maintenance_bw: base_bw,
+        p2_completion: p2_completed as f64 / lookups.max(1) as f64,
+        baseline_completion: base_completed as f64 / lookups.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compactness_report_matches_shipped_programs() {
+        let report = compactness();
+        assert_eq!(report.chord_rules + report.chord_facts, 47);
+        assert_eq!(report.narada_rules, 16);
+        assert!(report.baseline_chord_loc > 300);
+        assert_eq!(report.paper_chord_rules, 47);
+        // The headline claim: the declarative spec is more than an order of
+        // magnitude smaller than the hand-coded implementation.
+        assert!(report.baseline_chord_loc > 5 * report.chord_rules);
+    }
+
+    #[test]
+    fn quick_static_experiment_produces_sane_numbers() {
+        let mut params = StaticParams::quick();
+        params.sizes = vec![12];
+        params.lookups = 15;
+        params.warmup_secs = 180;
+        let results = static_chord(&params);
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(r.ring_correctness > 0.9, "ring correctness {}", r.ring_correctness);
+        assert!(r.completion_rate > 0.8, "completion {}", r.completion_rate);
+        assert!(r.correctness > 0.8, "correctness {}", r.correctness);
+        assert!(r.mean_hops > 0.0 && r.mean_hops < 6.0, "hops {}", r.mean_hops);
+        assert!(r.maintenance_bw_per_node > 0.0);
+        assert!(r.median_latency > 0.0 && r.median_latency < 6.0);
+        assert!(r.mean_resident_bytes > 0.0);
+    }
+}

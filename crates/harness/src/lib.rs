@@ -1,0 +1,21 @@
+//! Experiment harness for the P2 reproduction.
+//!
+//! Everything needed to regenerate the paper's evaluation section:
+//!
+//! * [`metrics`] — histograms, CDFs and summary statistics;
+//! * [`cluster`] — bring-up of whole Chord overlays (declarative or
+//!   hand-coded baseline) on the simulated Emulab topology, lookup workload
+//!   generation, ring-correctness checks and lookup-consistency measurement;
+//! * [`churn`] — the exponential-session-time churn generator following the
+//!   methodology of Rhea et al. ("Handling Churn in a DHT") used in §5.2;
+//! * [`experiments`] — one function per paper figure/table (see DESIGN.md's
+//!   experiment index), each returning a serializable result structure that
+//!   the `p2-bench` binaries print as tables/CSV.
+
+pub mod churn;
+pub mod cluster;
+pub mod experiments;
+pub mod metrics;
+
+pub use cluster::{BaselineCluster, ChordCluster, LookupHandle, LookupOutcome};
+pub use metrics::{Cdf, Histogram};

@@ -1,0 +1,181 @@
+//! Histograms, CDFs and summary statistics used by the experiments.
+
+use serde::Serialize;
+
+/// A discrete histogram over small non-negative integers (e.g. hop counts).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Adds one observation of `value`.
+    pub fn add(&mut self, value: usize) {
+        if self.counts.len() <= value {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Relative frequency of each value (index = value), as plotted in
+    /// Figure 3(i).
+    pub fn frequencies(&self) -> Vec<(usize, f64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(v, c)| (v, *c as f64 / self.total as f64))
+            .collect()
+    }
+
+    /// Mean of the observations.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Raw counts (index = value).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// An empirical CDF over floating-point samples (latencies, consistency
+/// fractions).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Cdf {
+    samples: Vec<f64>,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Cdf {
+        Cdf::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: f64) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The fraction of samples at or below `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let below = self.samples.iter().filter(|s| **s <= x).count();
+        below as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// `(value, cumulative fraction)` points suitable for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, (i + 1) as f64 / sorted.len() as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_frequencies_and_mean() {
+        let mut h = Histogram::new();
+        for v in [1usize, 2, 2, 3, 3, 3] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 6);
+        let freqs = h.frequencies();
+        assert_eq!(freqs[2], (2, 2.0 / 6.0));
+        assert!((h.mean() - 14.0 / 6.0).abs() < 1e-9);
+        assert_eq!(h.counts()[3], 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.frequencies().is_empty());
+    }
+
+    #[test]
+    fn cdf_quantiles_and_fractions() {
+        let mut c = Cdf::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            c.add(v);
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.fraction_at_or_below(3.0), 0.6);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+        assert_eq!(c.quantile(0.5), 3.0);
+        assert_eq!(c.mean(), 3.0);
+        let pts = c.points();
+        assert_eq!(pts.first().unwrap().1, 0.2);
+        assert_eq!(pts.last().unwrap(), &(5.0, 1.0));
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(1.0), 0.0);
+    }
+}

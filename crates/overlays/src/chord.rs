@@ -1,0 +1,153 @@
+//! The full Chord DHT overlay (Appendix B of the paper).
+
+use std::sync::OnceLock;
+
+use p2_core::{NodeConfig, P2Node, PlanError};
+use p2_overlog::{compile_checked, Program};
+use p2_value::{Tuple, TupleBuilder, Uint160, Value};
+
+use crate::host::P2Host;
+
+/// The OverLog source text of the Chord specification.
+pub const CHORD_OLG: &str = include_str!("../programs/chord.olg");
+
+/// Parses and validates the Chord program (cached after the first call).
+pub fn program() -> &'static Program {
+    static PROGRAM: OnceLock<Program> = OnceLock::new();
+    PROGRAM.get_or_init(|| {
+        compile_checked(CHORD_OLG).expect("the shipped Chord program must parse and validate")
+    })
+}
+
+/// Number of rules in the Chord specification (the paper's compactness
+/// metric counts rules plus the two base-tuple clauses as "47 rules").
+pub fn rule_count() -> usize {
+    program().rule_count()
+}
+
+/// Number of base-fact clauses in the specification.
+pub fn fact_count() -> usize {
+    program().facts.len()
+}
+
+/// The 160-bit Chord identifier of a node address.
+pub fn node_id(addr: &str) -> Uint160 {
+    Uint160::hash_of(addr.as_bytes())
+}
+
+/// The 160-bit Chord identifier of an application key.
+pub fn key_id(key: &str) -> Uint160 {
+    Uint160::hash_of(key.as_bytes())
+}
+
+/// The per-node base facts: `node(NI, N)` and `landmark(NI, LI)`.
+///
+/// Pass `None` as the landmark for the bootstrap node (the specification's
+/// `"-"` landmark), which then forms a one-node ring on joining.
+pub fn base_facts(addr: &str, landmark: Option<&str>) -> Vec<Tuple> {
+    vec![
+        TupleBuilder::new("node")
+            .push(addr)
+            .push(Value::Id(node_id(addr)))
+            .build(),
+        TupleBuilder::new("landmark")
+            .push(addr)
+            .push(landmark.unwrap_or("-"))
+            .build(),
+    ]
+}
+
+/// The application event that makes a node join the ring.
+pub fn join_tuple(addr: &str, event_id: i64) -> Tuple {
+    TupleBuilder::new("join").push(addr).push(event_id).build()
+}
+
+/// A lookup request for `key`, issued at `at`, with results reported to
+/// `requester`.
+pub fn lookup_tuple(at: &str, key: Uint160, requester: &str, event_id: i64) -> Tuple {
+    TupleBuilder::new("lookup")
+        .push(at)
+        .push(Value::Id(key))
+        .push(requester)
+        .push(event_id)
+        .build()
+}
+
+/// Builds a ready-to-run Chord node wrapped for the network simulator.
+///
+/// The node watches `lookupResults` so the harness can observe completed
+/// lookups arriving back at the requester.
+pub fn build_node(
+    addr: &str,
+    landmark: Option<&str>,
+    seed: u64,
+    jitter: bool,
+) -> Result<P2Host, PlanError> {
+    let mut config = NodeConfig::new(addr, seed).watch("lookupResults").watch("lookup");
+    if !jitter {
+        config = config.without_jitter();
+    }
+    let node = P2Node::with_facts(program(), config, base_facts(addr, landmark))?;
+    Ok(P2Host::new(node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_parses_and_validates() {
+        let p = program();
+        assert!(p.is_materialized("succ"));
+        assert!(p.is_materialized("finger"));
+        assert!(!p.is_materialized("lookup"));
+        assert!(p.rule("L1").is_some());
+        assert!(p.rule("CM9").is_some());
+    }
+
+    #[test]
+    fn rule_count_matches_the_paper() {
+        // The paper counts 47 OverLog "rules" for full Chord; two of those
+        // are the base-tuple clauses F0 and SB0, which our parser classifies
+        // as facts.
+        assert_eq!(rule_count(), 45);
+        assert_eq!(fact_count(), 2);
+        assert_eq!(rule_count() + fact_count(), 47);
+    }
+
+    #[test]
+    fn node_plans_successfully() {
+        let host = build_node("n0:10000", None, 1, false).unwrap();
+        let desc = host.node().graph_description();
+        assert!(desc.contains("L1:head"));
+        assert!(desc.contains("L2:agg:finger"));
+        assert!(desc.contains("S1:tableagg:succ"));
+        assert!(desc.contains("F1:periodic"));
+        assert!(host.node().table("node").unwrap().lock().len() == 1);
+        assert!(host.node().table("landmark").unwrap().lock().len() == 1);
+        assert!(host.node().table("nextFingerFix").unwrap().lock().len() == 1);
+        assert!(host.node().table("pred").unwrap().lock().len() == 1);
+    }
+
+    #[test]
+    fn identifiers_are_deterministic_and_spread() {
+        assert_eq!(node_id("n1"), node_id("n1"));
+        assert_ne!(node_id("n1"), node_id("n2"));
+        assert_eq!(key_id("object-7"), Uint160::hash_of(b"object-7"));
+    }
+
+    #[test]
+    fn helper_tuples_have_the_expected_shape() {
+        let j = join_tuple("n3", 42);
+        assert_eq!(j.name(), "join");
+        assert_eq!(j.arity(), 2);
+        let l = lookup_tuple("n3", Uint160::from_u64(9), "n5", 7);
+        assert_eq!(l.name(), "lookup");
+        assert_eq!(l.field(2), &Value::str("n5"));
+        let facts = base_facts("n3", Some("n0"));
+        assert_eq!(facts[0].field(1), &Value::Id(node_id("n3")));
+        assert_eq!(facts[1].field(1), &Value::str("n0"));
+        let facts = base_facts("n0", None);
+        assert_eq!(facts[1].field(1), &Value::str("-"));
+    }
+}

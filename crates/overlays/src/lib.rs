@@ -1,0 +1,25 @@
+//! Overlay specifications shipped with the P2 reproduction.
+//!
+//! Each overlay is an OverLog program (the `programs/` directory contains
+//! the exact text) plus a thin Rust module providing typed helpers for the
+//! per-node base facts and application events the overlay expects:
+//!
+//! * [`chord`] — the full 45-rule / 2-fact Chord DHT of Appendix B
+//!   (lookups, ring and finger maintenance, joins, stabilization,
+//!   connectivity monitoring);
+//! * [`narada`] — Narada-style mesh membership maintenance of Appendix A;
+//! * [`gossip`] — an epidemic push-gossip overlay (one of the "breadth"
+//!   overlays listed in §7);
+//! * [`monitor`] — the round-trip latency monitor of §2.3 (rules P0–P3).
+//!
+//! [`host::P2Host`] adapts a planned [`p2_core::P2Node`] to the network
+//! simulator's [`p2_netsim::Host`] interface so whole overlays can run
+//! in-process on the simulated Emulab-like topology.
+
+pub mod chord;
+pub mod gossip;
+pub mod host;
+pub mod monitor;
+pub mod narada;
+
+pub use host::P2Host;

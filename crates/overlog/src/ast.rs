@@ -1,0 +1,381 @@
+//! Abstract syntax tree for OverLog programs.
+
+use p2_pel::{BinOp, IntervalKind, UnOp};
+use p2_table::{AggFunc, TableSpec};
+use p2_value::Value;
+
+/// A complete OverLog program: table declarations, base facts, and rules.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// `materialize(...)` statements.
+    pub materializations: Vec<Materialize>,
+    /// Ground facts (clauses without a body), installed at start-up.
+    pub facts: Vec<Fact>,
+    /// Deduction rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// True if `name` was declared as a materialized table (everything else
+    /// is a transient stream).
+    pub fn is_materialized(&self, name: &str) -> bool {
+        self.materializations.iter().any(|m| m.name == name)
+    }
+
+    /// Returns the materialization statement for `name`, if any.
+    pub fn materialization(&self, name: &str) -> Option<&Materialize> {
+        self.materializations.iter().find(|m| m.name == name)
+    }
+
+    /// Returns the rule with the given identifier, if any.
+    pub fn rule(&self, id: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+
+    /// Total number of rules (the paper's headline compactness metric).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Merges another program into this one (used to compose overlay
+    /// specifications, e.g. Chord + a monitoring mix-in).
+    pub fn merge(&mut self, other: Program) {
+        for m in other.materializations {
+            if !self.is_materialized(&m.name) {
+                self.materializations.push(m);
+            }
+        }
+        self.facts.extend(other.facts);
+        self.rules.extend(other.rules);
+    }
+}
+
+/// Soft-state lifetime in a `materialize` statement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lifetime {
+    /// Tuples never expire.
+    Infinity,
+    /// Tuples expire after this many seconds.
+    Secs(f64),
+}
+
+/// Size bound in a `materialize` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeBound {
+    /// Unbounded table.
+    Infinity,
+    /// At most this many rows.
+    Rows(usize),
+}
+
+/// A `materialize(name, lifetime, size, keys(...))` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Materialize {
+    /// Table name.
+    pub name: String,
+    /// Soft-state lifetime.
+    pub lifetime: Lifetime,
+    /// Maximum number of rows.
+    pub max_size: SizeBound,
+    /// Primary-key field positions **as written in the source (1-based)**.
+    pub keys: Vec<usize>,
+}
+
+impl Materialize {
+    /// Converts the declaration into a runtime [`TableSpec`]
+    /// (key positions become 0-based).
+    pub fn to_spec(&self) -> TableSpec {
+        let mut spec = TableSpec::new(
+            self.name.clone(),
+            self.keys.iter().map(|k| k.saturating_sub(1)).collect(),
+        );
+        if let Lifetime::Secs(s) = self.lifetime {
+            spec.lifetime = Some(p2_value::SimTime::from_secs_f64(s));
+        }
+        if let SizeBound::Rows(n) = self.max_size {
+            spec = spec.with_max_size(n);
+        }
+        spec
+    }
+}
+
+/// A ground fact: a head with no body, e.g. `F0 nextFingerFix@NI(NI, 0).`
+///
+/// At installation time the location variable (and any occurrence of it in
+/// the arguments) is bound to the local node's address.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fact {
+    /// Optional rule identifier (`F0`, `SB0`, ...).
+    pub id: Option<String>,
+    /// Relation name.
+    pub name: String,
+    /// Location variable, if written.
+    pub location: Option<String>,
+    /// Argument expressions (constants or the location variable).
+    pub args: Vec<Expr>,
+}
+
+/// A deduction rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule identifier (`L1`, `SB5`, ...). Rules without an explicit
+    /// identifier get a generated one.
+    pub id: String,
+    /// True for `delete` rules, which remove the derived tuple from the head
+    /// table instead of inserting it.
+    pub delete: bool,
+    /// The rule head.
+    pub head: Head,
+    /// The rule body, a conjunction of terms.
+    pub body: Vec<BodyTerm>,
+}
+
+impl Rule {
+    /// All positive (non-negated) body predicates, in source order.
+    pub fn positive_predicates(&self) -> Vec<&Predicate> {
+        self.body
+            .iter()
+            .filter_map(|t| match t {
+                BodyTerm::Predicate(p) if !p.negated => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All negated body predicates.
+    pub fn negated_predicates(&self) -> Vec<&Predicate> {
+        self.body
+            .iter()
+            .filter_map(|t| match t {
+                BodyTerm::Predicate(p) if p.negated => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True if the head contains an aggregate argument.
+    pub fn has_aggregate(&self) -> bool {
+        self.head
+            .args
+            .iter()
+            .any(|a| matches!(a, HeadArg::Agg(_)))
+    }
+}
+
+/// The head of a rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Head {
+    /// Relation name being derived.
+    pub name: String,
+    /// Location variable: the node at which derived tuples should appear.
+    pub location: Option<String>,
+    /// Head arguments.
+    pub args: Vec<HeadArg>,
+}
+
+/// One argument position in a rule head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadArg {
+    /// An ordinary expression (usually a variable).
+    Expr(Expr),
+    /// An aggregate such as `min<D>` or `count<*>`.
+    Agg(AggSpec),
+}
+
+/// An aggregate specification in a rule head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregation function.
+    pub func: AggFunc,
+    /// The aggregated variable; `None` for `count<*>`.
+    pub var: Option<String>,
+}
+
+/// A (possibly negated) predicate occurrence in a rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Relation name.
+    pub name: String,
+    /// Location variable, if written.
+    pub location: Option<String>,
+    /// Argument patterns: variables, wildcards or constants.
+    pub args: Vec<Expr>,
+    /// True when prefixed with `not`.
+    pub negated: bool,
+}
+
+impl Predicate {
+    /// Variables bound by this predicate (argument positions holding plain
+    /// variables), with their positions.
+    pub fn variable_bindings(&self) -> Vec<(String, usize)> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| match a {
+                Expr::Var(v) => Some((v.clone(), i)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A term in a rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyTerm {
+    /// A stream or table predicate.
+    Predicate(Predicate),
+    /// An assignment `Var := Expr`.
+    Assign {
+        /// The variable being bound.
+        var: String,
+        /// The expression producing its value.
+        expr: Expr,
+    },
+    /// A boolean condition (selection filter).
+    Condition(Expr),
+}
+
+/// An OverLog expression (over named variables; the planner later resolves
+/// variables to tuple field positions and compiles into PEL).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(String),
+    /// The don't-care variable `_`.
+    Wildcard,
+    /// A literal value.
+    Const(Value),
+    /// A function call, e.g. `f_now()`; the location annotation of
+    /// section-2-style programs (`f_now@Y()`) is recorded but ignored.
+    Call {
+        /// Function name (`f_now`, `f_rand`, ...).
+        name: String,
+        /// Optional location annotation.
+        location: Option<String>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A ring-interval membership test, `K in (A, B]`.
+    Range {
+        /// Which endpoints are included.
+        kind: IntervalKind,
+        /// Tested value.
+        value: Box<Expr>,
+        /// Lower endpoint.
+        low: Box<Expr>,
+        /// Upper endpoint.
+        high: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Collects every variable name referenced by this expression.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Wildcard | Expr::Const(_) => {}
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Expr::Unary { expr, .. } => expr.collect_vars(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Expr::Range {
+                value, low, high, ..
+            } => {
+                value.collect_vars(out);
+                low.collect_vars(out);
+                high.collect_vars(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialize_to_spec_converts_keys_to_zero_based() {
+        let m = Materialize {
+            name: "succ".into(),
+            lifetime: Lifetime::Secs(10.0),
+            max_size: SizeBound::Rows(100),
+            keys: vec![2],
+        };
+        let spec = m.to_spec();
+        assert_eq!(spec.primary_key, vec![1]);
+        assert_eq!(spec.lifetime, Some(p2_value::SimTime::from_secs(10)));
+        assert_eq!(spec.max_size, Some(100));
+
+        let m = Materialize {
+            name: "node".into(),
+            lifetime: Lifetime::Infinity,
+            max_size: SizeBound::Infinity,
+            keys: vec![1],
+        };
+        let spec = m.to_spec();
+        assert_eq!(spec.lifetime, None);
+        assert_eq!(spec.max_size, None);
+    }
+
+    #[test]
+    fn expr_variable_collection() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Var("A".into())),
+            rhs: Box::new(Expr::Call {
+                name: "f_sha1".into(),
+                location: None,
+                args: vec![Expr::Var("B".into())],
+            }),
+        };
+        assert_eq!(e.variables(), vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn program_merge_dedups_materializations() {
+        let mat = |name: &str| Materialize {
+            name: name.into(),
+            lifetime: Lifetime::Infinity,
+            max_size: SizeBound::Infinity,
+            keys: vec![1],
+        };
+        let mut a = Program {
+            materializations: vec![mat("node")],
+            ..Default::default()
+        };
+        let b = Program {
+            materializations: vec![mat("node"), mat("succ")],
+            ..Default::default()
+        };
+        a.merge(b);
+        assert_eq!(a.materializations.len(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for OverLog parsing and validation.
+
+use std::fmt;
+
+/// A syntax error with source position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a new parse error.
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Either a parse error or a semantic validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlogError {
+    /// The program is not syntactically valid OverLog.
+    Parse(ParseError),
+    /// The program parsed but violates a planner restriction.
+    Validation(crate::validate::ValidationError),
+}
+
+impl fmt::Display for OverlogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlogError::Parse(e) => write!(f, "{e}"),
+            OverlogError::Validation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OverlogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position() {
+        let e = ParseError::new(3, 14, "unexpected token");
+        assert!(e.to_string().contains("3:14"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+}

@@ -1,0 +1,558 @@
+//! Tokenizer for OverLog source text.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier starting with a lower-case letter: predicate names,
+    /// function names and keywords (`materialize`, `delete`, `in`, ...).
+    Ident(String),
+    /// Variable starting with an upper-case letter (`NI`, `NewSeq`, ...).
+    Variable(String),
+    /// The don't-care variable `_`.
+    Wildcard,
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Double(f64),
+    /// Identifier-space literal, written with an `I` suffix (`1I`).
+    IdLit(u64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.` statement terminator.
+    Dot,
+    /// `@` location specifier marker.
+    At,
+    /// `:-`
+    Implies,
+    /// `:=`
+    Assign,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+/// A token plus its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token itself.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub column: usize,
+}
+
+/// Tokenizes an OverLog source string.
+///
+/// Comments (`/* ... */`, `// ...`, `# ...`) and whitespace are skipped.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            source,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.column, message)
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, column) = (self.line, self.column);
+            let Some(c) = self.peek() else { break };
+            let token = self.next_token(c)?;
+            out.push(Spanned { token, line, column });
+        }
+        // A rough sanity check that we consumed the whole input.
+        debug_assert!(self.pos >= self.source.chars().count());
+        Ok(out)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self, c: char) -> Result<Token, ParseError> {
+        match c {
+            '(' => {
+                self.bump();
+                Ok(Token::LParen)
+            }
+            ')' => {
+                self.bump();
+                Ok(Token::RParen)
+            }
+            '[' => {
+                self.bump();
+                Ok(Token::LBracket)
+            }
+            ']' => {
+                self.bump();
+                Ok(Token::RBracket)
+            }
+            ',' => {
+                self.bump();
+                Ok(Token::Comma)
+            }
+            '@' => {
+                self.bump();
+                Ok(Token::At)
+            }
+            '.' => {
+                self.bump();
+                Ok(Token::Dot)
+            }
+            '+' => {
+                self.bump();
+                Ok(Token::Plus)
+            }
+            '-' => {
+                self.bump();
+                Ok(Token::Minus)
+            }
+            '*' => {
+                self.bump();
+                Ok(Token::Star)
+            }
+            '/' => {
+                self.bump();
+                Ok(Token::Slash)
+            }
+            '%' => {
+                self.bump();
+                Ok(Token::Percent)
+            }
+            ':' => {
+                self.bump();
+                match self.peek() {
+                    Some('-') => {
+                        self.bump();
+                        Ok(Token::Implies)
+                    }
+                    Some('=') => {
+                        self.bump();
+                        Ok(Token::Assign)
+                    }
+                    _ => Err(self.error("expected `:-` or `:=`")),
+                }
+            }
+            '<' => {
+                self.bump();
+                match self.peek() {
+                    Some('<') => {
+                        self.bump();
+                        Ok(Token::Shl)
+                    }
+                    Some('=') => {
+                        self.bump();
+                        Ok(Token::Le)
+                    }
+                    _ => Ok(Token::Lt),
+                }
+            }
+            '>' => {
+                self.bump();
+                match self.peek() {
+                    Some('>') => {
+                        self.bump();
+                        Ok(Token::Shr)
+                    }
+                    Some('=') => {
+                        self.bump();
+                        Ok(Token::Ge)
+                    }
+                    _ => Ok(Token::Gt),
+                }
+            }
+            '=' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(Token::EqEq)
+                } else {
+                    Err(self.error("single `=` is not an OverLog operator (use `==` or `:=`)"))
+                }
+            }
+            '!' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(Token::Ne)
+                } else {
+                    Ok(Token::Bang)
+                }
+            }
+            '&' => {
+                self.bump();
+                if self.peek() == Some('&') {
+                    self.bump();
+                    Ok(Token::AndAnd)
+                } else {
+                    Err(self.error("single `&` is not an OverLog operator"))
+                }
+            }
+            '|' => {
+                self.bump();
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Ok(Token::OrOr)
+                } else {
+                    Err(self.error("single `|` is not an OverLog operator"))
+                }
+            }
+            '"' => self.string(),
+            '_' => {
+                // `_` alone is the wildcard; `_x` style identifiers are not
+                // used by OverLog programs.
+                self.bump();
+                if self.peek().map(|c| c.is_alphanumeric() || c == '_') == Some(true) {
+                    Err(self.error("identifiers may not start with `_`"))
+                } else {
+                    Ok(Token::Wildcard)
+                }
+            }
+            c if c.is_ascii_digit() => self.number(),
+            c if c.is_alphabetic() => Ok(self.word()),
+            other => Err(self.error(format!("unexpected character `{other}`"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<Token, ParseError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Token::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some(c) => s.push(c),
+                    None => return Err(self.error("unterminated string")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Token, ParseError> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // An `I` suffix marks an identifier-space literal (e.g. `1I << 7`).
+        if self.peek() == Some('I') {
+            self.bump();
+            let v = digits
+                .parse::<u64>()
+                .map_err(|_| self.error("identifier literal out of range"))?;
+            return Ok(Token::IdLit(v));
+        }
+        // A fractional part makes it a double, but only when the dot is
+        // followed by a digit (otherwise the dot terminates the statement).
+        if self.peek() == Some('.') && self.peek2().map(|c| c.is_ascii_digit()) == Some(true) {
+            digits.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    digits.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let v = digits
+                .parse::<f64>()
+                .map_err(|_| self.error("bad floating point literal"))?;
+            return Ok(Token::Double(v));
+        }
+        let v = digits
+            .parse::<i64>()
+            .map_err(|_| self.error("integer literal out of range"))?;
+        Ok(Token::Int(v))
+    }
+
+    fn word(&mut self) -> Token {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let first_upper = s.chars().next().map(|c| c.is_uppercase()).unwrap_or(false);
+        if first_upper {
+            Token::Variable(s)
+        } else {
+            Token::Ident(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn materialize_statement() {
+        let t = toks("materialize(succ, 10, 100, keys(2)).");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("materialize".into()),
+                Token::LParen,
+                Token::Ident("succ".into()),
+                Token::Comma,
+                Token::Int(10),
+                Token::Comma,
+                Token::Int(100),
+                Token::Comma,
+                Token::Ident("keys".into()),
+                Token::LParen,
+                Token::Int(2),
+                Token::RParen,
+                Token::RParen,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn rule_with_location_and_assignment() {
+        let t = toks("R2 refreshSeq@X(X, NewSeq) :- refreshEvent@X(X), NewSeq := Seq + 1.");
+        assert!(t.contains(&Token::Variable("NewSeq".into())));
+        assert!(t.contains(&Token::Implies));
+        assert!(t.contains(&Token::Assign));
+        assert!(t.contains(&Token::At));
+        assert_eq!(*t.last().unwrap(), Token::Dot);
+    }
+
+    #[test]
+    fn operators_and_intervals() {
+        let t = toks("K in (N, S], D == K - B - 1, ((I == 159) || (BI != NI)), X >= 2, Y <= 3");
+        assert!(t.contains(&Token::Ident("in".into())));
+        assert!(t.contains(&Token::RBracket));
+        assert!(t.contains(&Token::EqEq));
+        assert!(t.contains(&Token::OrOr));
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Le));
+    }
+
+    #[test]
+    fn numbers_doubles_and_id_literals() {
+        assert_eq!(
+            toks("3 0.5 1I 42I"),
+            vec![
+                Token::Int(3),
+                Token::Double(0.5),
+                Token::IdLit(1),
+                Token::IdLit(42)
+            ]
+        );
+        // A trailing dot is a statement terminator, not a decimal point.
+        assert_eq!(toks("3."), vec![Token::Int(3), Token::Dot]);
+    }
+
+    #[test]
+    fn shift_vs_aggregate_angle_brackets() {
+        assert_eq!(
+            toks("min<D> 1I << I"),
+            vec![
+                Token::Ident("min".into()),
+                Token::Lt,
+                Token::Variable("D".into()),
+                Token::Gt,
+                Token::IdLit(1),
+                Token::Shl,
+                Token::Variable("I".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_wildcards() {
+        assert_eq!(
+            toks(r#"pred@NI(NI, "-", _)"#),
+            vec![
+                Token::Ident("pred".into()),
+                Token::At,
+                Token::Variable("NI".into()),
+                Token::LParen,
+                Token::Variable("NI".into()),
+                Token::Comma,
+                Token::Str("-".into()),
+                Token::Comma,
+                Token::Wildcard,
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = r#"
+            /** Base tables */
+            materialize(node, infinity, 1, keys(1)). // trailing
+            # hash comment
+            /* block
+               spanning lines */ R1 a(X) :- b(X).
+        "#;
+        let t = toks(src);
+        assert!(t.contains(&Token::Ident("materialize".into())));
+        assert!(t.contains(&Token::Ident("infinity".into())));
+        assert!(t.iter().filter(|t| **t == Token::Dot).count() == 2);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = tokenize("a(X).\n  b(Y).").unwrap();
+        let b = spanned
+            .iter()
+            .find(|s| s.token == Token::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 2);
+        assert_eq!(b.column, 3);
+    }
+
+    #[test]
+    fn lexer_errors() {
+        assert!(tokenize("a = b").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("/* open").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("a : b").is_err());
+        assert!(tokenize("_x").is_err());
+        assert!(tokenize("a $ b").is_err());
+    }
+}

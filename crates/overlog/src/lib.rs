@@ -1,0 +1,47 @@
+//! OverLog — the declarative overlay specification language of P2.
+//!
+//! OverLog is an adaptation of Datalog for a distributed setting: programs
+//! consist of `materialize` table declarations, facts, and rules of the form
+//!
+//! ```text
+//! R1 head@Loc(Args...) :- body1@Loc(Args...), Var := Expr, Cond, ... .
+//! ```
+//!
+//! extended with location specifiers (`@Loc`), per-rule aggregates in the
+//! head (`min<D>`, `count<*>`, ...), soft-state table declarations, `delete`
+//! rules, periodic event streams, and ring-interval tests (`K in (N,S]`).
+//!
+//! This crate contains the front half of P2: the lexer ([`lexer`]), parser
+//! ([`parser`]), abstract syntax tree ([`ast`]), a semantic validator
+//! ([`validate`]) that enforces the restrictions of the 2005 planner
+//! (collocated rule bodies, stream/table equijoins, safe head variables),
+//! and a pretty-printer ([`pretty`]) used for round-trip testing and
+//! debugging. Compilation of validated programs into dataflow graphs lives
+//! in the `p2-core` crate.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod validate;
+
+pub use ast::{
+    AggSpec, BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program,
+    Rule, SizeBound,
+};
+pub use error::ParseError;
+pub use parser::parse_program;
+pub use validate::{validate, ValidationError};
+
+/// Parses and validates an OverLog program in one step.
+///
+/// This is the entry point most callers want: it accepts the textual
+/// specification (e.g. the Chord program from Appendix B of the paper) and
+/// returns an AST that the planner can compile, or the first error
+/// encountered.
+pub fn compile_checked(source: &str) -> Result<Program, error::OverlogError> {
+    let program = parse_program(source).map_err(error::OverlogError::Parse)?;
+    validate(&program).map_err(error::OverlogError::Validation)?;
+    Ok(program)
+}

@@ -1,0 +1,735 @@
+//! Recursive-descent parser for OverLog.
+//!
+//! The original P2 uses a flex/bison front end; this hand-written parser
+//! accepts the same language as used by the paper's appendices (the full
+//! Chord and Narada specifications) and produces the [`crate::ast`] types.
+
+use p2_pel::{BinOp, IntervalKind, UnOp};
+use p2_table::AggFunc;
+use p2_value::Value;
+
+use crate::ast::{
+    AggSpec, BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program,
+    Rule, SizeBound,
+};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Spanned, Token};
+
+/// Parses an OverLog program from source text.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).run()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    anon_rule_counter: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            anon_rule_counter: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|s| &s.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.column))
+            .unwrap_or((0, 0))
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self.here();
+        ParseError::new(line, column, message)
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_variable(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Variable(s)) => Ok(s),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn run(mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        while self.peek().is_some() {
+            if self.peek() == Some(&Token::Ident("materialize".to_string())) {
+                program.materializations.push(self.materialize()?);
+            } else {
+                self.clause(&mut program)?;
+            }
+        }
+        Ok(program)
+    }
+
+    fn materialize(&mut self) -> Result<Materialize, ParseError> {
+        self.bump(); // `materialize`
+        self.expect(&Token::LParen, "`(`")?;
+        let name = self.expect_ident("table name")?;
+        self.expect(&Token::Comma, "`,`")?;
+        let lifetime = match self.bump() {
+            Some(Token::Ident(s)) if s == "infinity" => Lifetime::Infinity,
+            Some(Token::Int(i)) if i >= 0 => Lifetime::Secs(i as f64),
+            Some(Token::Double(d)) if d >= 0.0 => Lifetime::Secs(d),
+            other => return Err(self.error(format!("expected lifetime, found {other:?}"))),
+        };
+        self.expect(&Token::Comma, "`,`")?;
+        let max_size = match self.bump() {
+            Some(Token::Ident(s)) if s == "infinity" => SizeBound::Infinity,
+            Some(Token::Int(i)) if i >= 0 => SizeBound::Rows(i as usize),
+            other => return Err(self.error(format!("expected size bound, found {other:?}"))),
+        };
+        self.expect(&Token::Comma, "`,`")?;
+        let keys_kw = self.expect_ident("`keys`")?;
+        if keys_kw != "keys" {
+            return Err(self.error(format!("expected `keys`, found `{keys_kw}`")));
+        }
+        self.expect(&Token::LParen, "`(`")?;
+        let mut keys = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Token::Int(i)) if i >= 1 => keys.push(i as usize),
+                other => return Err(self.error(format!("expected key position, found {other:?}"))),
+            }
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(self.error(format!("expected `,` or `)`, found {other:?}"))),
+            }
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        self.expect(&Token::Dot, "`.`")?;
+        Ok(Materialize {
+            name,
+            lifetime,
+            max_size,
+            keys,
+        })
+    }
+
+    /// Parses a rule or fact clause and appends it to the program.
+    fn clause(&mut self, program: &mut Program) -> Result<(), ParseError> {
+        // Optional rule identifier. Head predicate names always start with a
+        // lower-case letter, so an upper-case first token must be an id; a
+        // lower-case first token is an id only when the *next* token is
+        // another identifier (the head name or `delete`).
+        let id = match (self.peek(), self.peek_at(1)) {
+            (Some(Token::Variable(_)), _) => match self.bump() {
+                Some(Token::Variable(s)) => Some(s),
+                _ => unreachable!("peeked"),
+            },
+            (Some(Token::Ident(first)), Some(Token::Ident(_)))
+                if first != "delete" && first != "materialize" =>
+            {
+                match self.bump() {
+                    Some(Token::Ident(s)) => Some(s),
+                    _ => unreachable!("peeked"),
+                }
+            }
+            _ => None,
+        };
+
+        let delete = if self.peek() == Some(&Token::Ident("delete".to_string())) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+
+        let head = self.head()?;
+
+        match self.peek() {
+            Some(Token::Dot) => {
+                // A ground fact.
+                self.bump();
+                if delete {
+                    return Err(self.error("a `delete` clause must have a body"));
+                }
+                let mut args = Vec::with_capacity(head.args.len());
+                for a in head.args {
+                    match a {
+                        HeadArg::Expr(e) => args.push(e),
+                        HeadArg::Agg(_) => {
+                            return Err(self.error("facts may not contain aggregates"))
+                        }
+                    }
+                }
+                program.facts.push(Fact {
+                    id,
+                    name: head.name,
+                    location: head.location,
+                    args,
+                });
+                Ok(())
+            }
+            Some(Token::Implies) => {
+                self.bump();
+                let mut body = Vec::new();
+                loop {
+                    body.push(self.body_term()?);
+                    match self.bump() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::Dot) => break,
+                        other => {
+                            return Err(
+                                self.error(format!("expected `,` or `.`, found {other:?}"))
+                            )
+                        }
+                    }
+                }
+                let id = id.unwrap_or_else(|| {
+                    self.anon_rule_counter += 1;
+                    format!("rule{}", self.anon_rule_counter)
+                });
+                program.rules.push(Rule {
+                    id,
+                    delete,
+                    head,
+                    body,
+                });
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `.` or `:-`, found {other:?}"))),
+        }
+    }
+
+    fn head(&mut self) -> Result<Head, ParseError> {
+        let name = self.expect_ident("head predicate name")?;
+        let location = self.optional_location()?;
+        self.expect(&Token::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.head_arg()?);
+                match self.bump() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => {
+                        return Err(self.error(format!("expected `,` or `)`, found {other:?}")))
+                    }
+                }
+            }
+        } else {
+            self.bump();
+        }
+        Ok(Head {
+            name,
+            location,
+            args,
+        })
+    }
+
+    fn optional_location(&mut self) -> Result<Option<String>, ParseError> {
+        if self.peek() == Some(&Token::At) {
+            self.bump();
+            // Location specifiers are usually variables; the illustrative
+            // section-4 facts use lower-case placeholders (`@ni`), accept
+            // both.
+            match self.bump() {
+                Some(Token::Variable(v)) | Some(Token::Ident(v)) => Ok(Some(v)),
+                other => Err(self.error(format!("expected location variable, found {other:?}"))),
+            }
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn head_arg(&mut self) -> Result<HeadArg, ParseError> {
+        // Aggregate head arguments look like `min<D>` / `count<*>`.
+        if let Some(Token::Ident(name)) = self.peek() {
+            if let Some(func) = AggFunc::from_name(name) {
+                if self.peek_at(1) == Some(&Token::Lt) {
+                    self.bump(); // name
+                    self.bump(); // `<`
+                    let var = match self.bump() {
+                        Some(Token::Star) => None,
+                        Some(Token::Variable(v)) => Some(v),
+                        other => {
+                            return Err(self
+                                .error(format!("expected aggregate variable or `*`, found {other:?}")))
+                        }
+                    };
+                    self.expect(&Token::Gt, "`>`")?;
+                    return Ok(HeadArg::Agg(AggSpec { func, var }));
+                }
+            }
+        }
+        Ok(HeadArg::Expr(self.expr()?))
+    }
+
+    fn body_term(&mut self) -> Result<BodyTerm, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(name)) if name == "not" => {
+                self.bump();
+                let mut pred = self.predicate()?;
+                pred.negated = true;
+                Ok(BodyTerm::Predicate(pred))
+            }
+            Some(Token::Ident(name))
+                if !name.starts_with("f_")
+                    && matches!(self.peek_at(1), Some(Token::LParen) | Some(Token::At)) =>
+            {
+                Ok(BodyTerm::Predicate(self.predicate()?))
+            }
+            Some(Token::Variable(_)) if self.peek_at(1) == Some(&Token::Assign) => {
+                let var = self.expect_variable("assignment target")?;
+                self.bump(); // `:=`
+                let expr = self.expr()?;
+                Ok(BodyTerm::Assign { var, expr })
+            }
+            _ => Ok(BodyTerm::Condition(self.expr()?)),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let name = self.expect_ident("predicate name")?;
+        let location = self.optional_location()?;
+        self.expect(&Token::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek() == Some(&Token::RParen) {
+            self.bump();
+        } else {
+            loop {
+                args.push(self.expr()?);
+                match self.bump() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => {
+                        return Err(self.error(format!("expected `,` or `)`, found {other:?}")))
+                    }
+                }
+            }
+        }
+        Ok(Predicate {
+            name,
+            location,
+            args,
+            negated: false,
+        })
+    }
+
+    // ----- expressions ------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Token::OrOr) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == Some(&Token::AndAnd) {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::EqEq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            Some(Token::Ident(kw)) if kw == "in" => {
+                self.bump();
+                return self.range_expr(lhs);
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn range_expr(&mut self, value: Expr) -> Result<Expr, ParseError> {
+        let open_closed = match self.bump() {
+            Some(Token::LParen) => false,
+            Some(Token::LBracket) => true,
+            other => return Err(self.error(format!("expected `(` or `[`, found {other:?}"))),
+        };
+        let low = self.add_expr()?;
+        self.expect(&Token::Comma, "`,`")?;
+        let high = self.add_expr()?;
+        let close_closed = match self.bump() {
+            Some(Token::RParen) => false,
+            Some(Token::RBracket) => true,
+            other => return Err(self.error(format!("expected `)` or `]`, found {other:?}"))),
+        };
+        let kind = match (open_closed, close_closed) {
+            (false, false) => IntervalKind::OpenOpen,
+            (false, true) => IntervalKind::OpenClosed,
+            (true, false) => IntervalKind::ClosedOpen,
+            (true, true) => IntervalKind::ClosedClosed,
+        };
+        Ok(Expr::Range {
+            kind,
+            value: Box::new(value),
+            low: Box::new(low),
+            high: Box::new(high),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                Some(Token::Shl) => BinOp::Shl,
+                Some(Token::Shr) => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Minus) => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            Some(Token::Bang) => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(Expr::Const(Value::Int(i))),
+            Some(Token::Double(d)) => Ok(Expr::Const(Value::Double(d))),
+            Some(Token::IdLit(v)) => Ok(Expr::Const(Value::Id(p2_value::Uint160::from_u64(v)))),
+            Some(Token::Str(s)) => Ok(Expr::Const(Value::str(s))),
+            Some(Token::Wildcard) => Ok(Expr::Wildcard),
+            Some(Token::Variable(v)) => Ok(Expr::Var(v)),
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) if name == "true" => Ok(Expr::Const(Value::Bool(true))),
+            Some(Token::Ident(name)) if name == "false" => Ok(Expr::Const(Value::Bool(false))),
+            Some(Token::Ident(name)) if name == "null" => Ok(Expr::Const(Value::Null)),
+            Some(Token::Ident(name)) => {
+                // Function call, possibly with a location annotation.
+                let location = self.optional_location()?;
+                self.expect(&Token::LParen, "`(` after function name")?;
+                let mut args = Vec::new();
+                if self.peek() == Some(&Token::RParen) {
+                    self.bump();
+                } else {
+                    loop {
+                        args.push(self.expr()?);
+                        match self.bump() {
+                            Some(Token::Comma) => continue,
+                            Some(Token::RParen) => break,
+                            other => {
+                                return Err(
+                                    self.error(format!("expected `,` or `)`, found {other:?}"))
+                                )
+                            }
+                        }
+                    }
+                }
+                Ok(Expr::Call {
+                    name,
+                    location,
+                    args,
+                })
+            }
+            other => Err(self.error(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_materialize_with_multiple_keys() {
+        let p = parse_program("materialize(env, infinity, infinity, keys(2,3)).").unwrap();
+        assert_eq!(p.materializations.len(), 1);
+        let m = &p.materializations[0];
+        assert_eq!(m.name, "env");
+        assert_eq!(m.lifetime, Lifetime::Infinity);
+        assert_eq!(m.max_size, SizeBound::Infinity);
+        assert_eq!(m.keys, vec![2, 3]);
+    }
+
+    #[test]
+    fn parses_simple_rule() {
+        let p = parse_program("R1 refreshEvent(X) :- periodic(X, E, 3).").unwrap();
+        assert_eq!(p.rules.len(), 1);
+        let r = &p.rules[0];
+        assert_eq!(r.id, "R1");
+        assert!(!r.delete);
+        assert_eq!(r.head.name, "refreshEvent");
+        assert_eq!(r.body.len(), 1);
+        match &r.body[0] {
+            BodyTerm::Predicate(pred) => {
+                assert_eq!(pred.name, "periodic");
+                assert_eq!(pred.args.len(), 3);
+            }
+            other => panic!("expected predicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_rule_with_locations_assignment_and_condition() {
+        let src = "L2 deadNeighbor@X(X, Y) :- neighborProbe@X(X), T := f_now(), \
+                   neighbor@X(X, Y), member@X(X, Y, YS, YT, L), T - YT > 20.";
+        let p = parse_program(src).unwrap();
+        let r = &p.rules[0];
+        assert_eq!(r.head.location.as_deref(), Some("X"));
+        assert_eq!(r.positive_predicates().len(), 3);
+        assert!(r
+            .body
+            .iter()
+            .any(|t| matches!(t, BodyTerm::Assign { var, .. } if var == "T")));
+        assert!(r.body.iter().any(|t| matches!(t, BodyTerm::Condition(_))));
+    }
+
+    #[test]
+    fn parses_delete_rule() {
+        let p = parse_program("L3 delete neighbor@X(X, Y) :- deadNeighbor@X(X, Y).").unwrap();
+        assert!(p.rules[0].delete);
+        assert_eq!(p.rules[0].head.name, "neighbor");
+    }
+
+    #[test]
+    fn parses_aggregates_in_head() {
+        let src = "L2 bestLookupDist@NI(NI,K,R,E,min<D>) :- node@NI(NI,N), \
+                   lookup@NI(NI,K,R,E), finger@NI(NI,I,B,BI), D:=K - B - 1, B in (N,K).";
+        let p = parse_program(src).unwrap();
+        let r = &p.rules[0];
+        assert!(r.has_aggregate());
+        match &r.head.args[4] {
+            HeadArg::Agg(a) => {
+                assert_eq!(a.func, AggFunc::Min);
+                assert_eq!(a.var.as_deref(), Some("D"));
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+        // And count<*>:
+        let p = parse_program("S1 succCount@NI(NI,count<*>) :- succ@NI(NI,S,SI).").unwrap();
+        match &p.rules[0].head.args[1] {
+            HeadArg::Agg(a) => {
+                assert_eq!(a.func, AggFunc::Count);
+                assert_eq!(a.var, None);
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negation() {
+        let src = "R4 member@Y(Y, A) :- refreshSeq@X(X, S), not member@Y(Y, A, _, _, _).";
+        let p = parse_program(src).unwrap();
+        let r = &p.rules[0];
+        assert_eq!(r.negated_predicates().len(), 1);
+        assert_eq!(r.negated_predicates()[0].name, "member");
+    }
+
+    #[test]
+    fn parses_range_tests_and_shift() {
+        let src = "F3 lookup@NI(NI,K,NI,E) :- fFixEvent@NI(NI,E,I), node@NI(NI,N), \
+                   K := (1I << I) + N, K in (N, B], D in [A, B).";
+        let p = parse_program(src).unwrap();
+        let r = &p.rules[0];
+        let ranges: Vec<&Expr> = r
+            .body
+            .iter()
+            .filter_map(|t| match t {
+                BodyTerm::Condition(e @ Expr::Range { .. }) => Some(e),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ranges.len(), 2);
+        match ranges[0] {
+            Expr::Range { kind, .. } => assert_eq!(*kind, IntervalKind::OpenClosed),
+            _ => unreachable!(),
+        }
+        match ranges[1] {
+            Expr::Range { kind, .. } => assert_eq!(*kind, IntervalKind::ClosedOpen),
+            _ => unreachable!(),
+        }
+        // The shift assignment parsed into an Id-literal shift.
+        assert!(r.body.iter().any(|t| matches!(
+            t,
+            BodyTerm::Assign { var, expr: Expr::Binary { op: BinOp::Add, .. } } if var == "K"
+        )));
+    }
+
+    #[test]
+    fn parses_facts() {
+        let p = parse_program("F0 nextFingerFix@NI(NI, 0).\nSB0 pred@NI(NI,\"-\",\"-\").").unwrap();
+        assert_eq!(p.facts.len(), 2);
+        assert_eq!(p.facts[0].name, "nextFingerFix");
+        assert_eq!(p.facts[0].id.as_deref(), Some("F0"));
+        assert_eq!(p.facts[1].args[1], Expr::Const(Value::str("-")));
+    }
+
+    #[test]
+    fn parses_disjunctive_condition() {
+        let src = "F8 nextFingerFix@NI(NI,0) :- eagerFinger@NI(NI,I,B,BI), ((I == 159) || (BI == NI)).";
+        let p = parse_program(src).unwrap();
+        let conds: Vec<_> = p.rules[0]
+            .body
+            .iter()
+            .filter(|t| matches!(t, BodyTerm::Condition(_)))
+            .collect();
+        assert_eq!(conds.len(), 1);
+        match conds[0] {
+            BodyTerm::Condition(Expr::Binary { op: BinOp::Or, .. }) => {}
+            other => panic!("expected `||` condition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_rules_without_ids() {
+        let p = parse_program("bestSucc@NI(NI,S,SI) :- succ@NI(NI,S,SI).").unwrap();
+        assert_eq!(p.rules.len(), 1);
+        assert!(p.rules[0].id.starts_with("rule"));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse_program("R1 foo(X) :- bar(X)").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+        assert!(parse_program("R1 foo(X) :- .").is_err());
+        assert!(parse_program("materialize(t, -1, 10, keys(1)).").is_err());
+        assert!(parse_program("R1 delete foo(X).").is_err());
+        assert!(parse_program("R1 foo(count<X) :- bar(X).").is_err());
+    }
+
+    #[test]
+    fn parses_function_with_location_annotation() {
+        let src = "R6 member@Y(Y, X, S, T, true) :- refreshSeq@X(X, S), neighbor@X(X, Y), T := f_now@Y().";
+        let p = parse_program(src).unwrap();
+        let assign = p.rules[0]
+            .body
+            .iter()
+            .find_map(|t| match t {
+                BodyTerm::Assign { expr, .. } => Some(expr),
+                _ => None,
+            })
+            .unwrap();
+        match assign {
+            Expr::Call { name, location, .. } => {
+                assert_eq!(name, "f_now");
+                assert_eq!(location.as_deref(), Some("Y"));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+        // `true` / `false` in heads are boolean literals.
+        let p = parse_program("R1 foo(true) :- bar(X).").unwrap();
+        assert_eq!(
+            p.rules[0].head.args[0],
+            HeadArg::Expr(Expr::Const(Value::Bool(true)))
+        );
+    }
+}

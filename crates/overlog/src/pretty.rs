@@ -1,0 +1,254 @@
+//! Pretty-printer: renders an AST back to OverLog source.
+//!
+//! Used for debugging, for the `compactness` experiment (rule counting on
+//! canonical output), and for parser round-trip tests: parsing the printed
+//! form must reproduce the same AST.
+
+use std::fmt::Write as _;
+
+use p2_pel::{BinOp, IntervalKind, UnOp};
+use p2_value::Value;
+
+use crate::ast::{
+    BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program, Rule,
+    SizeBound,
+};
+
+/// Renders a whole program as OverLog source text.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for m in &program.materializations {
+        let _ = writeln!(out, "{}", materialize_to_string(m));
+    }
+    for f in &program.facts {
+        let _ = writeln!(out, "{}", fact_to_string(f));
+    }
+    for r in &program.rules {
+        let _ = writeln!(out, "{}", rule_to_string(r));
+    }
+    out
+}
+
+/// Renders a `materialize` statement.
+pub fn materialize_to_string(m: &Materialize) -> String {
+    let lifetime = match m.lifetime {
+        Lifetime::Infinity => "infinity".to_string(),
+        Lifetime::Secs(s) => format_number(s),
+    };
+    let size = match m.max_size {
+        SizeBound::Infinity => "infinity".to_string(),
+        SizeBound::Rows(n) => n.to_string(),
+    };
+    let keys = m
+        .keys
+        .iter()
+        .map(|k| k.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("materialize({}, {lifetime}, {size}, keys({keys})).", m.name)
+}
+
+/// Renders a fact.
+pub fn fact_to_string(f: &Fact) -> String {
+    let id = f.id.as_deref().map(|i| format!("{i} ")).unwrap_or_default();
+    let loc = f
+        .location
+        .as_deref()
+        .map(|l| format!("@{l}"))
+        .unwrap_or_default();
+    let args = f.args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+    format!("{id}{}{loc}({args}).", f.name)
+}
+
+/// Renders a rule.
+pub fn rule_to_string(r: &Rule) -> String {
+    let delete = if r.delete { "delete " } else { "" };
+    let body = r
+        .body
+        .iter()
+        .map(body_term_to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{} {delete}{} :- {body}.", r.id, head_to_string(&r.head))
+}
+
+fn head_to_string(h: &Head) -> String {
+    let loc = h
+        .location
+        .as_deref()
+        .map(|l| format!("@{l}"))
+        .unwrap_or_default();
+    let args = h
+        .args
+        .iter()
+        .map(|a| match a {
+            HeadArg::Expr(e) => expr_to_string(e),
+            HeadArg::Agg(agg) => format!(
+                "{}<{}>",
+                agg.func.name(),
+                agg.var.as_deref().unwrap_or("*")
+            ),
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{}{loc}({args})", h.name)
+}
+
+fn predicate_to_string(p: &Predicate) -> String {
+    let not = if p.negated { "not " } else { "" };
+    let loc = p
+        .location
+        .as_deref()
+        .map(|l| format!("@{l}"))
+        .unwrap_or_default();
+    let args = p.args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+    format!("{not}{}{loc}({args})", p.name)
+}
+
+fn body_term_to_string(t: &BodyTerm) -> String {
+    match t {
+        BodyTerm::Predicate(p) => predicate_to_string(p),
+        BodyTerm::Assign { var, expr } => format!("{var} := {}", expr_to_string(expr)),
+        BodyTerm::Condition(e) => expr_to_string(e),
+    }
+}
+
+/// Renders an expression (fully parenthesized to keep round-tripping simple).
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Var(v) => v.clone(),
+        Expr::Wildcard => "_".to_string(),
+        Expr::Const(v) => const_to_string(v),
+        Expr::Call {
+            name,
+            location,
+            args,
+        } => {
+            let loc = location
+                .as_deref()
+                .map(|l| format!("@{l}"))
+                .unwrap_or_default();
+            let args = args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+            format!("{name}{loc}({args})")
+        }
+        Expr::Unary { op, expr } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}({})", expr_to_string(expr))
+        }
+        Expr::Binary { op, lhs, rhs } => format!(
+            "({} {} {})",
+            expr_to_string(lhs),
+            binop_symbol(*op),
+            expr_to_string(rhs)
+        ),
+        Expr::Range {
+            kind,
+            value,
+            low,
+            high,
+        } => {
+            let (open, close) = match kind {
+                IntervalKind::OpenOpen => ("(", ")"),
+                IntervalKind::OpenClosed => ("(", "]"),
+                IntervalKind::ClosedOpen => ("[", ")"),
+                IntervalKind::ClosedClosed => ("[", "]"),
+            };
+            format!(
+                "{} in {open}{}, {}{close}",
+                expr_to_string(value),
+                expr_to_string(low),
+                expr_to_string(high)
+            )
+        }
+    }
+}
+
+fn const_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("\"{s}\""),
+        Value::Bool(b) => b.to_string(),
+        Value::Null => "null".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Double(d) => format_number(*d),
+        Value::Id(id) => format!("{}I", id.low_u64()),
+        Value::Time(t) => format_number(t.as_secs_f64()),
+    }
+}
+
+fn format_number(d: f64) -> String {
+    if d.fract() == 0.0 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+fn binop_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SAMPLE: &str = r#"
+        materialize(succ, 10, 100, keys(2)).
+        materialize(node, infinity, 1, keys(1)).
+        F0 nextFingerFix@NI(NI, 0).
+        L1 lookupResults@R(R,K,S,SI,E) :- node@NI(NI,N), lookup@NI(NI,K,R,E),
+           bestSucc@NI(NI,S,SI), K in (N,S].
+        L2 bestLookupDist@NI(NI,K,R,E,min<D>) :- node@NI(NI,N), lookup@NI(NI,K,R,E),
+           finger@NI(NI,I,B,BI), D := K - B - 1, B in (N,K).
+        L3 delete fFix@NI(NI,E,I1) :- eagerFinger@NI(NI,I,B,BI), fFix@NI(NI,E,I1),
+           I > 0, I1 == I - 1.
+        S1 succCount@NI(NI,count<*>) :- succ@NI(NI,S,SI).
+        F3 lookup@NI(NI,K,NI,E) :- fFixEvent@NI(NI,E,I), node@NI(NI,N), K := (1I << I) + N.
+    "#;
+
+    #[test]
+    fn round_trip_reproduces_ast() {
+        let original = parse_program(SAMPLE).unwrap();
+        let printed = program_to_string(&original);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("pretty output failed to reparse: {e}\n{printed}"));
+        assert_eq!(original, reparsed, "printed form:\n{printed}");
+    }
+
+    #[test]
+    fn materialize_formats() {
+        let p = parse_program("materialize(member, 120, infinity, keys(2)).").unwrap();
+        assert_eq!(
+            materialize_to_string(&p.materializations[0]),
+            "materialize(member, 120, infinity, keys(2))."
+        );
+    }
+
+    #[test]
+    fn rule_format_is_readable() {
+        let p = parse_program("N1 bestSucc@NI(NI,S,SI) :- succ@NI(NI,S,SI).").unwrap();
+        assert_eq!(
+            rule_to_string(&p.rules[0]),
+            "N1 bestSucc@NI(NI, S, SI) :- succ@NI(NI, S, SI)."
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Byte-code operations for the PEL virtual machine.
+
+use p2_value::Value;
+
+use crate::expr::{BinOp, Builtin, IntervalKind, UnOp};
+
+/// A single PEL byte-code operation.
+///
+/// The VM is a pure stack machine: operations pop their operands from the
+/// evaluation stack and push their result. Programs are produced by
+/// [`crate::Program::compile`] from an [`crate::Expr`] in post-order, which
+/// is exactly the RPN/postfix form described in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Push a literal value.
+    Push(Value),
+    /// Push field `n` of the input tuple.
+    Load(usize),
+    /// Pop one value, apply the unary operator, push the result.
+    Unary(UnOp),
+    /// Pop two values (rhs first), apply the binary operator, push result.
+    Binary(BinOp),
+    /// Pop `arity` arguments (last argument on top), call the builtin.
+    Call(Builtin),
+    /// Pop high, low, value; push the ring-interval membership boolean.
+    Interval(IntervalKind),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_are_cloneable_and_comparable() {
+        let a = Op::Push(Value::Int(1));
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, Op::Load(0));
+        assert_ne!(Op::Binary(BinOp::Add), Op::Binary(BinOp::Sub));
+    }
+}

@@ -1,0 +1,225 @@
+//! The PEL byte-code compiler and stack virtual machine.
+
+use p2_value::{Tuple, Value, ValueError};
+
+use crate::context::EvalContext;
+use crate::expr::{self, Expr};
+use crate::ops::Op;
+
+/// A compiled PEL program.
+///
+/// Dataflow elements (selections, projections, aggregations) are
+/// parameterized by one or more compiled programs; each program evaluates a
+/// single expression over an input tuple and yields one value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    ops: Vec<Op>,
+    /// Upper bound on the evaluation stack depth, computed at compile time so
+    /// the VM can pre-allocate.
+    max_stack: usize,
+}
+
+impl Program {
+    /// Compiles an expression AST into byte-code.
+    pub fn compile(expr: &Expr) -> Program {
+        let mut ops = Vec::new();
+        emit(expr, &mut ops);
+        let max_stack = stack_bound(&ops);
+        Program { ops, max_stack }
+    }
+
+    /// The compiled operations (for inspection and benchmarks).
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Evaluates the program against a tuple, yielding a single value.
+    pub fn eval(&self, tuple: &Tuple, ctx: &mut EvalContext) -> Result<Value, ValueError> {
+        let mut stack: Vec<Value> = Vec::with_capacity(self.max_stack);
+        for op in &self.ops {
+            match op {
+                Op::Push(v) => stack.push(v.clone()),
+                Op::Load(i) => stack.push(tuple.get(*i)?.clone()),
+                Op::Unary(u) => {
+                    let v = pop(&mut stack)?;
+                    stack.push(expr::apply_unop(*u, v)?);
+                }
+                Op::Binary(b) => {
+                    let rhs = pop(&mut stack)?;
+                    let lhs = pop(&mut stack)?;
+                    stack.push(expr::apply_binop(*b, &lhs, &rhs)?);
+                }
+                Op::Call(builtin) => {
+                    let arity = builtin.arity();
+                    if stack.len() < arity {
+                        return Err(stack_underflow());
+                    }
+                    let args: Vec<Value> = stack.split_off(stack.len() - arity);
+                    stack.push(expr::apply_builtin(*builtin, &args, ctx)?);
+                }
+                Op::Interval(kind) => {
+                    let high = pop(&mut stack)?;
+                    let low = pop(&mut stack)?;
+                    let value = pop(&mut stack)?;
+                    stack.push(expr::apply_interval(*kind, &value, &low, &high)?);
+                }
+            }
+        }
+        pop(&mut stack)
+    }
+
+    /// Evaluates the program and interprets the result as a boolean
+    /// (selection filters).
+    pub fn eval_bool(&self, tuple: &Tuple, ctx: &mut EvalContext) -> Result<bool, ValueError> {
+        Ok(self.eval(tuple, ctx)?.truthy())
+    }
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value, ValueError> {
+    stack.pop().ok_or_else(stack_underflow)
+}
+
+fn stack_underflow() -> ValueError {
+    ValueError::TypeMismatch {
+        op: "pel vm",
+        got: "stack underflow".to_string(),
+    }
+}
+
+/// Emits post-order byte-code for an expression.
+fn emit(expr: &Expr, out: &mut Vec<Op>) {
+    match expr {
+        Expr::Const(v) => out.push(Op::Push(v.clone())),
+        Expr::Field(i) => out.push(Op::Load(*i)),
+        Expr::Unary(op, e) => {
+            emit(e, out);
+            out.push(Op::Unary(*op));
+        }
+        Expr::Binary(op, a, b) => {
+            emit(a, out);
+            emit(b, out);
+            out.push(Op::Binary(*op));
+        }
+        Expr::Call(builtin, args) => {
+            for a in args {
+                emit(a, out);
+            }
+            out.push(Op::Call(*builtin));
+        }
+        Expr::Interval {
+            kind,
+            value,
+            low,
+            high,
+        } => {
+            emit(value, out);
+            emit(low, out);
+            emit(high, out);
+            out.push(Op::Interval(*kind));
+        }
+    }
+}
+
+/// Computes an upper bound on the stack depth of a program.
+fn stack_bound(ops: &[Op]) -> usize {
+    let mut depth: isize = 0;
+    let mut max: isize = 0;
+    for op in ops {
+        let delta: isize = match op {
+            Op::Push(_) | Op::Load(_) => 1,
+            Op::Unary(_) => 0,
+            Op::Binary(_) => -1,
+            Op::Call(b) => 1 - b.arity() as isize,
+            Op::Interval(_) => -2,
+        };
+        depth += delta;
+        max = max.max(depth);
+    }
+    max.max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Builtin, IntervalKind};
+    use p2_value::{SimTime, TupleBuilder, Uint160};
+
+    fn ctx() -> EvalContext {
+        let mut c = EvalContext::new("n1", 7);
+        c.set_now(SimTime::from_secs(50));
+        c
+    }
+
+    fn tup() -> Tuple {
+        TupleBuilder::new("t")
+            .push(3i64)
+            .push(4i64)
+            .push(Value::Id(Uint160::from_u64(77)))
+            .build()
+    }
+
+    #[test]
+    fn compile_produces_postfix() {
+        let e = Expr::bin(BinOp::Add, Expr::Field(0), Expr::int(2));
+        let p = Program::compile(&e);
+        assert_eq!(
+            p.ops(),
+            &[Op::Load(0), Op::Push(Value::Int(2)), Op::Binary(BinOp::Add)]
+        );
+    }
+
+    #[test]
+    fn vm_matches_reference_interpreter() {
+        let exprs = vec![
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::Field(0), Expr::Field(1)),
+                Expr::int(100),
+            ),
+            Expr::bin(
+                BinOp::Gt,
+                Expr::bin(BinOp::Sub, Expr::Call(Builtin::Now, vec![]), Expr::int(10)),
+                Expr::int(20),
+            ),
+            Expr::Interval {
+                kind: IntervalKind::OpenClosed,
+                value: Box::new(Expr::Field(2)),
+                low: Box::new(Expr::int(10)),
+                high: Box::new(Expr::int(100)),
+            },
+            Expr::Call(Builtin::Sha1, vec![Expr::Field(0)]),
+            Expr::Unary(crate::expr::UnOp::Not, Box::new(Expr::Field(0))),
+        ];
+        for e in exprs {
+            let direct = e.eval(&tup(), &mut ctx());
+            let via_vm = Program::compile(&e).eval(&tup(), &mut ctx());
+            assert_eq!(direct, via_vm, "mismatch for {e:?}");
+        }
+    }
+
+    #[test]
+    fn eval_bool() {
+        let p = Program::compile(&Expr::bin(BinOp::Lt, Expr::Field(0), Expr::Field(1)));
+        assert!(p.eval_bool(&tup(), &mut ctx()).unwrap());
+        let p = Program::compile(&Expr::bin(BinOp::Gt, Expr::Field(0), Expr::Field(1)));
+        assert!(!p.eval_bool(&tup(), &mut ctx()).unwrap());
+    }
+
+    #[test]
+    fn stack_bound_is_respected() {
+        // Deeply right-nested additions: a + (b + (c + ...))
+        let mut e = Expr::int(1);
+        for i in 0..50 {
+            e = Expr::bin(BinOp::Add, Expr::int(i), e);
+        }
+        let p = Program::compile(&e);
+        assert!(p.max_stack >= 2);
+        assert_eq!(p.eval(&tup(), &mut ctx()).unwrap(), Value::Int(1226));
+    }
+
+    #[test]
+    fn field_out_of_range_propagates() {
+        let p = Program::compile(&Expr::Field(9));
+        assert!(p.eval(&tup(), &mut ctx()).is_err());
+    }
+}

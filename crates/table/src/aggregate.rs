@@ -1,0 +1,138 @@
+//! Aggregation functions (`min<X>`, `max<X>`, `count<*>`, `sum<X>`, `avg<X>`).
+
+use p2_value::{Value, ValueError};
+
+/// An aggregation function usable in an OverLog rule head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Minimum of the aggregated values.
+    Min,
+    /// Maximum of the aggregated values.
+    Max,
+    /// Number of contributing tuples (`count<*>`).
+    Count,
+    /// Sum of the aggregated values.
+    Sum,
+    /// Arithmetic mean of the aggregated values.
+    Avg,
+}
+
+impl AggFunc {
+    /// Resolves an OverLog aggregate keyword.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name {
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+
+    /// The OverLog keyword for this aggregate.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// Computes the aggregate over a set of contributing values.
+    ///
+    /// Returns `None` for an empty input on min/max/avg (no tuple groups are
+    /// produced), `Some(0)` for count/sum, matching SQL-style semantics.
+    pub fn apply(&self, values: &[Value]) -> Result<Option<Value>, ValueError> {
+        match self {
+            AggFunc::Count => Ok(Some(Value::Int(values.len() as i64))),
+            AggFunc::Sum => {
+                let mut acc = 0.0f64;
+                let mut all_int = true;
+                for v in values {
+                    if !matches!(v, Value::Int(_)) {
+                        all_int = false;
+                    }
+                    acc += v.to_double()?;
+                }
+                Ok(Some(if all_int {
+                    Value::Int(acc as i64)
+                } else {
+                    Value::Double(acc)
+                }))
+            }
+            AggFunc::Avg => {
+                if values.is_empty() {
+                    return Ok(None);
+                }
+                let mut acc = 0.0f64;
+                for v in values {
+                    acc += v.to_double()?;
+                }
+                Ok(Some(Value::Double(acc / values.len() as f64)))
+            }
+            AggFunc::Min => Ok(values.iter().min().cloned()),
+            AggFunc::Max => Ok(values.iter().max().cloned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_value::Uint160;
+
+    #[test]
+    fn from_name() {
+        assert_eq!(AggFunc::from_name("min"), Some(AggFunc::Min));
+        assert_eq!(AggFunc::from_name("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("median"), None);
+        assert_eq!(AggFunc::Sum.name(), "sum");
+    }
+
+    #[test]
+    fn count_and_sum_on_empty() {
+        assert_eq!(AggFunc::Count.apply(&[]).unwrap(), Some(Value::Int(0)));
+        assert_eq!(AggFunc::Sum.apply(&[]).unwrap(), Some(Value::Int(0)));
+        assert_eq!(AggFunc::Min.apply(&[]).unwrap(), None);
+        assert_eq!(AggFunc::Avg.apply(&[]).unwrap(), None);
+    }
+
+    #[test]
+    fn min_max_over_ids() {
+        let vals = vec![
+            Value::Id(Uint160::from_u64(30)),
+            Value::Id(Uint160::from_u64(5)),
+            Value::Id(Uint160::from_u64(500)),
+        ];
+        assert_eq!(
+            AggFunc::Min.apply(&vals).unwrap(),
+            Some(Value::Id(Uint160::from_u64(5)))
+        );
+        assert_eq!(
+            AggFunc::Max.apply(&vals).unwrap(),
+            Some(Value::Id(Uint160::from_u64(500)))
+        );
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let ints = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(AggFunc::Sum.apply(&ints).unwrap(), Some(Value::Int(6)));
+        assert_eq!(AggFunc::Avg.apply(&ints).unwrap(), Some(Value::Double(2.0)));
+        let mixed = vec![Value::Int(1), Value::Double(0.5)];
+        assert_eq!(
+            AggFunc::Sum.apply(&mixed).unwrap(),
+            Some(Value::Double(1.5))
+        );
+        assert!(AggFunc::Sum.apply(&[Value::str("x")]).is_err());
+    }
+
+    #[test]
+    fn count_ignores_types() {
+        let vals = vec![Value::str("a"), Value::Null, Value::Int(1)];
+        assert_eq!(AggFunc::Count.apply(&vals).unwrap(), Some(Value::Int(3)));
+    }
+}

@@ -1,0 +1,119 @@
+//! The per-node catalog of materialized tables.
+//!
+//! Tables are "named using unique IDs, and consequently can be shared
+//! between different queries and/or dataflow elements" (§3.2). The catalog
+//! owns one shared handle per declared table; dataflow elements clone the
+//! handle they need.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::spec::TableSpec;
+use crate::table::Table;
+
+/// A shared, internally synchronized handle to a table.
+///
+/// A P2 node is single-threaded (run-to-completion), so the lock is never
+/// contended in practice; it exists so that node state can be moved across
+/// threads by the experiment harness (parameter sweeps run simulations in
+/// parallel).
+pub type TableRef = Arc<Mutex<Table>>;
+
+/// All materialized tables of one node.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableRef>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Declares a table (no-op if a table with this name already exists,
+    /// mirroring P2's idempotent handling of repeated materialize statements
+    /// when several overlays share definitions).
+    pub fn declare(&mut self, spec: TableSpec) -> TableRef {
+        self.tables
+            .entry(spec.name.clone())
+            .or_insert_with(|| Arc::new(Mutex::new(Table::new(spec))))
+            .clone()
+    }
+
+    /// Returns the table with the given name, if declared.
+    pub fn get(&self, name: &str) -> Option<TableRef> {
+        self.tables.get(name).cloned()
+    }
+
+    /// True if `name` is a declared (materialized) table; everything else is
+    /// a transient stream.
+    pub fn is_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all declared tables.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total approximate resident bytes across all tables (footprint metric).
+    pub fn resident_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.lock().resident_bytes()).sum()
+    }
+
+    /// Expires soft state in every table; returns the number of expired rows.
+    pub fn expire_all(&self, now: p2_value::SimTime) -> usize {
+        self.tables
+            .values()
+            .map(|t| t.lock().expire(now).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_value::{SimTime, TupleBuilder};
+
+    #[test]
+    fn declare_and_share() {
+        let mut cat = Catalog::new();
+        let a = cat.declare(TableSpec::new("succ", vec![1]));
+        let b = cat.declare(TableSpec::new("succ", vec![1]));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(cat.is_table("succ"));
+        assert!(!cat.is_table("lookup"));
+        assert_eq!(cat.names(), vec!["succ".to_string()]);
+    }
+
+    #[test]
+    fn expire_all_sweeps_every_table() {
+        let mut cat = Catalog::new();
+        let t1 = cat.declare(TableSpec::new("a", vec![0]).with_lifetime_secs(5));
+        let t2 = cat.declare(TableSpec::new("b", vec![0]).with_lifetime_secs(5));
+        t1.lock()
+            .insert(TupleBuilder::new("a").push(1i64).build(), SimTime::ZERO)
+            .unwrap();
+        t2.lock()
+            .insert(TupleBuilder::new("b").push(2i64).build(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(cat.expire_all(SimTime::from_secs(10)), 2);
+        assert!(t1.lock().is_empty() && t2.lock().is_empty());
+    }
+
+    #[test]
+    fn resident_bytes_sums_tables() {
+        let mut cat = Catalog::new();
+        let t = cat.declare(TableSpec::new("a", vec![0]));
+        assert_eq!(cat.resident_bytes(), 0);
+        t.lock()
+            .insert(TupleBuilder::new("a").push("hello").build(), SimTime::ZERO)
+            .unwrap();
+        assert!(cat.resident_bytes() > 0);
+    }
+}

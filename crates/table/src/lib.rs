@@ -1,0 +1,27 @@
+//! Soft-state tables for the P2 dataflow engine.
+//!
+//! OverLog `materialize(name, lifetime, size, keys(...))` statements declare
+//! tables; everything else is a transient stream. This crate implements the
+//! table layer described in §3.2 of the paper:
+//!
+//! * tuples are retained for at most `lifetime` seconds (soft state) and the
+//!   table holds at most `size` rows (FIFO eviction);
+//! * every table has a primary key — inserting a tuple with an existing key
+//!   replaces the old row (this is how `sequence`, `bestSucc`,
+//!   `nextFingerFix` behave as updatable singletons);
+//! * in-memory secondary indices provide fast equality lookups for the
+//!   equijoin elements;
+//! * filters written in PEL can be applied to table scans;
+//! * incremental aggregates (min/max/count/sum) can be computed over a table
+//!   with optional group-by, which backs the "aggregate elements that
+//!   maintain an up-to-date aggregate on a table" of §3.4.
+
+pub mod aggregate;
+pub mod catalog;
+pub mod spec;
+pub mod table;
+
+pub use aggregate::AggFunc;
+pub use catalog::{Catalog, TableRef};
+pub use spec::TableSpec;
+pub use table::{InsertOutcome, Table};

@@ -1,0 +1,84 @@
+//! Table declarations (`materialize` statements).
+
+use p2_value::SimTime;
+
+/// Declaration of a materialized table, mirroring OverLog's
+/// `materialize(name, lifetime, size, keys(...))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Relation name.
+    pub name: String,
+    /// Soft-state lifetime of each tuple; `None` means `infinity`.
+    pub lifetime: Option<SimTime>,
+    /// Maximum number of rows; `None` means `infinity`.
+    pub max_size: Option<usize>,
+    /// Zero-based field positions forming the primary key. An empty key
+    /// means the whole tuple is the key.
+    pub primary_key: Vec<usize>,
+}
+
+impl TableSpec {
+    /// Creates a spec with unbounded lifetime and size keyed on the given
+    /// (zero-based) field positions.
+    pub fn new(name: impl Into<String>, primary_key: Vec<usize>) -> TableSpec {
+        TableSpec {
+            name: name.into(),
+            lifetime: None,
+            max_size: None,
+            primary_key,
+        }
+    }
+
+    /// Sets the soft-state lifetime in seconds.
+    pub fn with_lifetime_secs(mut self, secs: u64) -> TableSpec {
+        self.lifetime = Some(SimTime::from_secs(secs));
+        self
+    }
+
+    /// Sets the soft-state lifetime.
+    pub fn with_lifetime(mut self, lifetime: Option<SimTime>) -> TableSpec {
+        self.lifetime = lifetime;
+        self
+    }
+
+    /// Sets the maximum number of rows.
+    pub fn with_max_size(mut self, size: usize) -> TableSpec {
+        self.max_size = Some(size);
+        self
+    }
+
+    /// Returns the key positions used to extract a primary key from a tuple
+    /// of the given arity (falls back to all fields when the declared key is
+    /// empty).
+    pub fn key_positions(&self, arity: usize) -> Vec<usize> {
+        if self.primary_key.is_empty() {
+            (0..arity).collect()
+        } else {
+            self.primary_key.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let s = TableSpec::new("member", vec![1])
+            .with_lifetime_secs(120)
+            .with_max_size(1000);
+        assert_eq!(s.name, "member");
+        assert_eq!(s.lifetime, Some(SimTime::from_secs(120)));
+        assert_eq!(s.max_size, Some(1000));
+        assert_eq!(s.primary_key, vec![1]);
+    }
+
+    #[test]
+    fn key_positions_default_to_whole_tuple() {
+        let s = TableSpec::new("link", vec![]);
+        assert_eq!(s.key_positions(3), vec![0, 1, 2]);
+        let s = TableSpec::new("succ", vec![1]);
+        assert_eq!(s.key_positions(3), vec![1]);
+    }
+}

@@ -1,0 +1,524 @@
+//! The in-memory soft-state table.
+
+use std::collections::{HashMap, HashSet};
+
+use p2_pel::{EvalContext, Program};
+use p2_value::{SimTime, Tuple, Value, ValueError};
+
+use crate::aggregate::AggFunc;
+use crate::spec::TableSpec;
+
+/// Result of inserting a tuple into a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The primary key was not present; a new row was added.
+    New,
+    /// A row with the same primary key and identical fields existed; its
+    /// soft-state timestamp was refreshed.
+    Refreshed,
+    /// A row with the same primary key but different fields was replaced;
+    /// the displaced tuple is returned.
+    Replaced(Tuple),
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    tuple: Tuple,
+    inserted_at: SimTime,
+}
+
+/// A node-local, in-memory, soft-state table.
+///
+/// Rows are keyed by the primary key declared in the [`TableSpec`]; optional
+/// secondary indices support the equality lookups performed by equijoin
+/// elements. Rows expire after the spec's lifetime and the oldest row is
+/// evicted when the size bound is exceeded.
+#[derive(Debug)]
+pub struct Table {
+    spec: TableSpec,
+    rows: HashMap<Vec<Value>, Row>,
+    /// Secondary indices: indexed column positions -> column values -> set of
+    /// primary keys.
+    secondary: HashMap<Vec<usize>, HashMap<Vec<Value>, HashSet<Vec<Value>>>>,
+}
+
+impl Table {
+    /// Creates an empty table from its declaration.
+    pub fn new(spec: TableSpec) -> Table {
+        Table {
+            spec,
+            rows: HashMap::new(),
+            secondary: HashMap::new(),
+        }
+    }
+
+    /// The table's declaration.
+    pub fn spec(&self) -> &TableSpec {
+        &self.spec
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate resident size in bytes (used by the footprint benchmark).
+    pub fn resident_bytes(&self) -> usize {
+        self.rows
+            .values()
+            .map(|r| r.tuple.wire_size() + std::mem::size_of::<Row>())
+            .sum()
+    }
+
+    /// Declares a secondary index over the given (zero-based) columns.
+    ///
+    /// Existing rows are indexed immediately; declaring the same index twice
+    /// is a no-op.
+    pub fn add_index(&mut self, mut cols: Vec<usize>) {
+        cols.sort_unstable();
+        cols.dedup();
+        if cols.is_empty() || self.secondary.contains_key(&cols) {
+            return;
+        }
+        let mut index: HashMap<Vec<Value>, HashSet<Vec<Value>>> = HashMap::new();
+        for (key, row) in &self.rows {
+            if let Some(ix_key) = extract(&row.tuple, &cols) {
+                index.entry(ix_key).or_default().insert(key.clone());
+            }
+        }
+        self.secondary.insert(cols, index);
+    }
+
+    /// The set of secondary index column lists (for planner introspection).
+    pub fn indexes(&self) -> Vec<Vec<usize>> {
+        self.secondary.keys().cloned().collect()
+    }
+
+    fn primary_key_of(&self, tuple: &Tuple) -> Result<Vec<Value>, ValueError> {
+        let positions = self.spec.key_positions(tuple.arity());
+        let mut key = Vec::with_capacity(positions.len());
+        for p in positions {
+            key.push(tuple.get(p)?.clone());
+        }
+        Ok(key)
+    }
+
+    fn index_insert(&mut self, key: &[Value], tuple: &Tuple) {
+        for (cols, index) in self.secondary.iter_mut() {
+            if let Some(ix_key) = extract(tuple, cols) {
+                index.entry(ix_key).or_default().insert(key.to_vec());
+            }
+        }
+    }
+
+    fn index_remove(&mut self, key: &[Value], tuple: &Tuple) {
+        for (cols, index) in self.secondary.iter_mut() {
+            if let Some(ix_key) = extract(tuple, cols) {
+                if let Some(set) = index.get_mut(&ix_key) {
+                    set.remove(key);
+                    if set.is_empty() {
+                        index.remove(&ix_key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts a tuple, returning the outcome and any rows evicted to honour
+    /// the size bound.
+    pub fn insert(
+        &mut self,
+        tuple: Tuple,
+        now: SimTime,
+    ) -> Result<(InsertOutcome, Vec<Tuple>), ValueError> {
+        let key = self.primary_key_of(&tuple)?;
+        let outcome = if let Some(existing) = self.rows.get_mut(&key) {
+            if existing.tuple.values() == tuple.values() {
+                existing.inserted_at = now;
+                InsertOutcome::Refreshed
+            } else {
+                let old = existing.tuple.clone();
+                // Replace the row and fix up the secondary indices.
+                existing.tuple = tuple.clone();
+                existing.inserted_at = now;
+                self.index_remove(&key, &old);
+                self.index_insert(&key, &tuple);
+                InsertOutcome::Replaced(old)
+            }
+        } else {
+            self.rows.insert(
+                key.clone(),
+                Row {
+                    tuple: tuple.clone(),
+                    inserted_at: now,
+                },
+            );
+            self.index_insert(&key, &tuple);
+            InsertOutcome::New
+        };
+
+        let mut evicted = Vec::new();
+        if let Some(max) = self.spec.max_size {
+            while self.rows.len() > max {
+                // Evict the stalest row (FIFO on refresh-adjusted time), but
+                // never the row we just inserted.
+                let victim = self
+                    .rows
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, r)| r.inserted_at)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(vk) => {
+                        if let Some(row) = self.rows.remove(&vk) {
+                            self.index_remove(&vk, &row.tuple);
+                            evicted.push(row.tuple);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok((outcome, evicted))
+    }
+
+    /// Removes rows whose primary key matches `tuple`'s and whose remaining
+    /// fields are equal to `tuple`'s; returns the removed tuples.
+    ///
+    /// This backs OverLog `delete` rules, which name the full tuple to
+    /// remove.
+    pub fn delete_matching(&mut self, tuple: &Tuple) -> Result<Vec<Tuple>, ValueError> {
+        let key = self.primary_key_of(tuple)?;
+        let mut removed = Vec::new();
+        if let Some(row) = self.rows.get(&key) {
+            if row.tuple.values() == tuple.values() || row_matches_loosely(&row.tuple, tuple) {
+                let row = self.rows.remove(&key).expect("present");
+                self.index_remove(&key, &row.tuple);
+                removed.push(row.tuple);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Removes the row with the given primary key, if present.
+    pub fn delete_key(&mut self, key: &[Value]) -> Option<Tuple> {
+        let row = self.rows.remove(key)?;
+        self.index_remove(key, &row.tuple);
+        Some(row.tuple)
+    }
+
+    /// Removes and returns every row older than the table's lifetime.
+    pub fn expire(&mut self, now: SimTime) -> Vec<Tuple> {
+        let Some(lifetime) = self.spec.lifetime else {
+            return Vec::new();
+        };
+        let stale: Vec<Vec<Value>> = self
+            .rows
+            .iter()
+            .filter(|(_, r)| now.saturating_sub(r.inserted_at) > lifetime)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut out = Vec::with_capacity(stale.len());
+        for key in stale {
+            if let Some(row) = self.rows.remove(&key) {
+                self.index_remove(&key, &row.tuple);
+                out.push(row.tuple);
+            }
+        }
+        out
+    }
+
+    /// Returns all live rows (in unspecified order).
+    pub fn scan(&self) -> Vec<Tuple> {
+        self.rows.values().map(|r| r.tuple.clone()).collect()
+    }
+
+    /// Returns rows whose values at `cols` equal `values`.
+    ///
+    /// Uses a secondary index when one has been declared over exactly these
+    /// columns (after sorting); otherwise falls back to a scan.
+    pub fn lookup(&self, cols: &[usize], values: &[Value]) -> Vec<Tuple> {
+        let mut pairs: Vec<(usize, &Value)> = cols.iter().copied().zip(values.iter()).collect();
+        pairs.sort_by_key(|(c, _)| *c);
+        let sorted_cols: Vec<usize> = pairs.iter().map(|(c, _)| *c).collect();
+        let sorted_vals: Vec<Value> = pairs.iter().map(|(_, v)| (*v).clone()).collect();
+
+        if let Some(index) = self.secondary.get(&sorted_cols) {
+            let Some(keys) = index.get(&sorted_vals) else {
+                return Vec::new();
+            };
+            return keys
+                .iter()
+                .filter_map(|k| self.rows.get(k))
+                .map(|r| r.tuple.clone())
+                .collect();
+        }
+
+        self.rows
+            .values()
+            .filter(|r| {
+                sorted_cols
+                    .iter()
+                    .zip(sorted_vals.iter())
+                    .all(|(c, v)| r.tuple.get(*c).map(|f| f == v).unwrap_or(false))
+            })
+            .map(|r| r.tuple.clone())
+            .collect()
+    }
+
+    /// Returns the single row with the given primary key, if any.
+    pub fn get(&self, key: &[Value]) -> Option<Tuple> {
+        self.rows.get(key).map(|r| r.tuple.clone())
+    }
+
+    /// Returns rows accepted by a PEL filter program.
+    pub fn filter_scan(
+        &self,
+        filter: &Program,
+        ctx: &mut EvalContext,
+    ) -> Result<Vec<Tuple>, ValueError> {
+        let mut out = Vec::new();
+        for row in self.rows.values() {
+            if filter.eval_bool(&row.tuple, ctx)? {
+                out.push(row.tuple.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `func` over column `agg_col` of every live row, grouped by
+    /// `group_cols`. Returns one `(group_values, aggregate)` pair per group.
+    ///
+    /// For `count<*>` pass `agg_col = None`.
+    pub fn aggregate(
+        &self,
+        func: AggFunc,
+        agg_col: Option<usize>,
+        group_cols: &[usize],
+    ) -> Result<Vec<(Vec<Value>, Value)>, ValueError> {
+        let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+        for row in self.rows.values() {
+            let Some(group_key) = extract(&row.tuple, group_cols) else {
+                continue;
+            };
+            let contribution = match agg_col {
+                Some(c) => match row.tuple.get(c) {
+                    Ok(v) => v.clone(),
+                    Err(_) => continue,
+                },
+                None => Value::Int(1),
+            };
+            groups.entry(group_key).or_default().push(contribution);
+        }
+        let mut out = Vec::with_capacity(groups.len());
+        for (key, vals) in groups {
+            if let Some(agg) = func.apply(&vals)? {
+                out.push((key, agg));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Extracts the values at `cols`, or `None` if any column is out of range.
+fn extract(tuple: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
+    cols.iter()
+        .map(|&c| tuple.get(c).ok().cloned())
+        .collect::<Option<Vec<Value>>>()
+}
+
+/// A delete pattern matches a stored row if every non-null field is equal;
+/// null fields in the pattern act as wildcards.
+fn row_matches_loosely(stored: &Tuple, pattern: &Tuple) -> bool {
+    if stored.arity() != pattern.arity() {
+        return false;
+    }
+    stored
+        .values()
+        .iter()
+        .zip(pattern.values())
+        .all(|(s, p)| p.is_null() || s == p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_value::TupleBuilder;
+
+    fn succ_spec() -> TableSpec {
+        TableSpec::new("succ", vec![1]).with_lifetime_secs(10).with_max_size(4)
+    }
+
+    fn succ(s: i64, si: &str) -> Tuple {
+        TupleBuilder::new("succ").push("n1").push(s).push(si).build()
+    }
+
+    #[test]
+    fn insert_new_refresh_replace() {
+        let mut t = Table::new(succ_spec());
+        let (o, ev) = t.insert(succ(5, "n5"), SimTime::from_secs(1)).unwrap();
+        assert_eq!(o, InsertOutcome::New);
+        assert!(ev.is_empty());
+        assert_eq!(t.len(), 1);
+
+        // Same primary key (field 1) and same fields -> refresh.
+        let (o, _) = t.insert(succ(5, "n5"), SimTime::from_secs(2)).unwrap();
+        assert_eq!(o, InsertOutcome::Refreshed);
+        assert_eq!(t.len(), 1);
+
+        // Same primary key, different payload -> replace.
+        let (o, _) = t.insert(succ(5, "n5-alias"), SimTime::from_secs(3)).unwrap();
+        assert!(matches!(o, InsertOutcome::Replaced(_)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&[Value::Int(5)]).unwrap().field(2), &Value::str("n5-alias"));
+    }
+
+    #[test]
+    fn size_bound_evicts_stalest() {
+        let mut t = Table::new(succ_spec());
+        for (i, s) in [10i64, 20, 30, 40].iter().enumerate() {
+            t.insert(succ(*s, "x"), SimTime::from_secs(i as u64)).unwrap();
+        }
+        assert_eq!(t.len(), 4);
+        // Refresh the oldest so it is no longer the eviction victim.
+        t.insert(succ(10, "x"), SimTime::from_secs(50)).unwrap();
+        let (_, evicted) = t.insert(succ(99, "x"), SimTime::from_secs(51)).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].field(1), &Value::Int(20));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn expiry_honours_lifetime() {
+        let mut t = Table::new(succ_spec());
+        t.insert(succ(1, "a"), SimTime::from_secs(0)).unwrap();
+        t.insert(succ(2, "b"), SimTime::from_secs(8)).unwrap();
+        let gone = t.expire(SimTime::from_secs(11));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].field(1), &Value::Int(1));
+        assert_eq!(t.len(), 1);
+        // Refreshing extends the lifetime.
+        t.insert(succ(2, "b"), SimTime::from_secs(12)).unwrap();
+        assert!(t.expire(SimTime::from_secs(20)).is_empty());
+        assert_eq!(t.expire(SimTime::from_secs(23)).len(), 1);
+    }
+
+    #[test]
+    fn infinite_lifetime_never_expires() {
+        let mut t = Table::new(TableSpec::new("node", vec![0]));
+        t.insert(
+            TupleBuilder::new("node").push("n1").push(5i64).build(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert!(t.expire(SimTime::from_secs(1_000_000)).is_empty());
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut t = Table::new(TableSpec::new("member", vec![1]).with_max_size(100));
+        t.add_index(vec![2]);
+        for i in 0..20i64 {
+            let tup = TupleBuilder::new("member")
+                .push("n1")
+                .push(format!("m{i}"))
+                .push(i % 4)
+                .build();
+            t.insert(tup, SimTime::ZERO).unwrap();
+        }
+        let hits = t.lookup(&[2], &[Value::Int(3)]);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.field(2) == &Value::Int(3)));
+        // Lookup on a non-indexed column falls back to scanning.
+        let hits = t.lookup(&[1], &[Value::str("m7")]);
+        assert_eq!(hits.len(), 1);
+        // Index declared after the fact still sees existing rows.
+        t.add_index(vec![1]);
+        assert_eq!(t.lookup(&[1], &[Value::str("m7")]).len(), 1);
+    }
+
+    #[test]
+    fn index_consistency_across_replace_and_delete() {
+        let mut t = Table::new(TableSpec::new("finger", vec![1]));
+        t.add_index(vec![2]);
+        let f = |i: i64, b: &str| {
+            TupleBuilder::new("finger").push("n1").push(i).push(b).build()
+        };
+        t.insert(f(0, "a"), SimTime::ZERO).unwrap();
+        t.insert(f(1, "a"), SimTime::ZERO).unwrap();
+        t.insert(f(0, "b"), SimTime::ZERO).unwrap(); // replaces finger 0
+        assert_eq!(t.lookup(&[2], &[Value::str("a")]).len(), 1);
+        assert_eq!(t.lookup(&[2], &[Value::str("b")]).len(), 1);
+        t.delete_key(&[Value::Int(1)]);
+        assert!(t.lookup(&[2], &[Value::str("a")]).is_empty());
+    }
+
+    #[test]
+    fn delete_matching_full_tuple() {
+        let mut t = Table::new(TableSpec::new("neighbor", vec![1]));
+        let n = |y: &str| TupleBuilder::new("neighbor").push("n1").push(y).build();
+        t.insert(n("n2"), SimTime::ZERO).unwrap();
+        t.insert(n("n3"), SimTime::ZERO).unwrap();
+        let removed = t.delete_matching(&n("n2")).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(t.len(), 1);
+        // Deleting a non-existent row is a no-op.
+        assert!(t.delete_matching(&n("n9")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn aggregates_over_table() {
+        let mut t = Table::new(TableSpec::new("succDist", vec![1]));
+        for (s, d) in [(5i64, 4i64), (9, 8), (3, 2)] {
+            let tup = TupleBuilder::new("succDist").push("n1").push(s).push(d).build();
+            t.insert(tup, SimTime::ZERO).unwrap();
+        }
+        let agg = t.aggregate(AggFunc::Min, Some(2), &[0]).unwrap();
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].0, vec![Value::str("n1")]);
+        assert_eq!(agg[0].1, Value::Int(2));
+
+        let count = t.aggregate(AggFunc::Count, None, &[0]).unwrap();
+        assert_eq!(count[0].1, Value::Int(3));
+
+        // Empty table: min produces no groups, so nothing is emitted.
+        let empty = Table::new(TableSpec::new("x", vec![0]));
+        assert!(empty.aggregate(AggFunc::Min, Some(1), &[0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filter_scan_with_pel() {
+        use p2_pel::{BinOp, Expr};
+        let mut t = Table::new(TableSpec::new("member", vec![1]));
+        for i in 0..10i64 {
+            let tup = TupleBuilder::new("member").push("n1").push(i).push(i * 10).build();
+            t.insert(tup, SimTime::ZERO).unwrap();
+        }
+        let filter = Program::compile(&Expr::bin(BinOp::Ge, Expr::Field(2), Expr::int(70)));
+        let mut ctx = EvalContext::new("n1", 1);
+        let hits = t.filter_scan(&filter, &mut ctx).unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn resident_bytes_grows_with_rows() {
+        let mut t = Table::new(TableSpec::new("m", vec![1]));
+        let before = t.resident_bytes();
+        t.insert(
+            TupleBuilder::new("m").push("n1").push(1i64).build(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert!(t.resident_bytes() > before);
+    }
+}

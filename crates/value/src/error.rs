@@ -1,0 +1,62 @@
+//! Error type for value conversions and arithmetic.
+
+use std::fmt;
+
+/// Error raised when a [`crate::Value`] cannot be converted to the requested
+/// representation or when an operation is applied to incompatible operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// The value's type does not support the requested conversion.
+    TypeMismatch {
+        /// Operation or conversion that failed (for diagnostics).
+        op: &'static str,
+        /// Human-readable description of the value that was involved.
+        got: String,
+    },
+    /// A tuple field index was out of range.
+    FieldOutOfRange {
+        /// Index that was requested.
+        index: usize,
+        /// Number of fields in the tuple.
+        len: usize,
+    },
+    /// Division or modulo by zero.
+    DivideByZero,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::TypeMismatch { op, got } => {
+                write!(f, "type mismatch in `{op}`: got {got}")
+            }
+            ValueError::FieldOutOfRange { index, len } => {
+                write!(f, "tuple field {index} out of range (len {len})")
+            }
+            ValueError::DivideByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ValueError::TypeMismatch {
+            op: "to_int",
+            got: "\"abc\"".to_string(),
+        };
+        assert!(e.to_string().contains("to_int"));
+        assert!(e.to_string().contains("abc"));
+
+        let e = ValueError::FieldOutOfRange { index: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+
+        assert_eq!(ValueError::DivideByZero.to_string(), "division by zero");
+    }
+}

@@ -1,0 +1,30 @@
+//! Concrete type system of the P2 declarative overlay engine.
+//!
+//! The original P2 system (SOSP 2005, "Implementing Declarative Overlays")
+//! passes *reference-counted, immutable* tuples of dynamically typed values
+//! between dataflow elements. This crate reproduces that concrete type
+//! system:
+//!
+//! * [`Value`] — the dynamically typed scalar (null, boolean, signed
+//!   integer, double, string/address, 160-bit identifier, timestamp),
+//!   together with the conversion rules between types.
+//! * [`Uint160`] — a 160-bit unsigned integer with wrapping (ring)
+//!   arithmetic, used for Chord-style identifier spaces.
+//! * [`Tuple`] — an immutable, cheaply clonable, named vector of values; the
+//!   unit of data transfer between dataflow elements and the row type of
+//!   soft-state tables.
+//! * A wire-size model ([`Tuple::wire_size`]) used by the network simulator
+//!   for bandwidth accounting.
+
+pub mod error;
+pub mod time;
+pub mod tuple;
+pub mod uint160;
+pub mod value;
+pub mod wire;
+
+pub use error::ValueError;
+pub use time::SimTime;
+pub use tuple::{Tuple, TupleBuilder};
+pub use uint160::Uint160;
+pub use value::Value;

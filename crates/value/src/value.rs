@@ -1,0 +1,469 @@
+//! The dynamically typed scalar passed between P2 dataflow elements.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::ValueError;
+use crate::time::SimTime;
+use crate::uint160::Uint160;
+
+/// A dynamically typed P2 value.
+///
+/// P2's concrete type system ("Values ... include strings, integers,
+/// timestamps, and large unique identifiers") is reproduced here together
+/// with the conversion rules between the types. Node addresses are
+/// represented as strings (the paper is deliberately vague about the
+/// addressing scheme; the network simulator resolves address strings to
+/// simulated endpoints).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The null / absent value (also the value of the `"-"` address in
+    /// OverLog programs once parsed, though it is kept as a string there).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A double-precision float.
+    Double(f64),
+    /// A string; also used for node addresses and tuple/table names.
+    Str(Arc<str>),
+    /// A 160-bit identifier on the Chord ring.
+    Id(Uint160),
+    /// A point in (simulated) time.
+    Time(SimTime),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Human-readable name of the value's type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Double(_) => "double",
+            Value::Str(_) => "str",
+            Value::Id(_) => "id",
+            Value::Time(_) => "time",
+        }
+    }
+
+    /// True if the value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a boolean.
+    ///
+    /// Numbers are truthy when non-zero; strings when non-empty; null is
+    /// false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Double(d) => *d != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Id(id) => !id.is_zero(),
+            Value::Time(t) => t.as_micros() != 0,
+        }
+    }
+
+    /// Converts to a signed integer.
+    pub fn to_int(&self) -> Result<i64, ValueError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Bool(b) => Ok(*b as i64),
+            Value::Double(d) => Ok(*d as i64),
+            Value::Time(t) => Ok(t.as_micros() as i64),
+            Value::Id(id) => Ok(id.low_u64() as i64),
+            Value::Str(s) => s.parse::<i64>().map_err(|_| ValueError::TypeMismatch {
+                op: "to_int",
+                got: format!("{self}"),
+            }),
+            Value::Null => Err(ValueError::TypeMismatch {
+                op: "to_int",
+                got: "null".to_string(),
+            }),
+        }
+    }
+
+    /// Converts to a non-negative shift amount / small count.
+    pub fn to_u32(&self) -> Result<u32, ValueError> {
+        let i = self.to_int()?;
+        if (0..=u32::MAX as i64).contains(&i) {
+            Ok(i as u32)
+        } else {
+            Err(ValueError::TypeMismatch {
+                op: "to_u32",
+                got: format!("{self}"),
+            })
+        }
+    }
+
+    /// Converts to a double.
+    ///
+    /// Timestamps convert to seconds so that OverLog programs can write
+    /// `f_now() - T > 20` with the paper's second-granularity thresholds.
+    pub fn to_double(&self) -> Result<f64, ValueError> {
+        match self {
+            Value::Double(d) => Ok(*d),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Bool(b) => Ok(*b as i64 as f64),
+            Value::Time(t) => Ok(t.as_secs_f64()),
+            Value::Str(s) => s.parse::<f64>().map_err(|_| ValueError::TypeMismatch {
+                op: "to_double",
+                got: format!("{self}"),
+            }),
+            Value::Id(_) | Value::Null => Err(ValueError::TypeMismatch {
+                op: "to_double",
+                got: format!("{self}"),
+            }),
+        }
+    }
+
+    /// Converts to a 160-bit identifier.
+    ///
+    /// Integers widen; strings are hashed into the identifier space (this is
+    /// how node addresses become Chord IDs).
+    pub fn to_id(&self) -> Result<Uint160, ValueError> {
+        match self {
+            Value::Id(id) => Ok(*id),
+            Value::Int(i) if *i >= 0 => Ok(Uint160::from_u64(*i as u64)),
+            Value::Str(s) => Ok(Uint160::hash_of(s.as_bytes())),
+            _ => Err(ValueError::TypeMismatch {
+                op: "to_id",
+                got: format!("{self}"),
+            }),
+        }
+    }
+
+    /// Converts to a timestamp.
+    pub fn to_time(&self) -> Result<SimTime, ValueError> {
+        match self {
+            Value::Time(t) => Ok(*t),
+            Value::Int(i) if *i >= 0 => Ok(SimTime::from_secs(*i as u64)),
+            Value::Double(d) => Ok(SimTime::from_secs_f64(*d)),
+            _ => Err(ValueError::TypeMismatch {
+                op: "to_time",
+                got: format!("{self}"),
+            }),
+        }
+    }
+
+    /// Returns the string content if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Converts to an owned display string (used for address routing).
+    pub fn to_display_string(&self) -> String {
+        format!("{self}")
+    }
+
+    /// A rank used to order values of different types (so that heterogeneous
+    /// comparisons and index keys are total).
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Double(_) => 3,
+            Value::Time(_) => 4,
+            Value::Id(_) => 5,
+            Value::Str(_) => 6,
+        }
+    }
+
+    /// Number of bytes this value occupies in the simulated wire encoding.
+    ///
+    /// The sizes approximate a tagged XDR-like encoding: one type tag byte
+    /// plus the payload. Bandwidth figures only require the model to be
+    /// consistent between the declarative and hand-coded implementations.
+    pub fn wire_size(&self) -> usize {
+        1 + match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Double(_) | Value::Time(_) => 8,
+            Value::Id(_) => 20,
+            Value::Str(s) => 4 + s.len(),
+        }
+    }
+
+    /// Numeric comparison across Int/Double/Time/Bool; falls back to the
+    /// structural ordering for other combinations.
+    pub fn compare(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Id(a), Id(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Time(a), Time(b)) => a.cmp(b),
+            (Int(_) | Double(_) | Bool(_) | Time(_), Int(_) | Double(_) | Bool(_) | Time(_)) => {
+                let a = self.to_double().unwrap_or(f64::NAN);
+                let b = other.to_double().unwrap_or(f64::NAN);
+                a.total_cmp(&b)
+            }
+            (Id(a), Int(b)) if *b >= 0 => a.cmp(&Uint160::from_u64(*b as u64)),
+            (Int(a), Id(b)) if *a >= 0 => Uint160::from_u64(*a as u64).cmp(b),
+            _ => self
+                .type_rank()
+                .cmp(&other.type_rank())
+                .then_with(|| self.structural_cmp(other)),
+        }
+    }
+
+    fn structural_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Id(a), Id(b)) => a.cmp(b),
+            (Time(a), Time(b)) => a.cmp(b),
+            _ => Ordering::Equal,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.compare(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.compare(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.compare(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash must be compatible with `compare`-based equality: numeric
+        // types that can compare equal must hash identically, so all numeric
+        // variants hash through their f64 bit pattern.
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(_) | Value::Int(_) | Value::Double(_) | Value::Time(_) => {
+                1u8.hash(state);
+                let d = self.to_double().unwrap_or(f64::NAN);
+                d.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Id(id) => {
+                3u8.hash(state);
+                id.limbs().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Id(id) => write!(f, "{id}"),
+            Value::Time(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<Uint160> for Value {
+    fn from(v: Uint160) -> Self {
+        Value::Id(v)
+    }
+}
+
+impl From<SimTime> for Value {
+    fn from(v: SimTime) -> Self {
+        Value::Time(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Int(42).to_int().unwrap(), 42);
+        assert_eq!(Value::Double(2.9).to_int().unwrap(), 2);
+        assert_eq!(Value::Bool(true).to_int().unwrap(), 1);
+        assert_eq!(Value::str("17").to_int().unwrap(), 17);
+        assert!(Value::str("xyz").to_int().is_err());
+        assert!(Value::Null.to_int().is_err());
+
+        assert_eq!(Value::Int(3).to_double().unwrap(), 3.0);
+        assert_eq!(
+            Value::Time(SimTime::from_millis(2500)).to_double().unwrap(),
+            2.5
+        );
+
+        assert_eq!(Value::Int(5).to_id().unwrap(), Uint160::from_u64(5));
+        assert_eq!(
+            Value::str("n1").to_id().unwrap(),
+            Uint160::hash_of(b"n1")
+        );
+        assert!(Value::Double(1.0).to_id().is_err());
+
+        assert_eq!(Value::Int(3).to_time().unwrap(), SimTime::from_secs(3));
+        assert_eq!(
+            Value::Double(0.5).to_time().unwrap(),
+            SimTime::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::str("").truthy());
+        assert!(!Value::Id(Uint160::ZERO).truthy());
+    }
+
+    #[test]
+    fn numeric_comparisons_cross_type() {
+        assert_eq!(Value::Int(2), Value::Double(2.0));
+        assert!(Value::Int(2) < Value::Double(2.5));
+        assert!(Value::Time(SimTime::from_secs(3)) > Value::Int(2));
+        assert_eq!(Value::Time(SimTime::from_secs(3)), Value::Int(3));
+        assert!(Value::Bool(true) == Value::Int(1));
+    }
+
+    #[test]
+    fn id_comparisons() {
+        assert!(Value::Id(Uint160::from_u64(5)) < Value::Id(Uint160::from_u64(9)));
+        assert_eq!(Value::Id(Uint160::from_u64(5)), Value::Int(5));
+    }
+
+    #[test]
+    fn heterogeneous_ordering_is_total_and_consistent() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Double(0.5),
+            Value::str("abc"),
+            Value::Id(Uint160::from_u64(9)),
+            Value::Time(SimTime::from_secs(1)),
+        ];
+        for a in &vals {
+            for b in &vals {
+                // Antisymmetry of the ordering.
+                if a.compare(b) == Ordering::Less {
+                    assert_eq!(b.compare(a), Ordering::Greater, "{a} vs {b}");
+                }
+                // Hash/eq consistency.
+                if a == b {
+                    assert_eq!(hash_of(a), hash_of(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_numerics_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Double(7.0)));
+        assert_eq!(
+            hash_of(&Value::Time(SimTime::from_secs(7))),
+            hash_of(&Value::Int(7))
+        );
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(Value::Null.wire_size(), 1);
+        assert_eq!(Value::Bool(true).wire_size(), 2);
+        assert_eq!(Value::Int(1).wire_size(), 9);
+        assert_eq!(Value::Id(Uint160::ONE).wire_size(), 21);
+        assert_eq!(Value::str("abcd").wire_size(), 1 + 4 + 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::str("n3").to_string(), "n3");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}
