@@ -172,14 +172,11 @@ impl BaselineChord {
             addr: addr.to_string(),
         });
         let me = self.id;
-        self.successors
-            .sort_by_key(|p| me.ring_distance_to(p.id));
+        self.successors.sort_by_key(|p| me.ring_distance_to(p.id));
         self.successors.truncate(self.config.successor_count);
         // Third-party information starts the liveness clock but does not
         // count as hearing from the peer itself.
-        self.last_heard
-            .entry(addr.to_string())
-            .or_insert(self.now);
+        self.last_heard.entry(addr.to_string()).or_insert(self.now);
     }
 
     fn remove_peer(&mut self, addr: &str) {
@@ -197,11 +194,7 @@ impl BaselineChord {
     /// The finger (or successor) closest to, but preceding, `key`.
     fn closest_preceding(&self, key: Uint160) -> Option<&Peer> {
         let mut best: Option<&Peer> = None;
-        let candidates = self
-            .fingers
-            .iter()
-            .flatten()
-            .chain(self.successors.iter());
+        let candidates = self.fingers.iter().flatten().chain(self.successors.iter());
         for peer in candidates {
             if peer.addr == self.addr {
                 continue;
@@ -219,7 +212,13 @@ impl BaselineChord {
         best.or_else(|| self.successors.iter().find(|p| p.addr != self.addr))
     }
 
-    fn handle_lookup(&mut self, key: Uint160, requester: &str, event: i64, out: &mut Vec<Envelope>) {
+    fn handle_lookup(
+        &mut self,
+        key: Uint160,
+        requester: &str,
+        event: i64,
+        out: &mut Vec<Envelope>,
+    ) {
         if let Some(succ) = self.best_successor() {
             if key.in_oc(self.id, succ.id) {
                 let result = TupleBuilder::new("lookupResults")

@@ -54,8 +54,12 @@ fn bench_pel(c: &mut Criterion) {
 
 fn bench_tuples(c: &mut Criterion) {
     let tuple = sample_tuple();
-    c.bench_function("tuple_clone_refcounted", |b| b.iter(|| black_box(tuple.clone())));
-    c.bench_function("tuple_marshal", |b| b.iter(|| wire::marshal(black_box(&tuple))));
+    c.bench_function("tuple_clone_refcounted", |b| {
+        b.iter(|| black_box(tuple.clone()))
+    });
+    c.bench_function("tuple_marshal", |b| {
+        b.iter(|| wire::marshal(black_box(&tuple)))
+    });
     let bytes = wire::marshal(&tuple);
     c.bench_function("tuple_unmarshal", |b| {
         b.iter(|| wire::unmarshal(black_box(&bytes)).unwrap())
@@ -77,8 +81,15 @@ fn bench_table(c: &mut Criterion) {
         b.iter(|| t.lookup(black_box(&[2]), black_box(&[Value::Int(7)])))
     });
     c.bench_function("table_insert_refresh", |b| {
-        let tup = TupleBuilder::new("member").push("n0").push(42i64).push(2i64).build();
-        b.iter(|| t.insert(black_box(tup.clone()), SimTime::from_secs(1)).unwrap())
+        let tup = TupleBuilder::new("member")
+            .push("n0")
+            .push(42i64)
+            .push(2i64)
+            .build();
+        b.iter(|| {
+            t.insert(black_box(tup.clone()), SimTime::from_secs(1))
+                .unwrap()
+        })
     });
 }
 
@@ -99,7 +110,10 @@ fn bench_elements(c: &mut Criterion) {
     g.connect(q1, 0, sel, 0);
     g.connect(sel, 0, q2, 0);
     let mut engine = Engine::new(g, "n0", 1);
-    engine.set_entry(Route { element: q1, port: 0 });
+    engine.set_entry(Route {
+        element: q1,
+        port: 0,
+    });
     let tuple = sample_tuple();
     c.bench_function("element_handoff_chain_of_3", |b| {
         b.iter(|| engine.deliver(black_box(tuple.clone()), SimTime::ZERO))
@@ -120,12 +134,84 @@ fn bench_elements(c: &mut Criterion) {
     let mut g = Graph::new();
     let join = g.add("join", Box::new(Join::new(table, vec![(0, 0)], "probe")));
     let mut engine = Engine::new(g, "node0:11111", 1);
-    engine.set_entry(Route { element: join, port: 0 });
-    let probe = TupleBuilder::new("ev").push("node0:11111").push(1i64).build();
+    engine.set_entry(Route {
+        element: join,
+        port: 0,
+    });
+    let probe = TupleBuilder::new("ev")
+        .push("node0:11111")
+        .push(1i64)
+        .build();
     c.bench_function("equijoin_probe_100_row_table", |b| {
         b.iter(|| engine.deliver(black_box(probe.clone()), SimTime::ZERO))
     });
 }
 
-criterion_group!(benches, bench_pel, bench_tuples, bench_table, bench_elements);
+/// Storage-engine benchmarks backing the table overhaul's perf claims:
+/// bounded insert (O(log n) eviction instead of an O(n) victim scan),
+/// expiry ticks (O(expired) instead of a full-row sweep), and indexed
+/// probes at growing row counts.
+fn bench_table_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_storage");
+
+    fn filled(rows: i64) -> Table {
+        let mut t = Table::new(
+            TableSpec::new("member", vec![1])
+                .with_lifetime_secs(3600)
+                .with_max_size(rows as usize),
+        );
+        t.add_index(vec![2]);
+        for i in 0..rows {
+            let tup = TupleBuilder::new("member")
+                .push("n0")
+                .push(i)
+                .push(i % 64)
+                .build();
+            t.insert(tup, SimTime::from_secs(i as u64)).unwrap();
+        }
+        t
+    }
+
+    for rows in [1_000i64, 10_000, 100_000] {
+        // Insert at the size bound: every insert evicts the stalest row.
+        let mut t = filled(rows);
+        let mut next = rows;
+        group.bench_function(format!("insert_with_eviction_{rows}"), |b| {
+            b.iter(|| {
+                next += 1;
+                let tup = TupleBuilder::new("member")
+                    .push("n0")
+                    .push(next)
+                    .push(next % 64)
+                    .build();
+                t.insert(black_box(tup), SimTime::from_secs(next as u64))
+                    .unwrap()
+            })
+        });
+
+        // Idle expiry tick: nothing has expired; the engine must answer in
+        // O(log n) rather than scanning every row.
+        let mut t = filled(rows);
+        group.bench_function(format!("expire_tick_idle_{rows}"), |b| {
+            b.iter(|| black_box(t.expire_count(SimTime::from_secs(10))))
+        });
+
+        // Indexed probe on the secondary index.
+        let t = filled(rows);
+        group.bench_function(format!("indexed_probe_{rows}"), |b| {
+            let probe = [Value::Int(7)];
+            b.iter(|| t.lookup_iter(black_box(&[2]), black_box(&probe)).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pel,
+    bench_tuples,
+    bench_table,
+    bench_table_storage,
+    bench_elements
+);
 criterion_main!(benches);

@@ -16,7 +16,10 @@ fn main() {
     let r = baseline_compare(n, lookups, warmup, 7);
 
     println!("=== Declarative (P2) vs hand-coded Chord, N={} ===", r.n);
-    println!("{:<34} {:>14} {:>14}", "metric", "P2 (OverLog)", "hand-coded");
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "metric", "P2 (OverLog)", "hand-coded"
+    );
     println!(
         "{:<34} {:>14.3} {:>14.3}",
         "ring correctness", r.p2_ring_correctness, r.baseline_ring_correctness

@@ -25,7 +25,10 @@ fn main() {
     let results = static_chord(&params);
 
     println!("=== Figure 3(i): lookup hop-count distribution ===");
-    println!("{:>6} {:>10} {:>12}   frequency by hop count", "N", "mean", "log2(N)/2");
+    println!(
+        "{:>6} {:>10} {:>12}   frequency by hop count",
+        "N", "mean", "log2(N)/2"
+    );
     for r in &results {
         let freqs: Vec<String> = r
             .hop_frequencies

@@ -26,7 +26,10 @@ fn main() {
     println!("=== Figure 4(i): maintenance bandwidth under churn ===");
     println!("{:>14} {:>22}", "session (min)", "maintenance (bytes/s)");
     for r in &results {
-        println!("{:>14} {:>22.1}", r.session_minutes, r.maintenance_bw_per_node);
+        println!(
+            "{:>14} {:>22.1}",
+            r.session_minutes, r.maintenance_bw_per_node
+        );
     }
 
     println!();
@@ -48,7 +51,10 @@ fn main() {
     println!();
     println!("=== Figure 4(iii): lookup latency under churn ===");
     for r in &results {
-        print_cdf_summary(&format!("session {} min", r.session_minutes), &r.latency_cdf);
+        print_cdf_summary(
+            &format!("session {} min", r.session_minutes),
+            &r.latency_cdf,
+        );
     }
 
     if std::env::args().any(|a| a == "--json") {

@@ -1,0 +1,167 @@
+//! Table storage-engine benchmark: measures the operations the PR-1
+//! overhaul targets and writes the results to `BENCH_table.json` so the
+//! perf trajectory is tracked from this PR on.
+//!
+//! Measured at 1k / 10k / 100k rows:
+//!
+//! * `insert_evict_ns` — insert into a table at its size bound, so every
+//!   insert evicts the stalest row (seed: O(n) victim scan; now O(log n));
+//! * `expire_tick_ns` — an idle expiry sweep with nothing expired (seed:
+//!   O(n) full-row scan; now O(log n) staleness-queue peek);
+//! * `expire_half_ns_per_row` — per-row cost of expiring half the table;
+//! * `indexed_probe_ns` — secondary-index lookup walking ~rows/64 hits;
+//! * `primary_get_ns` — primary-key point lookup.
+//!
+//! Usage: `cargo run --release --bin table_bench [-- --out PATH]`
+
+use std::time::Instant;
+
+use p2_bench::to_json;
+use p2_table::{Table, TableSpec};
+use p2_value::{SimTime, TupleBuilder, Value};
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+struct SizeResult {
+    rows: usize,
+    insert_evict_ns: f64,
+    expire_tick_ns: f64,
+    expire_half_ns_per_row: f64,
+    indexed_probe_ns: f64,
+    primary_get_ns: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    bench: String,
+    results: Vec<SizeResult>,
+}
+
+fn member(i: i64) -> p2_value::Tuple {
+    TupleBuilder::new("member")
+        .push("n0")
+        .push(i)
+        .push(i % 64)
+        .build()
+}
+
+fn filled(rows: usize, lifetime_secs: u64) -> Table {
+    let mut t = Table::new(
+        TableSpec::new("member", vec![1])
+            .with_lifetime_secs(lifetime_secs)
+            .with_max_size(rows),
+    );
+    t.add_index(vec![2]);
+    for i in 0..rows as i64 {
+        t.insert(member(i), SimTime::from_secs(i as u64)).unwrap();
+    }
+    t
+}
+
+/// Times `op` over `iters` invocations, returning mean ns per invocation.
+fn time_ns(iters: u64, mut op: impl FnMut(u64)) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        op(i);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_size(rows: usize) -> SizeResult {
+    let iters: u64 = match rows {
+        r if r >= 100_000 => 20_000,
+        r if r >= 10_000 => 50_000,
+        _ => 100_000,
+    };
+
+    // Bounded insert: table is at max_size, every insert evicts.
+    let mut t = filled(rows, 1 << 20);
+    let base = rows as i64;
+    let insert_evict_ns = time_ns(iters, |i| {
+        let n = base + i as i64;
+        t.insert(member(n), SimTime::from_secs(n as u64)).unwrap();
+        std::hint::black_box(t.len());
+    });
+
+    // Idle expiry tick: nothing is expired.
+    let mut t = filled(rows, 1 << 20);
+    let expire_tick_ns = time_ns(iters, |_| {
+        std::hint::black_box(t.expire_count(SimTime::from_secs(1)));
+    });
+
+    // Expiring half the rows, amortized per expired row.
+    let mut t = filled(rows, rows as u64 / 2);
+    let sweep = Instant::now();
+    let n = t.expire_count(SimTime::from_secs(rows as u64));
+    let expire_half_ns_per_row = if n > 0 {
+        sweep.elapsed().as_nanos() as f64 / n as f64
+    } else {
+        0.0
+    };
+
+    // Indexed probe (secondary index, ~rows/64 hits each).
+    let t = filled(rows, 1 << 20);
+    let probe = [Value::Int(7)];
+    let indexed_probe_ns = time_ns(iters.min(50_000), |_| {
+        std::hint::black_box(t.lookup_iter(&[2], &probe).count());
+    });
+
+    // Primary-key point lookup.
+    let primary_get_ns = time_ns(iters, |i| {
+        let key = [Value::Int((i % rows as u64) as i64)];
+        std::hint::black_box(t.get_ref(&key));
+    });
+
+    SizeResult {
+        rows,
+        insert_evict_ns,
+        expire_tick_ns,
+        expire_half_ns_per_row,
+        indexed_probe_ns,
+        primary_get_ns,
+    }
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_table.json".to_string())
+    };
+    // Fail on an unwritable output path up front, not after a minute of
+    // measurement.
+    if let Err(e) = std::fs::write(&out_path, "{}") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+
+    let mut results = Vec::new();
+    for rows in [1_000usize, 10_000, 100_000] {
+        eprintln!("benchmarking table storage at {rows} rows...");
+        let r = bench_size(rows);
+        eprintln!(
+            "  insert+evict {:>10.1} ns | expiry tick {:>9.1} ns | expire/row {:>9.1} ns | \
+             indexed probe {:>10.1} ns | get {:>7.1} ns",
+            r.insert_evict_ns,
+            r.expire_tick_ns,
+            r.expire_half_ns_per_row,
+            r.indexed_probe_ns,
+            r.primary_get_ns
+        );
+        results.push(r);
+    }
+
+    let report = BenchReport {
+        bench: "table_storage".to_string(),
+        results,
+    };
+    let json = to_json(&report);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -148,9 +148,8 @@ pub fn compile_expr(expr: &OExpr, layout: &Layout) -> Result<PExpr, PlanError> {
             .map(PExpr::Field)
             .ok_or_else(|| PlanError::program(format!("variable `{v}` is not bound here"))),
         OExpr::Call { name, args, .. } => {
-            let builtin = Builtin::from_name(name).ok_or_else(|| {
-                PlanError::program(format!("unknown built-in function `{name}`"))
-            })?;
+            let builtin = Builtin::from_name(name)
+                .ok_or_else(|| PlanError::program(format!("unknown built-in function `{name}`")))?;
             let mut compiled = Vec::with_capacity(args.len());
             for a in args {
                 compiled.push(compile_expr(a, layout)?);

@@ -311,7 +311,10 @@ mod tests {
         )
         .unwrap();
         n.start(SimTime::ZERO);
-        let out = n.deliver(TupleBuilder::new("probe").push("n1").build(), SimTime::from_secs(1));
+        let out = n.deliver(
+            TupleBuilder::new("probe").push("n1").build(),
+            SimTime::from_secs(1),
+        );
         assert!(out.is_empty());
         let member = n.table("member").unwrap();
         assert_eq!(member.lock().len(), 1);

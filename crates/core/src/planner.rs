@@ -154,9 +154,7 @@ impl<'a> Builder<'a> {
         // One Insert bridge per materialized table, fed from the demux.
         let mut insert_ids = HashMap::new();
         for m in &program.materializations {
-            let table = catalog
-                .get(&m.name)
-                .expect("table was declared just above");
+            let table = catalog.get(&m.name).expect("table was declared just above");
             let id = graph.add(format!("insert:{}", m.name), Box::new(Insert::new(table)));
             insert_ids.insert(m.name.clone(), id);
         }
@@ -188,9 +186,31 @@ impl<'a> Builder<'a> {
     }
 
     fn table_ref(&self, rule: &Rule, name: &str) -> Result<TableRef, PlanError> {
-        self.catalog
-            .get(name)
-            .ok_or_else(|| PlanError::in_rule(&rule.id, format!("`{name}` is not a materialized table")))
+        self.catalog.get(name).ok_or_else(|| {
+            PlanError::in_rule(&rule.id, format!("`{name}` is not a materialized table"))
+        })
+    }
+
+    /// Auto-declares the secondary index an equijoin/anti-join probe needs.
+    ///
+    /// Probes over exactly the table's primary-key columns are served by the
+    /// storage engine's primary index, so no redundant secondary index is
+    /// materialized for them.
+    fn declare_probe_index(&self, table: &TableRef, join_keys: &[(usize, usize)]) {
+        if join_keys.is_empty() {
+            return;
+        }
+        let mut cols: Vec<usize> = join_keys.iter().map(|(_, c)| *c).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        let mut table = table.lock();
+        let mut pk = table.spec().primary_key.clone();
+        pk.sort_unstable();
+        pk.dedup();
+        if !pk.is_empty() && pk == cols {
+            return;
+        }
+        table.add_index(cols);
     }
 
     fn build(mut self) -> Result<Planned, PlanError> {
@@ -256,7 +276,10 @@ impl<'a> Builder<'a> {
             .collect();
 
         if periodics.len() > 1 {
-            return Err(PlanError::in_rule(&rule.id, "at most one `periodic` term per rule"));
+            return Err(PlanError::in_rule(
+                &rule.id,
+                "at most one `periodic` term per rule",
+            ));
         }
         if !periodics.is_empty() && !streams.is_empty() {
             return Err(PlanError::in_rule(
@@ -298,7 +321,12 @@ impl<'a> Builder<'a> {
                     .filter(|(j, _)| *j != i)
                     .map(|(_, p)| *p)
                     .collect();
-                self.build_strand(rule, trigger, TriggerSource::TableDelta(&trigger.name), &others)?;
+                self.build_strand(
+                    rule,
+                    trigger,
+                    TriggerSource::TableDelta(&trigger.name),
+                    &others,
+                )?;
             }
             Ok(())
         }
@@ -333,7 +361,10 @@ impl<'a> Builder<'a> {
         }
         if !trigger_checks.is_empty() && !matches!(source, TriggerSource::Periodic(_)) {
             let select = Select::new(PelProgram::compile(&and_all(trigger_checks)));
-            chain.push(self.graph.add(format!("{}:trigger-select", rule.id), Box::new(select)));
+            chain.push(
+                self.graph
+                    .add(format!("{}:trigger-select", rule.id), Box::new(select)),
+            );
         }
 
         // --- Aggregate analysis.
@@ -345,7 +376,10 @@ impl<'a> Builder<'a> {
             None => None,
             Some(spec) => {
                 let table = self.choose_agg_table(rule, spec, trigger, other_tables)?;
-                Some(AggPlan { spec, table: Some(table) })
+                Some(AggPlan {
+                    spec,
+                    table: Some(table),
+                })
             }
         };
         let join_tables: Vec<&Predicate> = other_tables
@@ -364,14 +398,16 @@ impl<'a> Builder<'a> {
                 .bind_predicate(pred, true)
                 .map_err(|e| PlanError::in_rule(&rule.id, e.message))?;
             let table = self.table_ref(rule, &pred.name)?;
-            if !binding.join_keys.is_empty() {
-                let mut cols: Vec<usize> = binding.join_keys.iter().map(|(_, c)| *c).collect();
-                cols.sort_unstable();
-                cols.dedup();
-                table.lock().add_index(cols);
-            }
-            let join = Join::new(table, binding.join_keys.clone(), format!("{}#{}", rule.id, pred.name));
-            chain.push(self.graph.add(format!("{}:join:{}", rule.id, pred.name), Box::new(join)));
+            self.declare_probe_index(&table, &binding.join_keys);
+            let join = Join::new(
+                table,
+                binding.join_keys.clone(),
+                format!("{}#{}", rule.id, pred.name),
+            );
+            chain.push(
+                self.graph
+                    .add(format!("{}:join:{}", rule.id, pred.name), Box::new(join)),
+            );
 
             let mut checks: Vec<PExpr> = Vec::new();
             for (col, value) in &binding.const_checks {
@@ -390,7 +426,10 @@ impl<'a> Builder<'a> {
             }
             if !checks.is_empty() {
                 let select = Select::new(PelProgram::compile(&and_all(checks)));
-                chain.push(self.graph.add(format!("{}:join-select:{}", rule.id, pred.name), Box::new(select)));
+                chain.push(self.graph.add(
+                    format!("{}:join-select:{}", rule.id, pred.name),
+                    Box::new(select),
+                ));
             }
         }
 
@@ -409,14 +448,12 @@ impl<'a> Builder<'a> {
                 ));
             }
             let table = self.table_ref(rule, &pred.name)?;
-            if !binding.join_keys.is_empty() {
-                let mut cols: Vec<usize> = binding.join_keys.iter().map(|(_, c)| *c).collect();
-                cols.sort_unstable();
-                cols.dedup();
-                table.lock().add_index(cols);
-            }
+            self.declare_probe_index(&table, &binding.join_keys);
             let anti = AntiJoin::new(table, binding.join_keys);
-            chain.push(self.graph.add(format!("{}:antijoin:{}", rule.id, pred.name), Box::new(anti)));
+            chain.push(self.graph.add(
+                format!("{}:antijoin:{}", rule.id, pred.name),
+                Box::new(anti),
+            ));
         }
 
         // --- Assignments (dependency order), excluding the aggregate
@@ -448,7 +485,10 @@ impl<'a> Builder<'a> {
                             .collect();
                         fields.push(PelProgram::compile(&compiled));
                         let project = Project::new(format!("{}#assign:{}", rule.id, var), fields);
-                        chain.push(self.graph.add(format!("{}:assign:{}", rule.id, var), Box::new(project)));
+                        chain.push(
+                            self.graph
+                                .add(format!("{}:assign:{}", rule.id, var), Box::new(project)),
+                        );
                         layout.push_var(var.clone());
                         progress = true;
                     }
@@ -462,7 +502,9 @@ impl<'a> Builder<'a> {
             let vars: Vec<&String> = unresolved_assignments.iter().map(|(v, _)| *v).collect();
             return Err(PlanError::in_rule(
                 &rule.id,
-                format!("assignments to {vars:?} reference variables bound by no table in this strand"),
+                format!(
+                    "assignments to {vars:?} reference variables bound by no table in this strand"
+                ),
             ));
         }
 
@@ -486,7 +528,10 @@ impl<'a> Builder<'a> {
         }
         if !pre_conditions.is_empty() {
             let select = Select::new(PelProgram::compile(&and_all(pre_conditions)));
-            chain.push(self.graph.add(format!("{}:select", rule.id), Box::new(select)));
+            chain.push(
+                self.graph
+                    .add(format!("{}:select", rule.id), Box::new(select)),
+            );
         }
 
         // --- Aggregation.
@@ -557,7 +602,9 @@ impl<'a> Builder<'a> {
                 (Some(var), None) => {
                     return Err(PlanError::in_rule(
                         &rule.id,
-                        format!("aggregate variable `{var}` is bound by neither a table nor an assignment"),
+                        format!(
+                        "aggregate variable `{var}` is bound by neither a table nor an assignment"
+                    ),
                     ))
                 }
             };
@@ -574,7 +621,10 @@ impl<'a> Builder<'a> {
                 PelProgram::compile(&agg_expr),
                 format!("{}#agg", rule.id),
             );
-            chain.push(self.graph.add(format!("{}:agg:{}", rule.id, pred.name), Box::new(probe)));
+            chain.push(
+                self.graph
+                    .add(format!("{}:agg:{}", rule.id, pred.name), Box::new(probe)),
+            );
             layout = agg_layout;
             agg_field = Some(layout.push_anonymous());
         }
@@ -591,14 +641,20 @@ impl<'a> Builder<'a> {
                 }
                 HeadArg::Agg(_) => {
                     let pos = agg_field.ok_or_else(|| {
-                        PlanError::in_rule(&rule.id, "aggregate head argument without an aggregate plan")
+                        PlanError::in_rule(
+                            &rule.id,
+                            "aggregate head argument without an aggregate plan",
+                        )
                     })?;
                     fields.push(PelProgram::compile(&PExpr::Field(pos)));
                 }
             }
         }
         let project = Project::new(rule.head.name.clone(), fields);
-        chain.push(self.graph.add(format!("{}:head", rule.id), Box::new(project)));
+        chain.push(
+            self.graph
+                .add(format!("{}:head", rule.id), Box::new(project)),
+        );
 
         // --- Routing.
         self.route_head(rule, &mut chain, agg_field)?;
@@ -616,7 +672,8 @@ impl<'a> Builder<'a> {
                 let port = self.demux_port(name).ok_or_else(|| {
                     PlanError::in_rule(&rule.id, format!("no demux port for stream `{name}`"))
                 })?;
-                self.graph.connect(self.demux_id, port, entry.element, entry.port);
+                self.graph
+                    .connect(self.demux_id, port, entry.element, entry.port);
             }
             TriggerSource::TableDelta(name) => {
                 let insert = *self.insert_ids.get(name).ok_or_else(|| {
@@ -626,7 +683,9 @@ impl<'a> Builder<'a> {
             }
             TriggerSource::Periodic(pred) => {
                 let periodic = self.make_periodic(rule, pred)?;
-                let id = self.graph.add(format!("{}:periodic", rule.id), Box::new(periodic));
+                let id = self
+                    .graph
+                    .add(format!("{}:periodic", rule.id), Box::new(periodic));
                 self.graph.connect(id, 0, entry.element, entry.port);
             }
         }
@@ -655,7 +714,10 @@ impl<'a> Builder<'a> {
             }
             let table = self.table_ref(rule, &rule.head.name)?;
             let delete = Delete::new(table);
-            let id = self.graph.add(format!("{}:delete:{}", rule.id, rule.head.name), Box::new(delete));
+            let id = self.graph.add(
+                format!("{}:delete:{}", rule.id, rule.head.name),
+                Box::new(delete),
+            );
             chain.push(id);
             self.delete_ids
                 .entry(rule.head.name.clone())
@@ -689,7 +751,9 @@ impl<'a> Builder<'a> {
                         )
                     })?;
                 let netout = NetOut::new(dest_field);
-                let id = self.graph.add(format!("{}:netout", rule.id), Box::new(netout));
+                let id = self
+                    .graph
+                    .add(format!("{}:netout", rule.id), Box::new(netout));
                 chain.push(id);
                 // Local tuples wrap around into the demultiplexer.
                 self.graph.connect(id, 0, self.demux_id, 0);
@@ -748,7 +812,9 @@ impl<'a> Builder<'a> {
                 HeadArg::Expr(other) => {
                     return Err(PlanError::in_rule(
                         &rule.id,
-                        format!("materialized aggregate heads must use plain variables, found {other:?}"),
+                        format!(
+                        "materialized aggregate heads must use plain variables, found {other:?}"
+                    ),
                     ))
                 }
             }
@@ -758,7 +824,10 @@ impl<'a> Builder<'a> {
             Some(v) => Some(*columns.get(v.as_str()).ok_or_else(|| {
                 PlanError::in_rule(
                     &rule.id,
-                    format!("aggregate variable `{v}` is not a column of `{}`", pred.name),
+                    format!(
+                        "aggregate variable `{v}` is not a column of `{}`",
+                        pred.name
+                    ),
                 )
             })?),
         };
@@ -771,7 +840,9 @@ impl<'a> Builder<'a> {
             group_cols.clone(),
             format!("{}#tagg", rule.id),
         );
-        let agg_id = self.graph.add(format!("{}:tableagg:{}", rule.id, pred.name), Box::new(agg));
+        let agg_id = self
+            .graph
+            .add(format!("{}:tableagg:{}", rule.id, pred.name), Box::new(agg));
         self.table_aggs
             .entry(pred.name.clone())
             .or_default()
@@ -792,7 +863,11 @@ impl<'a> Builder<'a> {
             }
         }
         let project = Project::new(rule.head.name.clone(), fields);
-        let mut chain = vec![agg_id, self.graph.add(format!("{}:head", rule.id), Box::new(project))];
+        let mut chain = vec![
+            agg_id,
+            self.graph
+                .add(format!("{}:head", rule.id), Box::new(project)),
+        ];
         self.route_head(rule, &mut chain, Some(group_len))?;
         for pair in chain.windows(2) {
             self.graph.connect(pair[0], 0, pair[1], 0);
@@ -875,9 +950,9 @@ impl<'a> Builder<'a> {
                 ))
             }
         };
-        let period = period_value.to_double().map_err(|_| {
-            PlanError::in_rule(&rule.id, "`periodic` period must be numeric")
-        })?;
+        let period = period_value
+            .to_double()
+            .map_err(|_| PlanError::in_rule(&rule.id, "`periodic` period must be numeric"))?;
         let mut count = None;
         let mut extra = Vec::new();
         for arg in pred.args.iter().skip(3) {
@@ -987,7 +1062,10 @@ mod tests {
             R1 delete ghost@X(X) :- trigger@X(X).
         "#;
         let err = plan_src(src).map(|_| ()).unwrap_err();
-        assert!(err.to_string().contains("not a materialized table"), "{err}");
+        assert!(
+            err.to_string().contains("not a materialized table"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -996,7 +1074,11 @@ mod tests {
             R1 out@Y(X) :- trigger@X(X, Y).
         "#;
         let err = plan_src(src).map(|_| ()).unwrap_err();
-        assert!(err.to_string().contains("must appear among the head arguments"), "{err}");
+        assert!(
+            err.to_string()
+                .contains("must appear among the head arguments"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -138,7 +138,10 @@ mod tests {
         let t = TupleBuilder::new("ping").push("n1").build();
         Echo.push(3, &t, &mut ctx);
 
-        assert_eq!(emissions, vec![(3, TupleBuilder::new("ping").push("n1").build())]);
+        assert_eq!(
+            emissions,
+            vec![(3, TupleBuilder::new("ping").push("n1").build())]
+        );
         assert_eq!(outgoing.len(), 1);
         assert_eq!(outgoing[0].dst, "n2");
         assert_eq!(timers, vec![(7, SimTime::from_secs(6))]);

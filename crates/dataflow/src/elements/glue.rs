@@ -164,7 +164,10 @@ mod tests {
         g.connect(d, 2, o, 0);
 
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: d, port: 0 });
+        engine.set_entry(Route {
+            element: d,
+            port: 0,
+        });
         engine.start(SimTime::ZERO);
         for name in ["lookup", "succ", "succ", "ping"] {
             engine.deliver(TupleBuilder::new(name).push("n1").build(), SimTime::ZERO);
@@ -190,7 +193,10 @@ mod tests {
         let c = g.add("tap", Box::new(c));
         g.connect(q, 0, c, 0);
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: q, port: 0 });
+        engine.set_entry(Route {
+            element: q,
+            port: 0,
+        });
         for i in 0..5i64 {
             engine.deliver(TupleBuilder::new("x").push(i).build(), SimTime::ZERO);
         }
@@ -203,7 +209,10 @@ mod tests {
         let (c, buf) = Collector::new();
         let c = g.add("tap", Box::new(c));
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: c, port: 0 });
+        engine.set_entry(Route {
+            element: c,
+            port: 0,
+        });
         engine.deliver(TupleBuilder::new("x").build(), SimTime::from_secs(9));
         let entries = buf.lock();
         assert_eq!(entries.len(), 1);

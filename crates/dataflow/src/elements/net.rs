@@ -66,7 +66,10 @@ mod tests {
         let c = g.add("local", Box::new(c));
         g.connect(n, 0, c, 0);
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: n, port: 0 });
+        engine.set_entry(Route {
+            element: n,
+            port: 0,
+        });
 
         let local = TupleBuilder::new("succ").push("n1").push(5i64).build();
         let out = engine.deliver(local, SimTime::ZERO);
@@ -85,7 +88,10 @@ mod tests {
         let mut g = Graph::new();
         let n = g.add("netout", Box::new(NetOut::new(5)));
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: n, port: 0 });
+        engine.set_entry(Route {
+            element: n,
+            port: 0,
+        });
         let out = engine.deliver(TupleBuilder::new("x").push("n1").build(), SimTime::ZERO);
         assert!(out.is_empty());
     }

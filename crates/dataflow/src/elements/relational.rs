@@ -6,6 +6,99 @@ use p2_value::{Tuple, Value};
 
 use crate::element::{Element, ElementCtx};
 
+/// Upper bound on join-key arity probed without heap allocation; OverLog
+/// rules rarely unify more than two or three columns per table.
+const INLINE_PROBE: usize = 8;
+
+const NULL_VALUE: Value = Value::Null;
+
+/// Join-key pairs normalized at construction: table columns sorted
+/// ascending and deduplicated (the order [`p2_table::Table::lookup_iter`]
+/// requires), with the stream fields carried alongside.
+///
+/// When two different stream fields constrain the *same* table column
+/// (`(s1, t), (s2, t)`), one pair drives the probe and the rest become
+/// stream-side equality checks (`tuple[s1] == tuple[s2]`): the constraints
+/// can only both hold when those stream values agree.
+#[derive(Debug, Clone, Default)]
+struct ProbeKey {
+    /// `(stream field, table column)` with unique table columns, sorted by
+    /// table column.
+    pairs: Vec<(usize, usize)>,
+    /// The table columns alone, in the same (sorted) order.
+    table_cols: Vec<usize>,
+    /// Stream-field pairs that must be equal (folded duplicate-column
+    /// constraints).
+    stream_checks: Vec<(usize, usize)>,
+}
+
+impl ProbeKey {
+    fn new(mut key: Vec<(usize, usize)>) -> ProbeKey {
+        key.sort_by_key(|(_, t)| *t);
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(key.len());
+        let mut stream_checks = Vec::new();
+        for (s, t) in key {
+            match pairs.last() {
+                Some(&(s0, t0)) if t0 == t => {
+                    if s0 != s {
+                        stream_checks.push((s0, s));
+                    }
+                }
+                _ => pairs.push((s, t)),
+            }
+        }
+        let table_cols = pairs.iter().map(|(_, t)| *t).collect();
+        ProbeKey {
+            pairs,
+            table_cols,
+            stream_checks,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether the stream tuple satisfies the folded duplicate-column
+    /// constraints: `Some(true)` if all hold (vacuously with none declared),
+    /// `Some(false)` if some pair is present but unequal, `None` when the
+    /// tuple is too short to evaluate a check (malformed).
+    fn stream_checks_hold(&self, tuple: &Tuple) -> Option<bool> {
+        for &(a, b) in &self.stream_checks {
+            match (tuple.get(a), tuple.get(b)) {
+                (Ok(x), Ok(y)) if x == y => {}
+                (Ok(_), Ok(_)) => return Some(false),
+                _ => return None,
+            }
+        }
+        Some(true)
+    }
+
+    /// Runs `body` with the probe values borrowed from `tuple` (no clones;
+    /// stack storage up to [`INLINE_PROBE`] columns). Returns `None` when
+    /// the tuple is too short to probe. Callers must consult
+    /// [`ProbeKey::stream_checks_hold`] first — a failed check means no row
+    /// can match, which a join and an anti-join interpret oppositely.
+    fn with_probe<R>(&self, tuple: &Tuple, body: impl FnOnce(&[&Value]) -> R) -> Option<R> {
+        let n = self.pairs.len();
+        let mut stack: [&Value; INLINE_PROBE] = [&NULL_VALUE; INLINE_PROBE];
+        let mut heap: Vec<&Value>;
+        let probe: &[&Value] = if n <= INLINE_PROBE {
+            for (slot, (s, _)) in stack.iter_mut().zip(&self.pairs) {
+                *slot = tuple.get(*s).ok()?;
+            }
+            &stack[..n]
+        } else {
+            heap = Vec::with_capacity(n);
+            for (s, _) in &self.pairs {
+                heap.push(tuple.get(*s).ok()?);
+            }
+            &heap
+        };
+        Some(body(probe))
+    }
+}
+
 /// Stream × table equijoin.
 ///
 /// The arriving tuple (the *stream* side, typically an event) probes the
@@ -14,19 +107,23 @@ use crate::element::{Element, ElementCtx};
 /// This is the workhorse of OverLog rule bodies — "the unification of
 /// variables in the body of a rule is implemented by an equality-based
 /// relational join" (§2.4).
+///
+/// Probing is allocation-free: key values are borrowed from the stream
+/// tuple and matches are walked through the table's borrowing lookup
+/// iterator, so the only allocations are the emitted joined tuples.
 pub struct Join {
     table: TableRef,
-    /// Pairs of (stream field, table field) that must be equal.
-    key: Vec<(usize, usize)>,
+    key: ProbeKey,
     out_name: String,
 }
 
 impl Join {
-    /// Creates an equijoin against `table` on the given key pairs.
+    /// Creates an equijoin against `table` on the given
+    /// `(stream field, table field)` key pairs.
     pub fn new(table: TableRef, key: Vec<(usize, usize)>, out_name: impl Into<String>) -> Join {
         Join {
             table,
-            key,
+            key: ProbeKey::new(key),
             out_name: out_name.into(),
         }
     }
@@ -38,37 +135,41 @@ impl Element for Join {
     }
 
     fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
-        let probe: Option<Vec<Value>> = self
-            .key
-            .iter()
-            .map(|(s, _)| tuple.get(*s).ok().cloned())
-            .collect();
-        let Some(probe) = probe else { return };
-        let table_cols: Vec<usize> = self.key.iter().map(|(_, t)| *t).collect();
-        let matches = if table_cols.is_empty() {
-            self.table.lock().scan()
-        } else {
-            self.table.lock().lookup(&table_cols, &probe)
-        };
-        for row in matches {
-            ctx.emit(0, tuple.join(&self.out_name, &row));
+        let guard = self.table.lock();
+        if self.key.is_empty() {
+            for row in guard.scan_iter() {
+                ctx.emit(0, tuple.join(&self.out_name, row));
+            }
+            return;
         }
+        if self.key.stream_checks_hold(tuple) != Some(true) {
+            return; // conflicting constraints or malformed: nothing matches
+        }
+        self.key.with_probe(tuple, |probe| {
+            for row in guard.lookup_iter(&self.key.table_cols, probe) {
+                ctx.emit(0, tuple.join(&self.out_name, row));
+            }
+        });
     }
 }
 
 /// Stream × table anti-join (negation).
 ///
 /// Forwards the arriving tuple unchanged when **no** table row matches the
-/// key columns; used to implement `not member(...)`-style body terms.
+/// key columns; used to implement `not member(...)`-style body terms. The
+/// membership test borrows its probe values and stops at the first match.
 pub struct AntiJoin {
     table: TableRef,
-    key: Vec<(usize, usize)>,
+    key: ProbeKey,
 }
 
 impl AntiJoin {
     /// Creates an anti-join against `table` on the given key pairs.
     pub fn new(table: TableRef, key: Vec<(usize, usize)>) -> AntiJoin {
-        AntiJoin { table, key }
+        AntiJoin {
+            table,
+            key: ProbeKey::new(key),
+        }
     }
 }
 
@@ -78,19 +179,25 @@ impl Element for AntiJoin {
     }
 
     fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
-        let probe: Option<Vec<Value>> = self
-            .key
-            .iter()
-            .map(|(s, _)| tuple.get(*s).ok().cloned())
-            .collect();
-        let Some(probe) = probe else { return };
-        let table_cols: Vec<usize> = self.key.iter().map(|(_, t)| *t).collect();
-        let any_match = if table_cols.is_empty() {
-            !self.table.lock().is_empty()
-        } else {
-            !self.table.lock().lookup(&table_cols, &probe).is_empty()
+        let any_match = {
+            let guard = self.table.lock();
+            if self.key.is_empty() {
+                Some(!guard.is_empty())
+            } else {
+                match self.key.stream_checks_hold(tuple) {
+                    // Conflicting constraints: no row can match, so the
+                    // negation is satisfied.
+                    Some(false) => Some(false),
+                    // Malformed tuple: dropped below, as before.
+                    None => None,
+                    Some(true) => self.key.with_probe(tuple, |probe| {
+                        guard.contains_match(&self.key.table_cols, probe)
+                    }),
+                }
+            }
         };
-        if !any_match {
+        // A tuple too short to probe (None) is dropped, as before.
+        if any_match == Some(false) {
             ctx.emit(0, tuple.clone());
         }
     }
@@ -188,7 +295,11 @@ mod tests {
         t.add_index(vec![0]);
         for (s, si) in [(5i64, "n5"), (9, "n9")] {
             t.insert(
-                TupleBuilder::new("succ").push("n1").push(s).push(si).build(),
+                TupleBuilder::new("succ")
+                    .push("n1")
+                    .push(s)
+                    .push(si)
+                    .build(),
                 SimTime::ZERO,
             )
             .unwrap();
@@ -203,7 +314,10 @@ mod tests {
         let c = g.add("tap", Box::new(c));
         g.connect(e, 0, c, 0);
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: e, port: 0 });
+        engine.set_entry(Route {
+            element: e,
+            port: 0,
+        });
         engine.deliver(input, SimTime::ZERO);
         let out = buf.lock().iter().map(|(_, t)| t.clone()).collect();
         out
@@ -235,6 +349,27 @@ mod tests {
         let join = Join::new(table, vec![], "ev_succ");
         let input = TupleBuilder::new("ev").push("whatever").build();
         assert_eq!(run_one(Box::new(join), input).len(), 2);
+    }
+
+    #[test]
+    fn join_keeps_duplicate_column_constraints() {
+        // Two different stream fields constraining the same table column:
+        // both equalities must hold, so a tuple whose fields disagree
+        // matches nothing even though one of them alone would.
+        let table = succ_table();
+        let join = Join::new(table.clone(), vec![(0, 0), (1, 0)], "ev_succ");
+        let agree = TupleBuilder::new("ev").push("n1").push("n1").build();
+        assert_eq!(run_one(Box::new(join), agree).len(), 2);
+
+        let join = Join::new(table.clone(), vec![(0, 0), (1, 0)], "ev_succ");
+        let disagree = TupleBuilder::new("ev").push("n1").push("n2").build();
+        assert!(run_one(Box::new(join), disagree).is_empty());
+
+        // The anti-join sees the conflicting constraint as "no match" and
+        // forwards the tuple.
+        let anti = AntiJoin::new(table, vec![(0, 0), (1, 0)]);
+        let disagree = TupleBuilder::new("ev").push("n1").push("n2").build();
+        assert_eq!(run_one(Box::new(anti), disagree).len(), 1);
     }
 
     #[test]
@@ -276,7 +411,11 @@ mod tests {
             Program::compile(&Expr::bin(BinOp::Add, Expr::Field(1), Expr::int(1))),
         ];
         let proj = Project::new("out", fields);
-        let input = TupleBuilder::new("in").push("n1").push(10i64).push("n9").build();
+        let input = TupleBuilder::new("in")
+            .push("n1")
+            .push(10i64)
+            .push("n9")
+            .build();
         let out = run_one(Box::new(proj), input);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].name(), "out");

@@ -70,7 +70,11 @@ impl Periodic {
             *remaining -= 1;
         }
         let event_id = Value::Int((ctx.eval().next_u64() >> 1) as i64);
-        let mut values = vec![Value::str(ctx.local_addr()), event_id, self.period_value.clone()];
+        let mut values = vec![
+            Value::str(ctx.local_addr()),
+            event_id,
+            self.period_value.clone(),
+        ];
         values.extend(self.extra_args.iter().cloned());
         ctx.emit(0, Tuple::new(&self.out_name, values));
         let more = self.remaining.map(|r| r > 0).unwrap_or(true);
@@ -117,9 +121,14 @@ mod tests {
     use crate::elements::Collector;
     use crate::engine::{Engine, Graph};
 
-    fn build(period: f64, count: Option<u64>, jitter: bool) -> (Engine, crate::elements::CollectorHandle) {
+    fn build(
+        period: f64,
+        count: Option<u64>,
+        jitter: bool,
+    ) -> (Engine, crate::elements::CollectorHandle) {
         let mut g = Graph::new();
-        let mut p = Periodic::new("periodic", period, count).with_period_value(Value::Int(period as i64));
+        let mut p =
+            Periodic::new("periodic", period, count).with_period_value(Value::Int(period as i64));
         if !jitter {
             p = p.without_phase_jitter();
         }

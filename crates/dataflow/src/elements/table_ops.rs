@@ -137,11 +137,13 @@ impl Element for AggProbe {
     }
 
     fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
-        let rows = self.table.lock().scan();
+        // Scan the table through the borrowing iterator: no per-call
+        // Vec<Tuple> snapshot; only the winning witness row is cloned.
+        let guard = self.table.lock();
         let mut contributions: Vec<Value> = Vec::new();
         let mut witness: Option<(Value, Tuple)> = None;
-        for row in rows {
-            let joined = tuple.join(&self.out_name, &row);
+        for row in guard.scan_iter() {
+            let joined = tuple.join(&self.out_name, row);
             if let Some(filter) = &self.filter {
                 match filter.eval_bool(&joined, ctx.eval()) {
                     Ok(true) => {}
@@ -158,10 +160,11 @@ impl Element for AggProbe {
                 _ => false,
             };
             if better {
-                witness = Some((v.clone(), row));
+                witness = Some((v.clone(), row.clone()));
             }
             contributions.push(v);
         }
+        drop(guard);
         let aggregate = match self.func.apply(&contributions) {
             Ok(Some(v)) => v,
             _ => return,
@@ -277,7 +280,10 @@ mod tests {
         let c = g.add("tap", Box::new(c));
         g.connect(e, 0, c, 0);
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: e, port: 0 });
+        engine.set_entry(Route {
+            element: e,
+            port: 0,
+        });
         engine.start(SimTime::ZERO);
         for i in inputs {
             engine.deliver(i, SimTime::from_secs(1));
@@ -290,7 +296,11 @@ mod tests {
     fn insert_stores_and_emits_delta() {
         let t = table(TableSpec::new("succ", vec![1]), vec![]);
         let insert = Insert::new(t.clone());
-        let tup = TupleBuilder::new("succ").push("n1").push(5i64).push("n5").build();
+        let tup = TupleBuilder::new("succ")
+            .push("n1")
+            .push(5i64)
+            .push("n5")
+            .build();
         let out = run_one(Box::new(insert), vec![tup.clone()]);
         assert_eq!(out, vec![tup]);
         assert_eq!(t.lock().len(), 1);
@@ -305,9 +315,16 @@ mod tests {
         let c = g.add("evicted", Box::new(c));
         g.connect(e, 1, c, 0);
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: e, port: 0 });
+        engine.set_entry(Route {
+            element: e,
+            port: 0,
+        });
         for s in [5i64, 9] {
-            let tup = TupleBuilder::new("succ").push("n1").push(s).push("x").build();
+            let tup = TupleBuilder::new("succ")
+                .push("n1")
+                .push(s)
+                .push("x")
+                .build();
             engine.deliver(tup, SimTime::from_secs(s as u64));
         }
         assert_eq!(t.lock().len(), 1);
@@ -329,9 +346,24 @@ mod tests {
         // finger(NI, I, B, BI) rows; the event is lookup(NI, K, R, E) and we
         // aggregate D := K - B - 1 over fingers with B in (N, K).
         let fingers = vec![
-            TupleBuilder::new("finger").push("n1").push(0i64).push(Value::Id(Uint160::from_u64(10))).push("n10").build(),
-            TupleBuilder::new("finger").push("n1").push(1i64).push(Value::Id(Uint160::from_u64(40))).push("n40").build(),
-            TupleBuilder::new("finger").push("n1").push(2i64).push(Value::Id(Uint160::from_u64(90))).push("n90").build(),
+            TupleBuilder::new("finger")
+                .push("n1")
+                .push(0i64)
+                .push(Value::Id(Uint160::from_u64(10)))
+                .push("n10")
+                .build(),
+            TupleBuilder::new("finger")
+                .push("n1")
+                .push(1i64)
+                .push(Value::Id(Uint160::from_u64(40)))
+                .push("n40")
+                .build(),
+            TupleBuilder::new("finger")
+                .push("n1")
+                .push(2i64)
+                .push(Value::Id(Uint160::from_u64(90)))
+                .push("n90")
+                .build(),
         ];
         let t = table(TableSpec::new("finger", vec![2]), fingers);
         // Event tuple layout: (NI, K, R, E, N) — K at 1, N at 4.
@@ -373,9 +405,21 @@ mod tests {
         // Narada P0: pick the member with the maximum random number. Here we
         // use a deterministic "score" column instead of f_rand().
         let members = vec![
-            TupleBuilder::new("member").push("n1").push("m1").push(3i64).build(),
-            TupleBuilder::new("member").push("n1").push("m2").push(9i64).build(),
-            TupleBuilder::new("member").push("n1").push("m3").push(5i64).build(),
+            TupleBuilder::new("member")
+                .push("n1")
+                .push("m1")
+                .push(3i64)
+                .build(),
+            TupleBuilder::new("member")
+                .push("n1")
+                .push("m2")
+                .push(9i64)
+                .build(),
+            TupleBuilder::new("member")
+                .push("n1")
+                .push("m3")
+                .push(5i64)
+                .build(),
         ];
         let t = table(TableSpec::new("member", vec![2]), members);
         // Event: (X, E); joined row starts at field 2, score at field 4.
@@ -414,22 +458,39 @@ mod tests {
         let ins = g.add("insert", Box::new(Insert::new(t.clone())));
         let agg = g.add(
             "count",
-            Box::new(TableAgg::new(t.clone(), AggFunc::Count, None, vec![0], "succCount")),
+            Box::new(TableAgg::new(
+                t.clone(),
+                AggFunc::Count,
+                None,
+                vec![0],
+                "succCount",
+            )),
         );
         let (c, buf) = Collector::new();
         let c = g.add("tap", Box::new(c));
         g.connect(ins, 0, agg, 0);
         g.connect(agg, 0, c, 0);
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: ins, port: 0 });
+        engine.set_entry(Route {
+            element: ins,
+            port: 0,
+        });
         engine.start(SimTime::ZERO);
 
-        let s1 = TupleBuilder::new("succ").push("n1").push(5i64).push("n5").build();
+        let s1 = TupleBuilder::new("succ")
+            .push("n1")
+            .push(5i64)
+            .push("n5")
+            .build();
         engine.deliver(s1.clone(), SimTime::from_secs(1));
         // Re-inserting the identical tuple does not change the count, so no
         // new aggregate is emitted.
         engine.deliver(s1, SimTime::from_secs(2));
-        let s2 = TupleBuilder::new("succ").push("n1").push(9i64).push("n9").build();
+        let s2 = TupleBuilder::new("succ")
+            .push("n1")
+            .push(9i64)
+            .push("n9")
+            .build();
         engine.deliver(s2, SimTime::from_secs(3));
 
         let emitted: Vec<Tuple> = buf.lock().iter().map(|(_, t)| t.clone()).collect();

@@ -45,13 +45,10 @@ impl Graph {
 
     /// Connects `from`'s output port `out_port` to `to`'s input port `in_port`.
     pub fn connect(&mut self, from: usize, out_port: usize, to: usize, in_port: usize) {
-        self.edges
-            .entry((from, out_port))
-            .or_default()
-            .push(Route {
-                element: to,
-                port: in_port,
-            });
+        self.edges.entry((from, out_port)).or_default().push(Route {
+            element: to,
+            port: in_port,
+        });
     }
 
     /// Number of elements in the graph.
@@ -234,10 +231,7 @@ impl Engine {
     pub fn advance_to(&mut self, now: SimTime) -> Vec<Outgoing> {
         let mut outgoing = Vec::new();
         loop {
-            let due = match self.timers.peek() {
-                Some(Reverse(t)) if t.fire_at <= now => true,
-                _ => false,
-            };
+            let due = matches!(self.timers.peek(), Some(Reverse(t)) if t.fire_at <= now);
             if !due {
                 break;
             }
@@ -354,7 +348,12 @@ mod tests {
             ctx.schedule(0, SimTime::from_secs(1));
         }
         fn on_timer(&mut self, _token: u64, ctx: &mut ElementCtx<'_>) {
-            ctx.emit(0, TupleBuilder::new("tick").push(ctx.now().as_secs_f64()).build());
+            ctx.emit(
+                0,
+                TupleBuilder::new("tick")
+                    .push(ctx.now().as_secs_f64())
+                    .build(),
+            );
             self.remaining -= 1;
             if self.remaining > 0 {
                 ctx.schedule(0, SimTime::from_secs(1));
@@ -376,9 +375,15 @@ mod tests {
         assert!(g.describe().contains("Tag"));
 
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: a, port: 0 });
+        engine.set_entry(Route {
+            element: a,
+            port: 0,
+        });
         engine.start(SimTime::ZERO);
-        let out = engine.deliver(TupleBuilder::new("x").push(0i64).build(), SimTime::from_secs(1));
+        let out = engine.deliver(
+            TupleBuilder::new("x").push(0i64).build(),
+            SimTime::from_secs(1),
+        );
         // Two tuples reach the network: one via a->c, one via a->b->c.
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|o| o.dst == "n9"));
@@ -412,7 +417,10 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add("tag", Box::new(Tag(1)));
         let mut engine = Engine::new(g, "n1", 1);
-        engine.set_entry(Route { element: a, port: 0 });
+        engine.set_entry(Route {
+            element: a,
+            port: 0,
+        });
         let out = engine.deliver(TupleBuilder::new("x").build(), SimTime::ZERO);
         assert!(out.is_empty());
     }

@@ -85,7 +85,7 @@ mod tests {
             let (at, idx) = schedule.pop().unwrap();
             assert!(at >= last, "events must be non-decreasing in time");
             assert!(at >= 100.0);
-            assert!(idx >= 1 && idx < 50, "landmark must never churn");
+            assert!((1..50).contains(&idx), "landmark must never churn");
             last = at;
         }
     }
@@ -94,7 +94,9 @@ mod tests {
     fn mean_lifetime_approximates_the_configured_session_time() {
         let mut rng = SmallRng::seed_from_u64(3);
         let mean = 480.0;
-        let samples: Vec<f64> = (0..20_000).map(|_| sample_exponential(&mut rng, mean)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_exponential(&mut rng, mean))
+            .collect();
         let observed = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!(
             (observed - mean).abs() / mean < 0.05,

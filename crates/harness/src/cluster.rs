@@ -1,8 +1,8 @@
 //! Whole-overlay cluster bring-up, workload generation and measurement.
 
+use p2_baseline::{BaselineChord, BaselineConfig};
 use p2_netsim::{NetworkConfig, Simulator};
 use p2_overlays::{chord, P2Host};
-use p2_baseline::{BaselineChord, BaselineConfig};
 use p2_value::{SimTime, Tuple, TupleBuilder, Uint160, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -72,7 +72,11 @@ impl ChordCluster {
         let mut sim = Simulator::new(NetworkConfig::emulab_default(seed));
         let addrs: Vec<String> = (0..n).map(node_addr).collect();
         for (i, addr) in addrs.iter().enumerate() {
-            let landmark = if i == 0 { None } else { Some(addrs[0].as_str()) };
+            let landmark = if i == 0 {
+                None
+            } else {
+                Some(addrs[0].as_str())
+            };
             let host = chord::build_node(addr, landmark, seed.wrapping_add(i as u64), true)
                 .expect("chord node must plan");
             sim.add_node(addr.clone(), host);
@@ -168,8 +172,13 @@ impl ChordCluster {
     pub fn best_successor(&self, addr: &str) -> Option<String> {
         let host = self.sim.node(addr)?;
         let table = host.node().table("bestSucc")?;
-        let rows = table.lock().scan();
-        rows.first().map(|t| t.field(2).to_display_string())
+        let guard = table.lock();
+        // Borrowing scan: the singleton row is read in place, no snapshot.
+        let out = guard
+            .scan_iter()
+            .next()
+            .map(|t| t.field(2).to_display_string());
+        out
     }
 
     /// Fraction of up nodes whose best successor is the correct ring
@@ -298,6 +307,19 @@ impl ChordCluster {
             .sum();
         total as f64 / up.len() as f64
     }
+
+    /// Table-storage operation counters summed over all up nodes (indexed
+    /// vs. full-scan lookups, expirations, evictions). Lets experiments
+    /// verify that the hot probe paths stay on an index.
+    pub fn storage_ops(&self) -> crate::metrics::StorageOps {
+        let mut total = p2_table::TableStats::default();
+        for addr in self.up_addrs() {
+            if let Some(host) = self.sim.node(&addr) {
+                total += host.node().catalog().stats_total();
+            }
+        }
+        total.into()
+    }
 }
 
 /// A cluster of hand-coded baseline Chord nodes on the same substrate.
@@ -316,7 +338,11 @@ impl BaselineCluster {
         let mut sim = Simulator::new(NetworkConfig::emulab_default(seed));
         let addrs: Vec<String> = (0..n).map(node_addr).collect();
         for (i, addr) in addrs.iter().enumerate() {
-            let landmark = if i == 0 { None } else { Some(addrs[0].as_str()) };
+            let landmark = if i == 0 {
+                None
+            } else {
+                Some(addrs[0].as_str())
+            };
             let node = BaselineChord::new(
                 addr,
                 landmark,
@@ -443,15 +469,24 @@ mod tests {
     #[test]
     fn baseline_cluster_forms_and_answers_lookups() {
         let mut cluster = BaselineCluster::build(6, 150, 13);
-        assert!(cluster.ring_correctness() > 0.99, "baseline ring did not form");
+        assert!(
+            cluster.ring_correctness() > 0.99,
+            "baseline ring did not form"
+        );
         let mut handles = Vec::new();
         for _ in 0..5 {
             handles.push(cluster.issue_random_lookup());
             cluster.run_for(3.0);
         }
         cluster.run_for(5.0);
-        let completed = handles.iter().filter(|h| cluster.outcome(h).is_some()).count();
-        assert!(completed >= 4, "only {completed}/5 baseline lookups completed");
+        let completed = handles
+            .iter()
+            .filter(|h| cluster.outcome(h).is_some())
+            .count();
+        assert!(
+            completed >= 4,
+            "only {completed}/5 baseline lookups completed"
+        );
     }
 
     #[test]

@@ -95,9 +95,8 @@ fn static_chord_single(n: usize, params: &StaticParams) -> StaticChordResult {
     // --- Maintenance bandwidth over an idle window (no lookups).
     cluster.sim.reset_stats();
     cluster.run_for(params.idle_measure_secs as f64);
-    let maintenance_bw_per_node = cluster.sim.stats().maintenance_bytes() as f64
-        / params.idle_measure_secs as f64
-        / n as f64;
+    let maintenance_bw_per_node =
+        cluster.sim.stats().maintenance_bytes() as f64 / params.idle_measure_secs as f64 / n as f64;
     cluster.clear_observations();
 
     // --- Uniform lookup workload.
@@ -254,7 +253,11 @@ fn churn_chord_single(session_minutes: f64, params: &ChurnParams) -> ChurnResult
             cluster.run_for(next_event - now);
         }
 
-        if schedule.next_event_at().map(|t| t <= cluster.now().as_secs_f64() + 1e-9) == Some(true) {
+        if schedule
+            .next_event_at()
+            .map(|t| t <= cluster.now().as_secs_f64() + 1e-9)
+            == Some(true)
+        {
             if let Some((_, idx)) = schedule.pop() {
                 let addr = cluster.addrs()[idx].clone();
                 cluster.crash(&addr);
@@ -264,7 +267,13 @@ fn churn_chord_single(session_minutes: f64, params: &ChurnParams) -> ChurnResult
 
         if cluster.now().as_secs_f64() + 1e-9 >= next_probe {
             // Harvest the previous round of probes before issuing new ones.
-            harvest_probes(&cluster, &mut outstanding, &mut consistency, &mut latency, &mut completed);
+            harvest_probes(
+                &cluster,
+                &mut outstanding,
+                &mut consistency,
+                &mut latency,
+                &mut completed,
+            );
             cluster.clear_observations();
             rng_key = rng_key.wrapping_mul(6364136223846793005).wrapping_add(1);
             let key = Uint160::hash_of(&rng_key.to_be_bytes());
@@ -280,11 +289,16 @@ fn churn_chord_single(session_minutes: f64, params: &ChurnParams) -> ChurnResult
         }
     }
     cluster.run_for(15.0);
-    harvest_probes(&cluster, &mut outstanding, &mut consistency, &mut latency, &mut completed);
+    harvest_probes(
+        &cluster,
+        &mut outstanding,
+        &mut consistency,
+        &mut latency,
+        &mut completed,
+    );
 
-    let maintenance_bw_per_node = cluster.sim.stats().maintenance_bytes() as f64
-        / params.churn_secs as f64
-        / params.n as f64;
+    let maintenance_bw_per_node =
+        cluster.sim.stats().maintenance_bytes() as f64 / params.churn_secs as f64 / params.n as f64;
 
     ChurnResult {
         session_minutes,
@@ -410,7 +424,12 @@ pub struct BaselineCompareResult {
 }
 
 /// Runs the baseline comparison on identical topology and workload (E9).
-pub fn baseline_compare(n: usize, lookups: usize, warmup_secs: u64, seed: u64) -> BaselineCompareResult {
+pub fn baseline_compare(
+    n: usize,
+    lookups: usize,
+    warmup_secs: u64,
+    seed: u64,
+) -> BaselineCompareResult {
     // Declarative side.
     let mut p2 = ChordCluster::build(n, warmup_secs, seed);
     let p2_ring = p2.ring_correctness();
@@ -491,10 +510,18 @@ mod tests {
         let results = static_chord(&params);
         assert_eq!(results.len(), 1);
         let r = &results[0];
-        assert!(r.ring_correctness > 0.9, "ring correctness {}", r.ring_correctness);
+        assert!(
+            r.ring_correctness > 0.9,
+            "ring correctness {}",
+            r.ring_correctness
+        );
         assert!(r.completion_rate > 0.8, "completion {}", r.completion_rate);
         assert!(r.correctness > 0.8, "correctness {}", r.correctness);
-        assert!(r.mean_hops > 0.0 && r.mean_hops < 6.0, "hops {}", r.mean_hops);
+        assert!(
+            r.mean_hops > 0.0 && r.mean_hops < 6.0,
+            "hops {}",
+            r.mean_hops
+        );
         assert!(r.maintenance_bw_per_node > 0.0);
         assert!(r.median_latency > 0.0 && r.median_latency < 6.0);
         assert!(r.mean_resident_bytes > 0.0);

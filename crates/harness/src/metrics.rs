@@ -2,6 +2,50 @@
 
 use serde::Serialize;
 
+/// Cluster-wide table-storage operation counters (summed over nodes).
+///
+/// `full_scans` exposes lookups that could not use an index — the planner
+/// auto-declares secondary indices for every equijoin probe over non-key
+/// columns, so a non-zero value here flags a probe path that regressed to
+/// O(n).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StorageOps {
+    /// Lookups served by primary-key indices.
+    pub primary_lookups: u64,
+    /// Lookups served by secondary indices.
+    pub indexed_lookups: u64,
+    /// Lookups that fell back to full-table scans.
+    pub full_scans: u64,
+    /// Rows removed by soft-state expiry.
+    pub expired: u64,
+    /// Rows evicted by table size bounds.
+    pub evicted: u64,
+}
+
+impl StorageOps {
+    /// Fraction of lookups that used an index (1.0 when no lookups ran).
+    pub fn indexed_fraction(&self) -> f64 {
+        let indexed = self.primary_lookups + self.indexed_lookups;
+        let total = indexed + self.full_scans;
+        if total == 0 {
+            return 1.0;
+        }
+        indexed as f64 / total as f64
+    }
+}
+
+impl From<p2_table::TableStats> for StorageOps {
+    fn from(s: p2_table::TableStats) -> StorageOps {
+        StorageOps {
+            primary_lookups: s.primary_lookups,
+            indexed_lookups: s.indexed_lookups,
+            full_scans: s.full_scans,
+            expired: s.expired,
+            evicted: s.evicted,
+        }
+    }
+}
+
 /// A discrete histogram over small non-negative integers (e.g. hop counts).
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct Histogram {
@@ -169,6 +213,16 @@ mod tests {
         let pts = c.points();
         assert_eq!(pts.first().unwrap().1, 0.2);
         assert_eq!(pts.last().unwrap(), &(5.0, 1.0));
+    }
+
+    #[test]
+    fn storage_ops_indexed_fraction() {
+        let mut ops = StorageOps::default();
+        assert_eq!(ops.indexed_fraction(), 1.0);
+        ops.primary_lookups = 6;
+        ops.indexed_lookups = 2;
+        ops.full_scans = 2;
+        assert!((ops.indexed_fraction() - 0.8).abs() < 1e-12);
     }
 
     #[test]

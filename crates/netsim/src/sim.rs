@@ -98,7 +98,11 @@ impl<H: Host> Simulator<H> {
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
-            rng_state: if config.seed == 0 { 0xDEAD_BEEF } else { config.seed },
+            rng_state: if config.seed == 0 {
+                0xDEAD_BEEF
+            } else {
+                config.seed
+            },
             stats: NetStats::default(),
         }
     }
@@ -185,7 +189,9 @@ impl<H: Host> Simulator<H> {
     /// Boots a node at the current virtual time.
     pub fn start_node(&mut self, addr: &str) {
         let now = self.now;
-        let Some(slot) = self.slots.get_mut(addr) else { return };
+        let Some(slot) = self.slots.get_mut(addr) else {
+            return;
+        };
         if !slot.up {
             return;
         }
@@ -199,7 +205,9 @@ impl<H: Host> Simulator<H> {
     /// lookup request or a join event injected by the workload generator).
     pub fn inject(&mut self, addr: &str, tuple: Tuple) {
         let now = self.now;
-        let Some(slot) = self.slots.get_mut(addr) else { return };
+        let Some(slot) = self.slots.get_mut(addr) else {
+            return;
+        };
         if !slot.up {
             return;
         }
@@ -245,10 +253,7 @@ impl<H: Host> Simulator<H> {
     /// Runs the simulation until virtual time `until`.
     pub fn run_until(&mut self, until: SimTime) {
         loop {
-            let due = match self.events.peek() {
-                Some(Reverse(e)) if e.at <= until => true,
-                _ => false,
-            };
+            let due = matches!(self.events.peek(), Some(Reverse(e)) if e.at <= until);
             if !due {
                 break;
             }
@@ -344,11 +349,15 @@ impl<H: Host> Simulator<H> {
 
     /// (Re)schedules a wakeup event for the node's next timer deadline.
     fn schedule_wakeup(&mut self, addr: &str) {
-        let Some(slot) = self.slots.get_mut(addr) else { return };
+        let Some(slot) = self.slots.get_mut(addr) else {
+            return;
+        };
         if !slot.up || !slot.started {
             return;
         }
-        let Some(deadline) = slot.host.next_deadline() else { return };
+        let Some(deadline) = slot.host.next_deadline() else {
+            return;
+        };
         let needs_scheduling = match slot.scheduled_deadline {
             None => true,
             Some(existing) => deadline < existing,

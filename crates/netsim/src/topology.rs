@@ -31,7 +31,13 @@ impl Topology {
     /// 2 ms intra-domain latency, 100 ms inter-domain latency, 10 Mbps stub
     /// links and 100 Mbps core links.
     pub fn emulab_default() -> Topology {
-        Topology::new(10, SimTime::from_millis(2), SimTime::from_millis(100), 10e6, 100e6)
+        Topology::new(
+            10,
+            SimTime::from_millis(2),
+            SimTime::from_millis(100),
+            10e6,
+            100e6,
+        )
     }
 
     /// Creates a topology with explicit parameters.
@@ -126,7 +132,7 @@ mod tests {
         }
         assert_eq!(t.placed(), 100);
         // 100 nodes over 10 domains -> 10 per domain.
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for i in 0..100 {
             counts[t.domain_of(&format!("n{i}")).unwrap()] += 1;
         }

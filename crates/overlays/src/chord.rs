@@ -83,7 +83,9 @@ pub fn build_node(
     seed: u64,
     jitter: bool,
 ) -> Result<P2Host, PlanError> {
-    let mut config = NodeConfig::new(addr, seed).watch("lookupResults").watch("lookup");
+    let mut config = NodeConfig::new(addr, seed)
+        .watch("lookupResults")
+        .watch("lookup");
     if !jitter {
         config = config.without_jitter();
     }

@@ -42,7 +42,12 @@ pub fn rumor_tuple(addr: &str, id: i64, payload: &str) -> Tuple {
 }
 
 /// Builds a ready-to-run gossip node wrapped for the simulator.
-pub fn build_node(addr: &str, peers: &[&str], seed: u64, jitter: bool) -> Result<P2Host, PlanError> {
+pub fn build_node(
+    addr: &str,
+    peers: &[&str],
+    seed: u64,
+    jitter: bool,
+) -> Result<P2Host, PlanError> {
     let mut config = NodeConfig::new(addr, seed);
     if !jitter {
         config = config.without_jitter();

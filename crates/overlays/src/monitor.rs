@@ -33,7 +33,12 @@ pub fn member_facts(addr: &str, peers: &[&str]) -> Vec<Tuple> {
 }
 
 /// Builds a ready-to-run latency-monitor node wrapped for the simulator.
-pub fn build_node(addr: &str, peers: &[&str], seed: u64, jitter: bool) -> Result<P2Host, PlanError> {
+pub fn build_node(
+    addr: &str,
+    peers: &[&str],
+    seed: u64,
+    jitter: bool,
+) -> Result<P2Host, PlanError> {
     let mut config = NodeConfig::new(addr, seed);
     if !jitter {
         config = config.without_jitter();

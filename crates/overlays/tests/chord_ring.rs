@@ -39,7 +39,10 @@ fn bring_up(n: usize, seed: u64) -> Simulator<P2Host> {
                 .unwrap_or(false);
             if !joined {
                 all_joined = false;
-                sim.inject(&addr(i), chord::join_tuple(&addr(i), 2_000 + (round * 100 + i) as i64));
+                sim.inject(
+                    &addr(i),
+                    chord::join_tuple(&addr(i), 2_000 + (round * 100 + i) as i64),
+                );
             }
         }
         if all_joined {
@@ -140,7 +143,10 @@ fn maintenance_traffic_flows_and_is_classified() {
     sim.reset_stats();
     sim.run_for(SimTime::from_secs(60));
     let stats = sim.stats();
-    assert!(stats.maintenance_bytes() > 0, "no maintenance traffic observed");
+    assert!(
+        stats.maintenance_bytes() > 0,
+        "no maintenance traffic observed"
+    );
     // With no application lookups in this window, the only lookup-classified
     // traffic is finger-fixing lookups, which the paper counts as
     // maintenance; our classifier counts tuple names, so allow either but

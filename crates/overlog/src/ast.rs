@@ -155,10 +155,7 @@ impl Rule {
 
     /// True if the head contains an aggregate argument.
     pub fn has_aggregate(&self) -> bool {
-        self.head
-            .args
-            .iter()
-            .any(|a| matches!(a, HeadArg::Agg(_)))
+        self.head.args.iter().any(|a| matches!(a, HeadArg::Agg(_)))
     }
 }
 

@@ -140,7 +140,11 @@ impl<'a> Lexer<'a> {
             let (line, column) = (self.line, self.column);
             let Some(c) = self.peek() else { break };
             let token = self.next_token(c)?;
-            out.push(Spanned { token, line, column });
+            out.push(Spanned {
+                token,
+                line,
+                column,
+            });
         }
         // A rough sanity check that we consumed the whole input.
         debug_assert!(self.pos >= self.source.chars().count());
@@ -420,7 +424,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod pretty;
 pub mod validate;
 
 pub use ast::{
-    AggSpec, BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program,
-    Rule, SizeBound,
+    AggSpec, BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program, Rule,
+    SizeBound,
 };
 pub use error::ParseError;
 pub use parser::parse_program;

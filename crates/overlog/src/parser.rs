@@ -9,8 +9,8 @@ use p2_table::AggFunc;
 use p2_value::Value;
 
 use crate::ast::{
-    AggSpec, BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program,
-    Rule, SizeBound,
+    AggSpec, BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program, Rule,
+    SizeBound,
 };
 use crate::error::ParseError;
 use crate::lexer::{tokenize, Spanned, Token};
@@ -209,9 +209,7 @@ impl Parser {
                         Some(Token::Comma) => continue,
                         Some(Token::Dot) => break,
                         other => {
-                            return Err(
-                                self.error(format!("expected `,` or `.`, found {other:?}"))
-                            )
+                            return Err(self.error(format!("expected `,` or `.`, found {other:?}")))
                         }
                     }
                 }
@@ -283,8 +281,9 @@ impl Parser {
                         Some(Token::Star) => None,
                         Some(Token::Variable(v)) => Some(v),
                         other => {
-                            return Err(self
-                                .error(format!("expected aggregate variable or `*`, found {other:?}")))
+                            return Err(self.error(format!(
+                                "expected aggregate variable or `*`, found {other:?}"
+                            )))
                         }
                     };
                     self.expect(&Token::Gt, "`>`")?;
@@ -675,7 +674,8 @@ mod tests {
 
     #[test]
     fn parses_disjunctive_condition() {
-        let src = "F8 nextFingerFix@NI(NI,0) :- eagerFinger@NI(NI,I,B,BI), ((I == 159) || (BI == NI)).";
+        let src =
+            "F8 nextFingerFix@NI(NI,0) :- eagerFinger@NI(NI,I,B,BI), ((I == 159) || (BI == NI)).";
         let p = parse_program(src).unwrap();
         let conds: Vec<_> = p.rules[0]
             .body

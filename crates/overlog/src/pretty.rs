@@ -10,8 +10,7 @@ use p2_pel::{BinOp, IntervalKind, UnOp};
 use p2_value::Value;
 
 use crate::ast::{
-    BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program, Rule,
-    SizeBound,
+    BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program, Rule, SizeBound,
 };
 
 /// Renders a whole program as OverLog source text.
@@ -56,7 +55,12 @@ pub fn fact_to_string(f: &Fact) -> String {
         .as_deref()
         .map(|l| format!("@{l}"))
         .unwrap_or_default();
-    let args = f.args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+    let args = f
+        .args
+        .iter()
+        .map(expr_to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     format!("{id}{}{loc}({args}).", f.name)
 }
 
@@ -83,11 +87,9 @@ fn head_to_string(h: &Head) -> String {
         .iter()
         .map(|a| match a {
             HeadArg::Expr(e) => expr_to_string(e),
-            HeadArg::Agg(agg) => format!(
-                "{}<{}>",
-                agg.func.name(),
-                agg.var.as_deref().unwrap_or("*")
-            ),
+            HeadArg::Agg(agg) => {
+                format!("{}<{}>", agg.func.name(), agg.var.as_deref().unwrap_or("*"))
+            }
         })
         .collect::<Vec<_>>()
         .join(", ");
@@ -101,7 +103,12 @@ fn predicate_to_string(p: &Predicate) -> String {
         .as_deref()
         .map(|l| format!("@{l}"))
         .unwrap_or_default();
-    let args = p.args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+    let args = p
+        .args
+        .iter()
+        .map(expr_to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     format!("{not}{}{loc}({args})", p.name)
 }
 
@@ -128,7 +135,11 @@ pub fn expr_to_string(e: &Expr) -> String {
                 .as_deref()
                 .map(|l| format!("@{l}"))
                 .unwrap_or_default();
-            let args = args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+            let args = args
+                .iter()
+                .map(expr_to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             format!("{name}{loc}({args})")
         }
         Expr::Unary { op, expr } => {

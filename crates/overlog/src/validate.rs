@@ -175,7 +175,11 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
         if let BodyTerm::Condition(expr) = term {
             for v in expr.variables() {
                 if !bound.contains(&v) {
-                    issue(issues, id, format!("condition references unbound variable `{v}`"));
+                    issue(
+                        issues,
+                        id,
+                        format!("condition references unbound variable `{v}`"),
+                    );
                 }
             }
         }
@@ -188,7 +192,10 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
             issue(
                 issues,
                 id,
-                format!("negation over `{}` requires it to be a materialized table", p.name),
+                format!(
+                    "negation over `{}` requires it to be a materialized table",
+                    p.name
+                ),
             );
         }
         for (v, _) in p.variable_bindings() {
@@ -232,7 +239,11 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
         }
     }
     if agg_count > 1 {
-        issue(issues, id, "at most one aggregate is supported per rule head");
+        issue(
+            issues,
+            id,
+            "at most one aggregate is supported per rule head",
+        );
     }
     if let Some(loc) = &rule.head.location {
         if !bound.contains(loc) {
@@ -365,8 +376,7 @@ mod tests {
 
     #[test]
     fn rejects_multiple_aggregates() {
-        let err =
-            check("R1 out@X(X, min<A>, max<B>) :- trigger@X(X, A, B).").unwrap_err();
+        let err = check("R1 out@X(X, min<A>, max<B>) :- trigger@X(X, A, B).").unwrap_err();
         assert!(err.to_string().contains("one aggregate"), "{err}");
     }
 

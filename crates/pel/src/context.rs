@@ -21,7 +21,11 @@ impl EvalContext {
         EvalContext {
             now: SimTime::ZERO,
             // Avoid the all-zero state that xorshift cannot leave.
-            rng_state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            rng_state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
             local_addr: local_addr.into(),
         }
     }

@@ -407,11 +407,7 @@ mod tests {
     fn double_and_time_arithmetic() {
         let mut c = ctx();
         // f_now() - T where T is a timestamp field: seconds as double.
-        let e = Expr::bin(
-            BinOp::Sub,
-            Expr::Call(Builtin::Now, vec![]),
-            Expr::Field(4),
-        );
+        let e = Expr::bin(BinOp::Sub, Expr::Call(Builtin::Now, vec![]), Expr::Field(4));
         assert_eq!(e.eval(&t(), &mut c).unwrap(), Value::Double(20.0));
         // And the idiomatic liveness check `f_now() - T > 20`.
         let check = Expr::bin(BinOp::Gt, e, Expr::int(20));
@@ -427,7 +423,11 @@ mod tests {
         // K := (1 << 159) + N  wraps around the ring.
         let e = Expr::bin(
             BinOp::Add,
-            Expr::bin(BinOp::Shl, Expr::Const(Value::Id(Uint160::ONE)), Expr::int(159)),
+            Expr::bin(
+                BinOp::Shl,
+                Expr::Const(Value::Id(Uint160::ONE)),
+                Expr::int(159),
+            ),
             Expr::Field(3),
         );
         let expect = Uint160::pow2(159).wrapping_add(Uint160::from_u64(1000));
@@ -436,7 +436,11 @@ mod tests {
         // D := K - B - 1 with wrap-around.
         let e = Expr::bin(
             BinOp::Sub,
-            Expr::bin(BinOp::Sub, Expr::Const(Value::Id(Uint160::from_u64(5))), Expr::Field(3)),
+            Expr::bin(
+                BinOp::Sub,
+                Expr::Const(Value::Id(Uint160::from_u64(5))),
+                Expr::Field(3),
+            ),
             Expr::int(1),
         );
         let expect = Uint160::from_u64(5)
@@ -481,10 +485,14 @@ mod tests {
             Value::Time(SimTime::from_secs(100))
         );
         assert_eq!(
-            Expr::Call(Builtin::LocalAddr, vec![]).eval(&t(), &mut c).unwrap(),
+            Expr::Call(Builtin::LocalAddr, vec![])
+                .eval(&t(), &mut c)
+                .unwrap(),
             Value::str("n1")
         );
-        let r = Expr::Call(Builtin::Rand, vec![]).eval(&t(), &mut c).unwrap();
+        let r = Expr::Call(Builtin::Rand, vec![])
+            .eval(&t(), &mut c)
+            .unwrap();
         let r = r.to_double().unwrap();
         assert!((0.0..1.0).contains(&r));
         let h = Expr::Call(Builtin::Sha1, vec![Expr::Field(2)])

@@ -56,8 +56,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::bin(op, a, b)),
             (inner.clone()).prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
             (inner.clone()).prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
             (arb_interval_kind(), inner.clone(), inner.clone(), inner).prop_map(
@@ -73,8 +72,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_tuple() -> impl Strategy<Value = Tuple> {
-    proptest::collection::vec(arb_value(), 4)
-        .prop_map(|vs| Tuple::new("prop", vs))
+    proptest::collection::vec(arb_value(), 4).prop_map(|vs| Tuple::new("prop", vs))
 }
 
 proptest! {

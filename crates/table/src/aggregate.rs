@@ -46,35 +46,88 @@ impl AggFunc {
     /// Returns `None` for an empty input on min/max/avg (no tuple groups are
     /// produced), `Some(0)` for count/sum, matching SQL-style semantics.
     pub fn apply(&self, values: &[Value]) -> Result<Option<Value>, ValueError> {
+        let mut state = AggState::new(*self);
+        for v in values {
+            state.accumulate(v)?;
+        }
+        Ok(state.finish())
+    }
+}
+
+/// Streaming accumulator behind both [`AggFunc::apply`] and the table's
+/// grouped [`crate::table::Table::aggregate`]: one source of truth for the
+/// aggregate semantics (all-int sums collapse to `Int`, min/max keep the
+/// first extremum, avg over nothing yields no value).
+#[derive(Debug)]
+pub(crate) enum AggState {
+    Count(i64),
+    Sum { acc: f64, all_int: bool },
+    Avg { acc: f64, n: usize },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                acc: 0.0,
+                all_int: true,
+            },
+            AggFunc::Avg => AggState::Avg { acc: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    /// Folds one contributing value into the accumulator.
+    pub(crate) fn accumulate(&mut self, v: &Value) -> Result<(), ValueError> {
         match self {
-            AggFunc::Count => Ok(Some(Value::Int(values.len() as i64))),
-            AggFunc::Sum => {
-                let mut acc = 0.0f64;
-                let mut all_int = true;
-                for v in values {
-                    if !matches!(v, Value::Int(_)) {
-                        all_int = false;
-                    }
-                    acc += v.to_double()?;
+            AggState::Count(n) => *n += 1,
+            AggState::Sum { acc, all_int } => {
+                if !matches!(v, Value::Int(_)) {
+                    *all_int = false;
                 }
-                Ok(Some(if all_int {
-                    Value::Int(acc as i64)
+                *acc += v.to_double()?;
+            }
+            AggState::Avg { acc, n } => {
+                *acc += v.to_double()?;
+                *n += 1;
+            }
+            AggState::Min(best) => {
+                if best.as_ref().map(|b| v < b).unwrap_or(true) {
+                    *best = Some(v.clone());
+                }
+            }
+            AggState::Max(best) => {
+                if best.as_ref().map(|b| v > b).unwrap_or(true) {
+                    *best = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the final aggregate, or `None` when min/max/avg saw no
+    /// contributions.
+    pub(crate) fn finish(self) -> Option<Value> {
+        match self {
+            AggState::Count(n) => Some(Value::Int(n)),
+            AggState::Sum { acc, all_int } => Some(if all_int {
+                Value::Int(acc as i64)
+            } else {
+                Value::Double(acc)
+            }),
+            AggState::Avg { acc, n } => {
+                if n == 0 {
+                    None
                 } else {
-                    Value::Double(acc)
-                }))
-            }
-            AggFunc::Avg => {
-                if values.is_empty() {
-                    return Ok(None);
+                    Some(Value::Double(acc / n as f64))
                 }
-                let mut acc = 0.0f64;
-                for v in values {
-                    acc += v.to_double()?;
-                }
-                Ok(Some(Value::Double(acc / values.len() as f64)))
             }
-            AggFunc::Min => Ok(values.iter().min().cloned()),
-            AggFunc::Max => Ok(values.iter().max().cloned()),
+            AggState::Min(best) => best,
+            AggState::Max(best) => best,
         }
     }
 }

@@ -63,15 +63,43 @@ impl Catalog {
 
     /// Total approximate resident bytes across all tables (footprint metric).
     pub fn resident_bytes(&self) -> usize {
-        self.tables.values().map(|t| t.lock().resident_bytes()).sum()
+        self.tables
+            .values()
+            .map(|t| t.lock().resident_bytes())
+            .sum()
     }
 
     /// Expires soft state in every table; returns the number of expired rows.
+    ///
+    /// Uses [`Table::expire_count`], so the periodic sweep neither collects
+    /// the expired tuples nor scans live rows — each table pays O(log n) for
+    /// the staleness-queue peek plus O(log n) per row actually expired.
     pub fn expire_all(&self, now: p2_value::SimTime) -> usize {
         self.tables
             .values()
-            .map(|t| t.lock().expire(now).len())
+            .map(|t| t.lock().expire_count(now))
             .sum()
+    }
+
+    /// Per-table operation counters, sorted by table name (storage
+    /// observability: un-indexed scans, expirations, evictions).
+    pub fn table_stats(&self) -> Vec<(String, crate::table::TableStats)> {
+        let mut out: Vec<(String, crate::table::TableStats)> = self
+            .tables
+            .iter()
+            .map(|(name, t)| (name.clone(), t.lock().stats()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Sum of the operation counters across all tables.
+    pub fn stats_total(&self) -> crate::table::TableStats {
+        let mut total = crate::table::TableStats::default();
+        for t in self.tables.values() {
+            total += t.lock().stats();
+        }
+        total
     }
 }
 

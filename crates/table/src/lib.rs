@@ -15,6 +15,21 @@
 //! * incremental aggregates (min/max/count/sum) can be computed over a table
 //!   with optional group-by, which backs the "aggregate elements that
 //!   maintain an up-to-date aggregate on a table" of §3.4.
+//!
+//! # Storage engine
+//!
+//! [`table::Table`] is a slab-backed storage engine: rows live in
+//! `Vec<Option<Row>>` slots addressed by a compact [`RowId`], the primary
+//! and secondary indices map 64-bit value hashes to `RowId`s (no key-vector
+//! cloning), and a `BTreeSet<(SimTime, RowId)>` staleness queue makes
+//! eviction-victim selection O(log n) and `expire(now)` O(rows actually
+//! expired) — the seed implementation paid an O(n) scan for both on every
+//! bounded insert and engine tick. Borrowing accessors
+//! ([`Table::scan_iter`], [`Table::lookup_iter`], [`Table::get_ref`],
+//! [`Table::contains_match`]) give the dataflow elements allocation-free
+//! probe paths; see `table.rs`'s module docs for the full complexity table,
+//! and [`TableStats`] for the per-table operation counters (including the
+//! `full_scans` counter that makes un-indexed lookups observable).
 
 pub mod aggregate;
 pub mod catalog;
@@ -24,4 +39,4 @@ pub mod table;
 pub use aggregate::AggFunc;
 pub use catalog::{Catalog, TableRef};
 pub use spec::TableSpec;
-pub use table::{InsertOutcome, Table};
+pub use table::{InsertOutcome, LookupIter, ProbeValue, RowId, Table, TableStats};

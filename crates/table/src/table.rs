@@ -1,12 +1,58 @@
-//! The in-memory soft-state table.
+//! The in-memory soft-state table storage engine.
+//!
+//! # Design
+//!
+//! Rows live in a slab — `Vec<Option<Row>>` plus a free list — addressed by
+//! a compact [`RowId`] (a `u32` slot index). All index structures refer to
+//! rows by `RowId` instead of cloning `Vec<Value>` keys around:
+//!
+//! * the **primary index** maps the 64-bit hash of a row's primary-key
+//!   values to the `RowId`s whose key hashes there (almost always exactly
+//!   one; hash collisions are resolved by comparing the actual key fields);
+//! * **secondary indices** map the hash of the indexed column values to the
+//!   set of matching `RowId`s, again verified against the stored tuple on
+//!   lookup, so no per-row key vectors are materialized;
+//! * a **staleness queue** — `BTreeSet<(SimTime, RowId)>` ordered by
+//!   refresh-adjusted insertion time — drives both eviction and expiry.
+//!
+//! # Complexity
+//!
+//! | operation | seed (pre-overhaul) | this engine |
+//! |---|---|---|
+//! | `insert` within size bound | O(1) | O(log n) (staleness queue update) |
+//! | `insert` evicting a victim | **O(n)** scan per eviction | O(log n) |
+//! | `expire(now)` | **O(n)** full-row scan per tick | O(expired · log n) |
+//! | indexed `lookup` | O(hits) + key-vector alloc | O(hits), allocation-free probe |
+//! | `get` by primary key | O(1) | O(1) |
+//!
+//! The borrowing APIs ([`Table::scan_iter`], [`Table::lookup_iter`],
+//! [`Table::get_ref`]) let dataflow elements probe without materializing
+//! `Vec<Tuple>` results; the owning `scan`/`lookup`/`get` APIs are preserved
+//! unchanged for existing callers.
 
-use std::collections::{HashMap, HashSet};
+use std::cell::Cell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 use p2_pel::{EvalContext, Program};
 use p2_value::{SimTime, Tuple, Value, ValueError};
 
-use crate::aggregate::AggFunc;
+use crate::aggregate::{AggFunc, AggState};
 use crate::spec::TableSpec;
+
+/// Compact slab address of a stored row.
+///
+/// `RowId`s are internal to one table: they are reused after deletion (via
+/// the free list) and must never be held across mutations by external code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(u32);
+
+impl RowId {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Result of inserting a tuple into a table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,34 +67,124 @@ pub enum InsertOutcome {
     Replaced(Tuple),
 }
 
+/// Monotonic per-table operation counters.
+///
+/// `full_scans` is the observability hook for un-indexed lookups: a lookup
+/// that can use neither the primary key nor a declared secondary index falls
+/// back to scanning every row, and planners/operators can watch this counter
+/// to find missing index declarations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Lookups served by the primary-key index.
+    pub primary_lookups: u64,
+    /// Lookups served by a secondary index.
+    pub indexed_lookups: u64,
+    /// Lookups that fell back to a full-table scan (no usable index).
+    pub full_scans: u64,
+    /// Rows removed because their soft-state lifetime elapsed.
+    pub expired: u64,
+    /// Rows evicted to honour the size bound.
+    pub evicted: u64,
+}
+
+impl std::ops::AddAssign for TableStats {
+    fn add_assign(&mut self, rhs: TableStats) {
+        self.primary_lookups += rhs.primary_lookups;
+        self.indexed_lookups += rhs.indexed_lookups;
+        self.full_scans += rhs.full_scans;
+        self.expired += rhs.expired;
+        self.evicted += rhs.evicted;
+    }
+}
+
+/// Interior-mutable counters (lookups take `&self`).
+#[derive(Debug, Default)]
+struct StatCells {
+    primary_lookups: Cell<u64>,
+    indexed_lookups: Cell<u64>,
+    full_scans: Cell<u64>,
+    expired: Cell<u64>,
+    evicted: Cell<u64>,
+}
+
 #[derive(Debug, Clone)]
 struct Row {
     tuple: Tuple,
     inserted_at: SimTime,
 }
 
+/// Bucket of rows sharing one primary-key hash (len > 1 only on a 64-bit
+/// hash collision between distinct keys).
+type PrimaryBucket = Vec<u32>;
+
+/// One secondary index: hash of the indexed column values → matching rows.
+type SecondaryIndex = HashMap<u64, HashSet<u32>>;
+
 /// A node-local, in-memory, soft-state table.
 ///
 /// Rows are keyed by the primary key declared in the [`TableSpec`]; optional
 /// secondary indices support the equality lookups performed by equijoin
-/// elements. Rows expire after the spec's lifetime and the oldest row is
-/// evicted when the size bound is exceeded.
+/// elements. Rows expire after the spec's lifetime and the stalest row is
+/// evicted when the size bound is exceeded (both via the staleness queue —
+/// see the module docs for the storage layout and complexity bounds).
 #[derive(Debug)]
 pub struct Table {
     spec: TableSpec,
-    rows: HashMap<Vec<Value>, Row>,
-    /// Secondary indices: indexed column positions -> column values -> set of
-    /// primary keys.
-    secondary: HashMap<Vec<usize>, HashMap<Vec<Value>, HashSet<Vec<Value>>>>,
+    /// Primary-key positions sorted ascending (for lookup fast-path tests).
+    sorted_pk: Vec<usize>,
+    slots: Vec<Option<Row>>,
+    free: Vec<u32>,
+    live: usize,
+    primary: HashMap<u64, PrimaryBucket>,
+    secondary: HashMap<Vec<usize>, SecondaryIndex>,
+    /// Rows ordered by refresh-adjusted insertion time.
+    staleness: BTreeSet<(SimTime, u32)>,
+    stats: StatCells,
+}
+
+/// Values usable as lookup probes: owned `Value`s or borrowed `&Value`s
+/// (join elements probe straight out of the stream tuple without cloning).
+pub trait ProbeValue {
+    /// The probed value.
+    fn value(&self) -> &Value;
+}
+
+impl ProbeValue for Value {
+    fn value(&self) -> &Value {
+        self
+    }
+}
+
+impl ProbeValue for &Value {
+    fn value(&self) -> &Value {
+        self
+    }
+}
+
+fn hash_values<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
+    let mut h = DefaultHasher::new();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
 }
 
 impl Table {
     /// Creates an empty table from its declaration.
     pub fn new(spec: TableSpec) -> Table {
+        let mut sorted_pk = spec.primary_key.clone();
+        sorted_pk.sort_unstable();
+        sorted_pk.dedup();
         Table {
             spec,
-            rows: HashMap::new(),
+            sorted_pk,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            primary: HashMap::new(),
             secondary: HashMap::new(),
+            staleness: BTreeSet::new(),
+            stats: StatCells::default(),
         }
     }
 
@@ -64,21 +200,159 @@ impl Table {
 
     /// Number of live rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.live
     }
 
     /// True if the table holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.live == 0
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            primary_lookups: self.stats.primary_lookups.get(),
+            indexed_lookups: self.stats.indexed_lookups.get(),
+            full_scans: self.stats.full_scans.get(),
+            expired: self.stats.expired.get(),
+            evicted: self.stats.evicted.get(),
+        }
     }
 
     /// Approximate resident size in bytes (used by the footprint benchmark).
     pub fn resident_bytes(&self) -> usize {
-        self.rows
-            .values()
-            .map(|r| r.tuple.wire_size() + std::mem::size_of::<Row>())
+        self.scan_iter()
+            .map(|t| t.wire_size() + std::mem::size_of::<Row>())
             .sum()
     }
+
+    // ----- key and index hashing --------------------------------------
+
+    fn row(&self, id: u32) -> &Row {
+        self.slots[id as usize].as_ref().expect("live RowId")
+    }
+
+    /// Hash of `tuple`'s primary-key values; errors if a key position is out
+    /// of range (matching the seed's `primary_key_of` contract).
+    fn primary_hash_of(&self, tuple: &Tuple) -> Result<u64, ValueError> {
+        if self.spec.primary_key.is_empty() {
+            return Ok(hash_values(tuple.values().iter()));
+        }
+        let mut h = DefaultHasher::new();
+        for &p in &self.spec.primary_key {
+            tuple.get(p)?.hash(&mut h);
+        }
+        Ok(h.finish())
+    }
+
+    /// True if `row`'s primary-key fields equal `key` (in declared key
+    /// order, matching the owned-key layout the seed used).
+    fn row_key_matches(&self, row: &Tuple, key: &[Value]) -> bool {
+        if self.spec.primary_key.is_empty() {
+            return row.values() == key;
+        }
+        self.spec.primary_key.len() == key.len()
+            && self
+                .spec
+                .primary_key
+                .iter()
+                .zip(key)
+                .all(|(&p, v)| row.get(p).map(|f| f == v).unwrap_or(false))
+    }
+
+    /// True if two tuples agree on every primary-key field.
+    fn same_primary_key(&self, a: &Tuple, b: &Tuple) -> bool {
+        if self.spec.primary_key.is_empty() {
+            return a.values() == b.values();
+        }
+        self.spec
+            .primary_key
+            .iter()
+            .all(|&p| match (a.get(p), b.get(p)) {
+                (Ok(x), Ok(y)) => x == y,
+                _ => false,
+            })
+    }
+
+    /// Hash of the values at `cols`, or `None` if any column is out of
+    /// range (such rows simply do not appear in that index).
+    fn index_hash(tuple: &Tuple, cols: &[usize]) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        for &c in cols {
+            tuple.get(c).ok()?.hash(&mut h);
+        }
+        Some(h.finish())
+    }
+
+    /// The live `RowId` holding `tuple`'s primary key, if any.
+    fn find_by_key_of(&self, hash: u64, tuple: &Tuple) -> Option<u32> {
+        self.primary
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| self.same_primary_key(&self.row(id).tuple, tuple))
+    }
+
+    // ----- slab and index maintenance ---------------------------------
+
+    fn alloc(&mut self, row: Row) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(row);
+                id
+            }
+            None => {
+                self.slots.push(Some(row));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn secondary_insert(&mut self, id: u32, tuple: &Tuple) {
+        for (cols, index) in self.secondary.iter_mut() {
+            if let Some(h) = Self::index_hash(tuple, cols) {
+                index.entry(h).or_default().insert(id);
+            }
+        }
+    }
+
+    fn secondary_remove(&mut self, id: u32, tuple: &Tuple) {
+        for (cols, index) in self.secondary.iter_mut() {
+            if let Some(h) = Self::index_hash(tuple, cols) {
+                if let Some(set) = index.get_mut(&h) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        index.remove(&h);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unlinks and returns the row at `id`, fixing up every index and the
+    /// staleness queue. O(log n + indices).
+    fn remove_row(&mut self, id: u32) -> Row {
+        let row = self.slots[id as usize].take().expect("live RowId");
+        self.live -= 1;
+        self.free.push(id);
+        self.staleness.remove(&(row.inserted_at, id));
+        let hash = self
+            .primary_hash_of(&row.tuple)
+            .expect("stored rows have valid keys");
+        if let Some(bucket) = self.primary.get_mut(&hash) {
+            bucket.retain(|&x| x != id);
+            if bucket.is_empty() {
+                self.primary.remove(&hash);
+            }
+        }
+        // `secondary_remove` needs `&mut self` while `row` is already
+        // detached from the slab, so borrowing is clean here.
+        let tuple = row.tuple.clone();
+        self.secondary_remove(id, &tuple);
+        row
+    }
+
+    // ----- declarations ------------------------------------------------
 
     /// Declares a secondary index over the given (zero-based) columns.
     ///
@@ -90,10 +364,12 @@ impl Table {
         if cols.is_empty() || self.secondary.contains_key(&cols) {
             return;
         }
-        let mut index: HashMap<Vec<Value>, HashSet<Vec<Value>>> = HashMap::new();
-        for (key, row) in &self.rows {
-            if let Some(ix_key) = extract(&row.tuple, &cols) {
-                index.entry(ix_key).or_default().insert(key.clone());
+        let mut index: SecondaryIndex = HashMap::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(row) = slot {
+                if let Some(h) = Self::index_hash(&row.tuple, &cols) {
+                    index.entry(h).or_default().insert(i as u32);
+                }
             }
         }
         self.secondary.insert(cols, index);
@@ -104,86 +380,74 @@ impl Table {
         self.secondary.keys().cloned().collect()
     }
 
-    fn primary_key_of(&self, tuple: &Tuple) -> Result<Vec<Value>, ValueError> {
-        let positions = self.spec.key_positions(tuple.arity());
-        let mut key = Vec::with_capacity(positions.len());
-        for p in positions {
-            key.push(tuple.get(p)?.clone());
-        }
-        Ok(key)
-    }
-
-    fn index_insert(&mut self, key: &[Value], tuple: &Tuple) {
-        for (cols, index) in self.secondary.iter_mut() {
-            if let Some(ix_key) = extract(tuple, cols) {
-                index.entry(ix_key).or_default().insert(key.to_vec());
-            }
-        }
-    }
-
-    fn index_remove(&mut self, key: &[Value], tuple: &Tuple) {
-        for (cols, index) in self.secondary.iter_mut() {
-            if let Some(ix_key) = extract(tuple, cols) {
-                if let Some(set) = index.get_mut(&ix_key) {
-                    set.remove(key);
-                    if set.is_empty() {
-                        index.remove(&ix_key);
-                    }
-                }
-            }
-        }
-    }
+    // ----- mutation -----------------------------------------------------
 
     /// Inserts a tuple, returning the outcome and any rows evicted to honour
     /// the size bound.
+    ///
+    /// Within the size bound this is O(log n); eviction picks the stalest
+    /// row from the front of the staleness queue in O(log n) rather than
+    /// scanning the table.
     pub fn insert(
         &mut self,
         tuple: Tuple,
         now: SimTime,
     ) -> Result<(InsertOutcome, Vec<Tuple>), ValueError> {
-        let key = self.primary_key_of(&tuple)?;
-        let outcome = if let Some(existing) = self.rows.get_mut(&key) {
-            if existing.tuple.values() == tuple.values() {
-                existing.inserted_at = now;
-                InsertOutcome::Refreshed
-            } else {
-                let old = existing.tuple.clone();
-                // Replace the row and fix up the secondary indices.
-                existing.tuple = tuple.clone();
-                existing.inserted_at = now;
-                self.index_remove(&key, &old);
-                self.index_insert(&key, &tuple);
-                InsertOutcome::Replaced(old)
+        let hash = self.primary_hash_of(&tuple)?;
+        let existing = self.find_by_key_of(hash, &tuple);
+        let (outcome, kept) = match existing {
+            Some(id) => {
+                let row = self.slots[id as usize].as_ref().expect("live RowId");
+                let old_at = row.inserted_at;
+                if row.tuple.values() == tuple.values() {
+                    self.staleness.remove(&(old_at, id));
+                    self.staleness.insert((now, id));
+                    self.slots[id as usize]
+                        .as_mut()
+                        .expect("live RowId")
+                        .inserted_at = now;
+                    (InsertOutcome::Refreshed, id)
+                } else {
+                    let old = row.tuple.clone();
+                    self.secondary_remove(id, &old);
+                    self.secondary_insert(id, &tuple);
+                    self.staleness.remove(&(old_at, id));
+                    self.staleness.insert((now, id));
+                    let slot = self.slots[id as usize].as_mut().expect("live RowId");
+                    slot.tuple = tuple;
+                    slot.inserted_at = now;
+                    (InsertOutcome::Replaced(old), id)
+                }
             }
-        } else {
-            self.rows.insert(
-                key.clone(),
-                Row {
+            None => {
+                let id = self.alloc(Row {
                     tuple: tuple.clone(),
                     inserted_at: now,
-                },
-            );
-            self.index_insert(&key, &tuple);
-            InsertOutcome::New
+                });
+                self.live += 1;
+                self.primary.entry(hash).or_default().push(id);
+                self.secondary_insert(id, &tuple);
+                self.staleness.insert((now, id));
+                (InsertOutcome::New, id)
+            }
         };
 
         let mut evicted = Vec::new();
         if let Some(max) = self.spec.max_size {
-            while self.rows.len() > max {
-                // Evict the stalest row (FIFO on refresh-adjusted time), but
-                // never the row we just inserted.
+            while self.live > max {
+                // The stalest row (FIFO on refresh-adjusted time) is at the
+                // front of the staleness queue; never evict the row we just
+                // inserted.
                 let victim = self
-                    .rows
+                    .staleness
                     .iter()
-                    .filter(|(k, _)| **k != key)
-                    .min_by_key(|(_, r)| r.inserted_at)
-                    .map(|(k, _)| k.clone());
+                    .map(|&(_, id)| id)
+                    .find(|&id| id != kept);
                 match victim {
-                    Some(vk) => {
-                        if let Some(row) = self.rows.remove(&vk) {
-                            self.index_remove(&vk, &row.tuple);
-                            evicted.push(row.tuple);
-                        }
+                    Some(id) => {
+                        let row = self.remove_row(id);
+                        self.stats.evicted.set(self.stats.evicted.get() + 1);
+                        evicted.push(row.tuple);
                     }
                     None => break,
                 }
@@ -193,18 +457,19 @@ impl Table {
     }
 
     /// Removes rows whose primary key matches `tuple`'s and whose remaining
-    /// fields are equal to `tuple`'s; returns the removed tuples.
+    /// fields match `tuple`'s pattern (null fields act as wildcards);
+    /// returns the removed tuples.
     ///
     /// This backs OverLog `delete` rules, which name the full tuple to
     /// remove.
     pub fn delete_matching(&mut self, tuple: &Tuple) -> Result<Vec<Tuple>, ValueError> {
-        let key = self.primary_key_of(tuple)?;
+        let hash = self.primary_hash_of(tuple)?;
         let mut removed = Vec::new();
-        if let Some(row) = self.rows.get(&key) {
-            if row.tuple.values() == tuple.values() || row_matches_loosely(&row.tuple, tuple) {
-                let row = self.rows.remove(&key).expect("present");
-                self.index_remove(&key, &row.tuple);
-                removed.push(row.tuple);
+        if let Some(id) = self.find_by_key_of(hash, tuple) {
+            // Exact equality is subsumed by the loose match: a pattern with
+            // no nulls matches only a field-identical row.
+            if row_matches_loosely(&self.row(id).tuple, tuple) {
+                removed.push(self.remove_row(id).tuple);
             }
         }
         Ok(removed)
@@ -212,73 +477,181 @@ impl Table {
 
     /// Removes the row with the given primary key, if present.
     pub fn delete_key(&mut self, key: &[Value]) -> Option<Tuple> {
-        let row = self.rows.remove(key)?;
-        self.index_remove(key, &row.tuple);
-        Some(row.tuple)
+        let hash = hash_values(key.iter());
+        let id = self
+            .primary
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| self.row_key_matches(&self.row(id).tuple, key))?;
+        Some(self.remove_row(id).tuple)
     }
 
     /// Removes and returns every row older than the table's lifetime.
+    ///
+    /// O(expired · log n): only rows that actually expire are visited, via
+    /// the time-ordered staleness queue.
     pub fn expire(&mut self, now: SimTime) -> Vec<Tuple> {
-        let Some(lifetime) = self.spec.lifetime else {
-            return Vec::new();
-        };
-        let stale: Vec<Vec<Value>> = self
-            .rows
-            .iter()
-            .filter(|(_, r)| now.saturating_sub(r.inserted_at) > lifetime)
-            .map(|(k, _)| k.clone())
-            .collect();
-        let mut out = Vec::with_capacity(stale.len());
-        for key in stale {
-            if let Some(row) = self.rows.remove(&key) {
-                self.index_remove(&key, &row.tuple);
-                out.push(row.tuple);
-            }
-        }
+        let mut out = Vec::new();
+        self.expire_with(now, |t| out.push(t));
         out
     }
 
+    /// Like [`Table::expire`] but only counts the expired rows, avoiding the
+    /// result vector allocation (the engine's periodic sweep discards the
+    /// tuples).
+    pub fn expire_count(&mut self, now: SimTime) -> usize {
+        let mut n = 0;
+        self.expire_with(now, |_| n += 1);
+        n
+    }
+
+    fn expire_with(&mut self, now: SimTime, mut sink: impl FnMut(Tuple)) {
+        let Some(lifetime) = self.spec.lifetime else {
+            return;
+        };
+        while let Some(&(at, id)) = self.staleness.first() {
+            if now.saturating_sub(at) > lifetime {
+                let row = self.remove_row(id);
+                self.stats.expired.set(self.stats.expired.get() + 1);
+                sink(row.tuple);
+            } else {
+                // Entries are time-ordered: the first non-expired row ends
+                // the sweep.
+                break;
+            }
+        }
+    }
+
+    // ----- queries ------------------------------------------------------
+
     /// Returns all live rows (in unspecified order).
     pub fn scan(&self) -> Vec<Tuple> {
-        self.rows.values().map(|r| r.tuple.clone()).collect()
+        self.scan_iter().cloned().collect()
+    }
+
+    /// Borrowing iterator over all live rows (in unspecified order).
+    pub fn scan_iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|r| &r.tuple))
     }
 
     /// Returns rows whose values at `cols` equal `values`.
     ///
-    /// Uses a secondary index when one has been declared over exactly these
-    /// columns (after sorting); otherwise falls back to a scan.
+    /// Uses the primary index when `cols` covers exactly the primary-key
+    /// columns, a secondary index when one has been declared over exactly
+    /// these columns (after sorting), and otherwise falls back to a counted
+    /// full scan.
     pub fn lookup(&self, cols: &[usize], values: &[Value]) -> Vec<Tuple> {
         let mut pairs: Vec<(usize, &Value)> = cols.iter().copied().zip(values.iter()).collect();
         pairs.sort_by_key(|(c, _)| *c);
-        let sorted_cols: Vec<usize> = pairs.iter().map(|(c, _)| *c).collect();
-        let sorted_vals: Vec<Value> = pairs.iter().map(|(_, v)| (*v).clone()).collect();
+        // Fold duplicate columns: equal probe values collapse to one
+        // constraint; conflicting values can match nothing.
+        let mut sorted_cols: Vec<usize> = Vec::with_capacity(pairs.len());
+        let mut sorted_vals: Vec<&Value> = Vec::with_capacity(pairs.len());
+        for (c, v) in pairs {
+            match sorted_cols.last() {
+                Some(&c0) if c0 == c => {
+                    if sorted_vals.last().map(|v0| *v0 != v).unwrap_or(false) {
+                        return Vec::new();
+                    }
+                }
+                _ => {
+                    sorted_cols.push(c);
+                    sorted_vals.push(v);
+                }
+            }
+        }
+        self.lookup_iter(&sorted_cols, &sorted_vals)
+            .cloned()
+            .collect()
+    }
 
-        if let Some(index) = self.secondary.get(&sorted_cols) {
-            let Some(keys) = index.get(&sorted_vals) else {
-                return Vec::new();
+    /// Borrowing lookup: yields rows whose values at `cols` equal the
+    /// corresponding probe value, without allocating a result vector.
+    ///
+    /// `cols` must be sorted ascending (the planner pre-sorts join keys;
+    /// [`Table::lookup`] sorts on behalf of ad-hoc callers). Probe values
+    /// may be owned `Value`s or `&Value` references borrowed from a stream
+    /// tuple, making the whole probe path allocation-free.
+    pub fn lookup_iter<'a, V: ProbeValue>(
+        &'a self,
+        cols: &'a [usize],
+        values: &'a [V],
+    ) -> LookupIter<'a, V> {
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "lookup_iter requires sorted, deduplicated columns"
+        );
+        debug_assert_eq!(cols.len(), values.len());
+
+        // Primary-key fast path: the probe covers exactly the key columns.
+        if !self.sorted_pk.is_empty() && self.sorted_pk == cols {
+            self.stats
+                .primary_lookups
+                .set(self.stats.primary_lookups.get() + 1);
+            // Hash in declared key order (may differ from sorted order).
+            let mut h = DefaultHasher::new();
+            for &p in &self.spec.primary_key {
+                let at = cols.binary_search(&p).expect("cols == sorted_pk");
+                values[at].value().hash(&mut h);
+            }
+            let bucket = self.primary.get(&h.finish());
+            return LookupIter {
+                table: self,
+                cols,
+                values,
+                inner: match bucket {
+                    Some(b) => LookupSource::Primary(b.iter()),
+                    None => LookupSource::Empty,
+                },
             };
-            return keys
-                .iter()
-                .filter_map(|k| self.rows.get(k))
-                .map(|r| r.tuple.clone())
-                .collect();
         }
 
-        self.rows
-            .values()
-            .filter(|r| {
-                sorted_cols
-                    .iter()
-                    .zip(sorted_vals.iter())
-                    .all(|(c, v)| r.tuple.get(*c).map(|f| f == v).unwrap_or(false))
-            })
-            .map(|r| r.tuple.clone())
-            .collect()
+        if let Some(index) = self.secondary.get(cols) {
+            self.stats
+                .indexed_lookups
+                .set(self.stats.indexed_lookups.get() + 1);
+            let hash = hash_values(values.iter().map(ProbeValue::value));
+            return LookupIter {
+                table: self,
+                cols,
+                values,
+                inner: match index.get(&hash) {
+                    Some(set) => LookupSource::Indexed(set.iter()),
+                    None => LookupSource::Empty,
+                },
+            };
+        }
+
+        self.stats.full_scans.set(self.stats.full_scans.get() + 1);
+        LookupIter {
+            table: self,
+            cols,
+            values,
+            inner: LookupSource::Scan(0),
+        }
+    }
+
+    /// True if at least one row matches the probe (anti-join test); stops at
+    /// the first hit.
+    pub fn contains_match<V: ProbeValue>(&self, cols: &[usize], values: &[V]) -> bool {
+        self.lookup_iter(cols, values).next().is_some()
     }
 
     /// Returns the single row with the given primary key, if any.
     pub fn get(&self, key: &[Value]) -> Option<Tuple> {
-        self.rows.get(key).map(|r| r.tuple.clone())
+        self.get_ref(key).cloned()
+    }
+
+    /// Borrowing variant of [`Table::get`].
+    pub fn get_ref(&self, key: &[Value]) -> Option<&Tuple> {
+        let hash = hash_values(key.iter());
+        self.primary.get(&hash)?.iter().copied().find_map(|id| {
+            let tuple = &self.row(id).tuple;
+            self.row_key_matches(tuple, key).then_some(tuple)
+        })
     }
 
     /// Returns rows accepted by a PEL filter program.
@@ -288,9 +661,9 @@ impl Table {
         ctx: &mut EvalContext,
     ) -> Result<Vec<Tuple>, ValueError> {
         let mut out = Vec::new();
-        for row in self.rows.values() {
-            if filter.eval_bool(&row.tuple, ctx)? {
-                out.push(row.tuple.clone());
+        for tuple in self.scan_iter() {
+            if filter.eval_bool(tuple, ctx)? {
+                out.push(tuple.clone());
             }
         }
         Ok(out)
@@ -299,34 +672,225 @@ impl Table {
     /// Computes `func` over column `agg_col` of every live row, grouped by
     /// `group_cols`. Returns one `(group_values, aggregate)` pair per group.
     ///
-    /// For `count<*>` pass `agg_col = None`.
+    /// For `count<*>` pass `agg_col = None`. Aggregation folds row by row —
+    /// no per-group contribution vectors are materialized.
     pub fn aggregate(
         &self,
         func: AggFunc,
         agg_col: Option<usize>,
         group_cols: &[usize],
     ) -> Result<Vec<(Vec<Value>, Value)>, ValueError> {
-        let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
-        for row in self.rows.values() {
-            let Some(group_key) = extract(&row.tuple, group_cols) else {
+        let mut groups: HashMap<Vec<Value>, AggState> = HashMap::new();
+        for tuple in self.scan_iter() {
+            let Some(group_key) = extract(tuple, group_cols) else {
                 continue;
             };
             let contribution = match agg_col {
-                Some(c) => match row.tuple.get(c) {
-                    Ok(v) => v.clone(),
+                Some(c) => match tuple.get(c) {
+                    Ok(v) => v,
                     Err(_) => continue,
                 },
-                None => Value::Int(1),
+                None => &Value::Int(1),
             };
-            groups.entry(group_key).or_default().push(contribution);
+            groups
+                .entry(group_key)
+                .or_insert_with(|| AggState::new(func))
+                .accumulate(contribution)?;
         }
         let mut out = Vec::with_capacity(groups.len());
-        for (key, vals) in groups {
-            if let Some(agg) = func.apply(&vals)? {
+        for (key, state) in groups {
+            if let Some(agg) = state.finish() {
                 out.push((key, agg));
             }
         }
         Ok(out)
+    }
+
+    // ----- invariant checking -------------------------------------------
+
+    /// Exhaustively verifies the storage invariants: slab/free-list
+    /// disjointness, primary and secondary indices referencing exactly the
+    /// live rows under the correct hashes, and the staleness queue mirroring
+    /// every live row's timestamp. Returns a description of the first
+    /// violation found.
+    ///
+    /// Intended for tests and debugging; cost is O(rows · indices).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let live_ids: Vec<u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i as u32))
+            .collect();
+        if live_ids.len() != self.live {
+            return Err(format!(
+                "live count {} != occupied slots {}",
+                self.live,
+                live_ids.len()
+            ));
+        }
+
+        let free: HashSet<u32> = self.free.iter().copied().collect();
+        if free.len() != self.free.len() {
+            return Err("free list contains duplicates".into());
+        }
+        for &id in &self.free {
+            if self
+                .slots
+                .get(id as usize)
+                .map(Option::is_some)
+                .unwrap_or(true)
+            {
+                return Err(format!(
+                    "free-list id {id} names a live or out-of-range slot"
+                ));
+            }
+        }
+        if free.len() + self.live != self.slots.len() {
+            return Err("slots not partitioned between free list and live rows".into());
+        }
+
+        // Staleness queue == live rows with their timestamps.
+        if self.staleness.len() != self.live {
+            return Err(format!(
+                "staleness queue has {} entries for {} live rows",
+                self.staleness.len(),
+                self.live
+            ));
+        }
+        for &(at, id) in &self.staleness {
+            match self.slots.get(id as usize).and_then(Option::as_ref) {
+                Some(row) if row.inserted_at == at => {}
+                Some(row) => {
+                    return Err(format!(
+                        "staleness entry ({at}, {id}) disagrees with row time {}",
+                        row.inserted_at
+                    ))
+                }
+                None => return Err(format!("staleness entry ({at}, {id}) dangles")),
+            }
+        }
+
+        // Primary index: every live row present exactly once under its hash.
+        let mut indexed = 0usize;
+        for (&hash, bucket) in &self.primary {
+            for &id in bucket {
+                let row = match self.slots.get(id as usize).and_then(Option::as_ref) {
+                    Some(r) => r,
+                    None => return Err(format!("primary bucket {hash:#x} holds dangling id {id}")),
+                };
+                let actual = self
+                    .primary_hash_of(&row.tuple)
+                    .map_err(|e| format!("stored row has invalid key: {e}"))?;
+                if actual != hash {
+                    return Err(format!(
+                        "row {id} filed under primary hash {hash:#x}, hashes to {actual:#x}"
+                    ));
+                }
+                indexed += 1;
+            }
+        }
+        if indexed != self.live {
+            return Err(format!(
+                "primary index holds {indexed} ids for {} rows",
+                self.live
+            ));
+        }
+
+        // Secondary indices: bucket membership ⇔ matching index hash.
+        for (cols, index) in &self.secondary {
+            let mut entries = 0usize;
+            for (&hash, set) in index {
+                if set.is_empty() {
+                    return Err(format!("index {cols:?} retains empty bucket {hash:#x}"));
+                }
+                for &id in set {
+                    let row = match self.slots.get(id as usize).and_then(Option::as_ref) {
+                        Some(r) => r,
+                        None => {
+                            return Err(format!(
+                                "index {cols:?} bucket {hash:#x} holds dangling id {id}"
+                            ))
+                        }
+                    };
+                    match Self::index_hash(&row.tuple, cols) {
+                        Some(actual) if actual == hash => {}
+                        other => {
+                            return Err(format!(
+                                "row {id} filed under {cols:?} hash {hash:#x}, hashes to {other:?}"
+                            ))
+                        }
+                    }
+                    entries += 1;
+                }
+            }
+            let expected = live_ids
+                .iter()
+                .filter(|&&id| Self::index_hash(&self.row(id).tuple, cols).is_some())
+                .count();
+            if entries != expected {
+                return Err(format!(
+                    "index {cols:?} holds {entries} entries, {expected} rows are indexable"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+enum LookupSource<'a> {
+    Empty,
+    Primary(std::slice::Iter<'a, u32>),
+    Indexed(std::collections::hash_set::Iter<'a, u32>),
+    /// Fallback scan cursor (next slot index to examine).
+    Scan(usize),
+}
+
+/// Borrowing iterator returned by [`Table::lookup_iter`].
+pub struct LookupIter<'a, V: ProbeValue> {
+    table: &'a Table,
+    cols: &'a [usize],
+    values: &'a [V],
+    inner: LookupSource<'a>,
+}
+
+impl<'a, V: ProbeValue> LookupIter<'a, V> {
+    fn matches(&self, tuple: &Tuple) -> bool {
+        self.cols
+            .iter()
+            .zip(self.values)
+            .all(|(&c, v)| tuple.get(c).map(|f| f == v.value()).unwrap_or(false))
+    }
+}
+
+impl<'a, V: ProbeValue> Iterator for LookupIter<'a, V> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        loop {
+            let candidate = match &mut self.inner {
+                LookupSource::Empty => return None,
+                LookupSource::Primary(ids) => {
+                    let id = *ids.next()?;
+                    &self.table.row(id).tuple
+                }
+                LookupSource::Indexed(ids) => {
+                    let id = *ids.next()?;
+                    &self.table.row(id).tuple
+                }
+                LookupSource::Scan(next) => {
+                    let slot = self.table.slots.get(*next)?;
+                    *next += 1;
+                    match slot {
+                        Some(row) => &row.tuple,
+                        None => continue,
+                    }
+                }
+            };
+            if self.matches(candidate) {
+                return Some(candidate);
+            }
+        }
     }
 }
 
@@ -356,11 +920,17 @@ mod tests {
     use p2_value::TupleBuilder;
 
     fn succ_spec() -> TableSpec {
-        TableSpec::new("succ", vec![1]).with_lifetime_secs(10).with_max_size(4)
+        TableSpec::new("succ", vec![1])
+            .with_lifetime_secs(10)
+            .with_max_size(4)
     }
 
     fn succ(s: i64, si: &str) -> Tuple {
-        TupleBuilder::new("succ").push("n1").push(s).push(si).build()
+        TupleBuilder::new("succ")
+            .push("n1")
+            .push(s)
+            .push(si)
+            .build()
     }
 
     #[test]
@@ -377,17 +947,24 @@ mod tests {
         assert_eq!(t.len(), 1);
 
         // Same primary key, different payload -> replace.
-        let (o, _) = t.insert(succ(5, "n5-alias"), SimTime::from_secs(3)).unwrap();
+        let (o, _) = t
+            .insert(succ(5, "n5-alias"), SimTime::from_secs(3))
+            .unwrap();
         assert!(matches!(o, InsertOutcome::Replaced(_)));
         assert_eq!(t.len(), 1);
-        assert_eq!(t.get(&[Value::Int(5)]).unwrap().field(2), &Value::str("n5-alias"));
+        assert_eq!(
+            t.get(&[Value::Int(5)]).unwrap().field(2),
+            &Value::str("n5-alias")
+        );
+        t.check_consistency().unwrap();
     }
 
     #[test]
     fn size_bound_evicts_stalest() {
         let mut t = Table::new(succ_spec());
         for (i, s) in [10i64, 20, 30, 40].iter().enumerate() {
-            t.insert(succ(*s, "x"), SimTime::from_secs(i as u64)).unwrap();
+            t.insert(succ(*s, "x"), SimTime::from_secs(i as u64))
+                .unwrap();
         }
         assert_eq!(t.len(), 4);
         // Refresh the oldest so it is no longer the eviction victim.
@@ -396,6 +973,8 @@ mod tests {
         assert_eq!(evicted.len(), 1);
         assert_eq!(evicted[0].field(1), &Value::Int(20));
         assert_eq!(t.len(), 4);
+        assert_eq!(t.stats().evicted, 1);
+        t.check_consistency().unwrap();
     }
 
     #[test]
@@ -411,6 +990,8 @@ mod tests {
         t.insert(succ(2, "b"), SimTime::from_secs(12)).unwrap();
         assert!(t.expire(SimTime::from_secs(20)).is_empty());
         assert_eq!(t.expire(SimTime::from_secs(23)).len(), 1);
+        assert_eq!(t.stats().expired, 2);
+        t.check_consistency().unwrap();
     }
 
     #[test]
@@ -439,12 +1020,37 @@ mod tests {
         let hits = t.lookup(&[2], &[Value::Int(3)]);
         assert_eq!(hits.len(), 5);
         assert!(hits.iter().all(|h| h.field(2) == &Value::Int(3)));
-        // Lookup on a non-indexed column falls back to scanning.
+        // Lookup on the key column uses the primary index.
         let hits = t.lookup(&[1], &[Value::str("m7")]);
         assert_eq!(hits.len(), 1);
+        assert_eq!(t.stats().primary_lookups, 1);
         // Index declared after the fact still sees existing rows.
         t.add_index(vec![1]);
         assert_eq!(t.lookup(&[1], &[Value::str("m7")]).len(), 1);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn unindexed_lookup_counts_a_full_scan() {
+        let mut t = Table::new(TableSpec::new("member", vec![1]));
+        for i in 0..4i64 {
+            t.insert(
+                TupleBuilder::new("member")
+                    .push("n1")
+                    .push(i)
+                    .push(i * 2)
+                    .build(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        assert_eq!(t.stats().full_scans, 0);
+        assert_eq!(t.lookup(&[2], &[Value::Int(4)]).len(), 1);
+        assert_eq!(t.stats().full_scans, 1);
+        t.add_index(vec![2]);
+        assert_eq!(t.lookup(&[2], &[Value::Int(4)]).len(), 1);
+        assert_eq!(t.stats().full_scans, 1);
+        assert_eq!(t.stats().indexed_lookups, 1);
     }
 
     #[test]
@@ -452,7 +1058,11 @@ mod tests {
         let mut t = Table::new(TableSpec::new("finger", vec![1]));
         t.add_index(vec![2]);
         let f = |i: i64, b: &str| {
-            TupleBuilder::new("finger").push("n1").push(i).push(b).build()
+            TupleBuilder::new("finger")
+                .push("n1")
+                .push(i)
+                .push(b)
+                .build()
         };
         t.insert(f(0, "a"), SimTime::ZERO).unwrap();
         t.insert(f(1, "a"), SimTime::ZERO).unwrap();
@@ -461,6 +1071,7 @@ mod tests {
         assert_eq!(t.lookup(&[2], &[Value::str("b")]).len(), 1);
         t.delete_key(&[Value::Int(1)]);
         assert!(t.lookup(&[2], &[Value::str("a")]).is_empty());
+        t.check_consistency().unwrap();
     }
 
     #[test]
@@ -477,10 +1088,48 @@ mod tests {
     }
 
     #[test]
+    fn delete_matching_null_wildcards() {
+        let mut t = Table::new(TableSpec::new("pending", vec![1]));
+        let row = TupleBuilder::new("pending")
+            .push("n1")
+            .push(7i64)
+            .push("payload")
+            .build();
+        t.insert(row.clone(), SimTime::ZERO).unwrap();
+
+        // A pattern whose non-key fields are null matches any stored values
+        // there (OverLog delete rules may not know every field).
+        let wild = TupleBuilder::new("pending")
+            .push(Value::Null)
+            .push(7i64)
+            .push(Value::Null)
+            .build();
+        let removed = t.delete_matching(&wild).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].values(), row.values());
+        assert!(t.is_empty());
+
+        // A pattern with a mismatched concrete field removes nothing.
+        t.insert(row, SimTime::ZERO).unwrap();
+        let miss = TupleBuilder::new("pending")
+            .push(Value::Null)
+            .push(7i64)
+            .push("other")
+            .build();
+        assert!(t.delete_matching(&miss).unwrap().is_empty());
+        assert_eq!(t.len(), 1);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
     fn aggregates_over_table() {
         let mut t = Table::new(TableSpec::new("succDist", vec![1]));
         for (s, d) in [(5i64, 4i64), (9, 8), (3, 2)] {
-            let tup = TupleBuilder::new("succDist").push("n1").push(s).push(d).build();
+            let tup = TupleBuilder::new("succDist")
+                .push("n1")
+                .push(s)
+                .push(d)
+                .build();
             t.insert(tup, SimTime::ZERO).unwrap();
         }
         let agg = t.aggregate(AggFunc::Min, Some(2), &[0]).unwrap();
@@ -493,7 +1142,10 @@ mod tests {
 
         // Empty table: min produces no groups, so nothing is emitted.
         let empty = Table::new(TableSpec::new("x", vec![0]));
-        assert!(empty.aggregate(AggFunc::Min, Some(1), &[0]).unwrap().is_empty());
+        assert!(empty
+            .aggregate(AggFunc::Min, Some(1), &[0])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -501,7 +1153,11 @@ mod tests {
         use p2_pel::{BinOp, Expr};
         let mut t = Table::new(TableSpec::new("member", vec![1]));
         for i in 0..10i64 {
-            let tup = TupleBuilder::new("member").push("n1").push(i).push(i * 10).build();
+            let tup = TupleBuilder::new("member")
+                .push("n1")
+                .push(i)
+                .push(i * 10)
+                .build();
             t.insert(tup, SimTime::ZERO).unwrap();
         }
         let filter = Program::compile(&Expr::bin(BinOp::Ge, Expr::Field(2), Expr::int(70)));
@@ -520,5 +1176,122 @@ mod tests {
         )
         .unwrap();
         assert!(t.resident_bytes() > before);
+    }
+
+    #[test]
+    fn borrowing_apis_agree_with_owning_ones() {
+        let mut t = Table::new(TableSpec::new("member", vec![1]).with_max_size(100));
+        t.add_index(vec![2]);
+        for i in 0..12i64 {
+            let tup = TupleBuilder::new("member")
+                .push("n1")
+                .push(i)
+                .push(i % 3)
+                .build();
+            t.insert(tup, SimTime::from_secs(i as u64)).unwrap();
+        }
+        assert_eq!(t.scan_iter().count(), t.scan().len());
+
+        let probe = [Value::Int(2)];
+        let borrowed = t.lookup_iter(&[2], &probe).count();
+        assert_eq!(borrowed, t.lookup(&[2], &[Value::Int(2)]).len());
+
+        // Reference probes work without cloning values.
+        let two = Value::Int(2);
+        let refs = [&two];
+        assert_eq!(t.lookup_iter(&[2], &refs).count(), borrowed);
+
+        let key = [Value::Int(7)];
+        assert_eq!(t.get_ref(&key), t.get(&key).as_ref());
+        assert!(t.get_ref(&[Value::Int(99)]).is_none());
+        assert!(t.contains_match(&[2], &refs));
+        assert!(!t.contains_match(&[2], &[&Value::Int(9)]));
+    }
+
+    #[test]
+    fn interleaved_operations_keep_indices_consistent() {
+        // insert → replace → refresh → expire → evict interleavings; the
+        // secondary index and staleness queue must never hold dangling
+        // RowIds (check_consistency verifies every cross-reference).
+        let mut t = Table::new(
+            TableSpec::new("soup", vec![1])
+                .with_lifetime_secs(20)
+                .with_max_size(6),
+        );
+        t.add_index(vec![2]);
+        t.add_index(vec![0, 2]);
+        let mk = |k: i64, p: i64| TupleBuilder::new("soup").push("n1").push(k).push(p).build();
+        for step in 0..200u64 {
+            let now = SimTime::from_secs(step);
+            match step % 7 {
+                0 | 1 => {
+                    t.insert(mk((step % 11) as i64, 0), now).unwrap();
+                }
+                2 => {
+                    t.insert(mk((step % 11) as i64, (step % 5) as i64), now)
+                        .unwrap();
+                }
+                3 => {
+                    t.delete_key(&[Value::Int((step % 13) as i64)]);
+                }
+                4 => {
+                    t.expire(now);
+                }
+                5 => {
+                    // Burst of inserts to force evictions.
+                    for j in 0..4 {
+                        t.insert(mk(100 + j, j), now).unwrap();
+                    }
+                }
+                _ => {
+                    t.delete_matching(&mk((step % 11) as i64, 0)).unwrap();
+                }
+            }
+            t.check_consistency()
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+            assert!(t.len() <= 6);
+        }
+        // Force a final expiry sweep well past every lifetime.
+        t.insert(mk(500, 0), SimTime::from_secs(200)).unwrap();
+        let final_len = t.len();
+        assert_eq!(t.expire(SimTime::from_secs(400)).len(), final_len);
+        assert!(t.is_empty());
+        t.check_consistency().unwrap();
+        let stats = t.stats();
+        assert!(stats.evicted > 0 && stats.expired > 0);
+    }
+
+    #[test]
+    fn expire_count_matches_expire() {
+        let mut a = Table::new(TableSpec::new("t", vec![1]).with_lifetime_secs(5));
+        let mut b = Table::new(TableSpec::new("t", vec![1]).with_lifetime_secs(5));
+        for i in 0..10i64 {
+            let tup = TupleBuilder::new("t").push("n1").push(i).build();
+            a.insert(tup.clone(), SimTime::from_secs(i as u64)).unwrap();
+            b.insert(tup, SimTime::from_secs(i as u64)).unwrap();
+        }
+        let now = SimTime::from_secs(9);
+        assert_eq!(a.expire(now).len(), b.expire_count(now));
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn whole_tuple_key_tables_still_work() {
+        // An empty declared key means the whole tuple is the key.
+        let mut t = Table::new(TableSpec::new("link", vec![]));
+        let l = |a: &str, b: &str| TupleBuilder::new("link").push(a).push(b).build();
+        t.insert(l("a", "b"), SimTime::ZERO).unwrap();
+        t.insert(l("a", "c"), SimTime::ZERO).unwrap();
+        let (o, _) = t.insert(l("a", "b"), SimTime::from_secs(1)).unwrap();
+        assert_eq!(o, InsertOutcome::Refreshed);
+        assert_eq!(t.len(), 2);
+        assert!(t.get(&[Value::str("a"), Value::str("b")]).is_some());
+        assert_eq!(
+            t.delete_key(&[Value::str("a"), Value::str("c")])
+                .unwrap()
+                .field(1),
+            &Value::str("c")
+        );
+        t.check_consistency().unwrap();
     }
 }

@@ -9,9 +9,17 @@ use std::collections::HashSet;
 
 #[derive(Debug, Clone)]
 enum Action {
-    Insert { key: i64, payload: i64, at_secs: u64 },
-    Delete { key: i64 },
-    Expire { at_secs: u64 },
+    Insert {
+        key: i64,
+        payload: i64,
+        at_secs: u64,
+    },
+    Delete {
+        key: i64,
+    },
+    Expire {
+        at_secs: u64,
+    },
 }
 
 fn arb_action() -> impl Strategy<Value = Action> {
@@ -46,6 +54,7 @@ proptest! {
         table.add_index(vec![2]);
 
         for a in actions {
+            let action_desc = format!("{a:?}");
             match a {
                 Action::Insert { key, payload, at_secs } => {
                     table.insert(row(key, payload), SimTime::from_secs(at_secs)).unwrap();
@@ -61,6 +70,12 @@ proptest! {
             // Size bound always holds.
             prop_assert!(table.len() <= max_size);
 
+            // The storage engine's internal cross-references (slab, free
+            // list, primary/secondary indices, staleness queue) stay exact.
+            if let Err(e) = table.check_consistency() {
+                panic!("storage inconsistency after {action_desc}: {e}");
+            }
+
             // Primary keys are unique.
             let scan = table.scan();
             let keys: HashSet<Value> = scan.iter().map(|t| t.field(1).clone()).collect();
@@ -75,7 +90,7 @@ proptest! {
             let mut indexed = 0usize;
             let payloads: HashSet<Value> = scan.iter().map(|t| t.field(2).clone()).collect();
             for p in &payloads {
-                indexed += table.lookup(&[2], &[p.clone()]).len();
+                indexed += table.lookup(&[2], std::slice::from_ref(p)).len();
             }
             prop_assert_eq!(indexed, scan.len());
         }

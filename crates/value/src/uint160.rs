@@ -96,6 +96,7 @@ impl Uint160 {
 
     /// Left shift by `n` bits, wrapping modulo 2^160 (bits shifted above bit
     /// 159 are discarded). Shifts of 160 or more yield zero.
+    #[allow(clippy::should_implement_trait)] // saturating u32-shift API, not ops::Shl
     pub fn shl(self, n: u32) -> Uint160 {
         if n >= Self::BITS {
             return Uint160::ZERO;
@@ -103,12 +104,12 @@ impl Uint160 {
         let limb_shift = (n / 64) as usize;
         let bit_shift = n % 64;
         let mut out = [0u64; 3];
-        for i in 0..3 {
+        for (i, slot) in out.iter_mut().enumerate() {
             if i >= limb_shift {
                 let src = i - limb_shift;
-                out[i] |= self.limbs[src] << bit_shift;
+                *slot |= self.limbs[src] << bit_shift;
                 if bit_shift > 0 && src >= 1 {
-                    out[i] |= self.limbs[src - 1] >> (64 - bit_shift);
+                    *slot |= self.limbs[src - 1] >> (64 - bit_shift);
                 }
             }
         }
@@ -116,6 +117,7 @@ impl Uint160 {
     }
 
     /// Logical right shift by `n` bits. Shifts of 160 or more yield zero.
+    #[allow(clippy::should_implement_trait)] // saturating u32-shift API, not ops::Shr
     pub fn shr(self, n: u32) -> Uint160 {
         if n >= Self::BITS {
             return Uint160::ZERO;
@@ -123,12 +125,12 @@ impl Uint160 {
         let limb_shift = (n / 64) as usize;
         let bit_shift = n % 64;
         let mut out = [0u64; 3];
-        for i in 0..3 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let src = i + limb_shift;
             if src < 3 {
-                out[i] |= self.limbs[src] >> bit_shift;
+                *slot |= self.limbs[src] >> bit_shift;
                 if bit_shift > 0 && src + 1 < 3 {
-                    out[i] |= self.limbs[src + 1] << (64 - bit_shift);
+                    *slot |= self.limbs[src + 1] << (64 - bit_shift);
                 }
             }
         }
@@ -388,9 +390,8 @@ mod tests {
         assert_eq!(a, Uint160::hash_of(b"node-1"));
         assert_ne!(a, b);
         // Top limb should not be systematically zero.
-        let any_high = (0..64).any(|i| {
-            Uint160::hash_of(format!("n{i}").as_bytes()).limbs()[2] != 0
-        });
+        let any_high =
+            (0..64).any(|i| Uint160::hash_of(format!("n{i}").as_bytes()).limbs()[2] != 0);
         assert!(any_high);
     }
 

@@ -249,7 +249,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.compare(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -378,10 +378,7 @@ mod tests {
         );
 
         assert_eq!(Value::Int(5).to_id().unwrap(), Uint160::from_u64(5));
-        assert_eq!(
-            Value::str("n1").to_id().unwrap(),
-            Uint160::hash_of(b"n1")
-        );
+        assert_eq!(Value::str("n1").to_id().unwrap(), Uint160::hash_of(b"n1"));
         assert!(Value::Double(1.0).to_id().is_err());
 
         assert_eq!(Value::Int(3).to_time().unwrap(), SimTime::from_secs(3));

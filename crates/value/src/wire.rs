@@ -32,9 +32,7 @@ mod tag {
 
 /// Returns the number of bytes [`marshal`] would produce for this tuple.
 pub fn encoded_size(tuple: &Tuple) -> usize {
-    TUPLE_HEADER
-        + tuple.name().len()
-        + tuple.values().iter().map(Value::wire_size).sum::<usize>()
+    TUPLE_HEADER + tuple.name().len() + tuple.values().iter().map(Value::wire_size).sum::<usize>()
 }
 
 /// Encodes a tuple into bytes.

@@ -32,14 +32,13 @@ fn main() {
         addrs
             .iter()
             .filter(|a| {
-                sim.node(a)
+                !sim.node(a)
                     .unwrap()
                     .node()
                     .table("rumor")
                     .unwrap()
                     .lock()
-                    .len()
-                    > 0
+                    .is_empty()
             })
             .count()
     };

@@ -47,7 +47,10 @@ fn main() {
 
     // 4. Inspect the derived state.
     let table = node.table("acquaintance").expect("declared table");
-    println!("\nacquaintance table now holds {} rows:", table.lock().len());
+    println!(
+        "\nacquaintance table now holds {} rows:",
+        table.lock().len()
+    );
     for row in table.lock().scan() {
         println!("  {row}");
     }

@@ -76,7 +76,10 @@ fn crashed_node_can_rejoin_and_is_reintegrated() {
     cluster.rejoin(&victim);
     cluster.run_for(240.0);
 
-    assert!(cluster.is_joined(&victim), "rejoined node never found a successor");
+    assert!(
+        cluster.is_joined(&victim),
+        "rejoined node never found a successor"
+    );
     // And the overall ring is mostly consistent again.
     assert!(
         cluster.ring_correctness() >= 0.8,
@@ -95,7 +98,11 @@ fn chord_survives_moderate_packet_loss() {
     let mut sim: Simulator<P2Host> = Simulator::new(config);
     let addrs: Vec<String> = (0..n).map(|i| format!("lossy{i}:1000")).collect();
     for (i, addr) in addrs.iter().enumerate() {
-        let landmark = if i == 0 { None } else { Some(addrs[0].as_str()) };
+        let landmark = if i == 0 {
+            None
+        } else {
+            Some(addrs[0].as_str())
+        };
         let host = chord::build_node(addr, landmark, 400 + i as u64, true).unwrap();
         sim.add_node(addr.clone(), host);
     }
@@ -138,5 +145,8 @@ fn chord_survives_moderate_packet_loss() {
         joined >= n - 1,
         "only {joined}/{n} nodes joined under 5% packet loss"
     );
-    assert!(sim.stats().messages_dropped > 0, "loss was configured but nothing dropped");
+    assert!(
+        sim.stats().messages_dropped > 0,
+        "loss was configured but nothing dropped"
+    );
 }

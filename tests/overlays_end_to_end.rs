@@ -97,7 +97,11 @@ fn narada_declares_dead_neighbors_after_silence() {
             .iter()
             .find(|t| t.field(1).to_display_string() == addrs[2])
             .expect("member entry for the dead node exists");
-        assert_eq!(dead_entry.field(4), &Value::Int(0), "member not marked dead");
+        assert_eq!(
+            dead_entry.field(4),
+            &Value::Int(0),
+            "member not marked dead"
+        );
     }
 }
 
@@ -149,14 +153,13 @@ fn gossip_rumor_reaches_every_node() {
     let infected = addrs
         .iter()
         .filter(|a| {
-            sim.node(a)
+            !sim.node(a)
                 .unwrap()
                 .node()
                 .table("rumor")
                 .unwrap()
                 .lock()
-                .len()
-                > 0
+                .is_empty()
         })
         .count();
     assert_eq!(infected, n, "rumor did not reach every node");

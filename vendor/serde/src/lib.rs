@@ -1,0 +1,191 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The real serde is unavailable offline, so this workspace ships a small
+//! serialization facade: [`Serialize`] renders a value into the [`Json`]
+//! tree, and the companion `serde_json` stub pretty-prints that tree. The
+//! `#[derive(Serialize)]` macro (from the vendored `serde_derive`) works for
+//! named-field structs, which is every shape the workspace serializes.
+
+use std::collections::{BTreeMap, HashMap};
+
+// Lets the derive macro's generated `::serde::` paths resolve inside this
+// crate's own tests as well.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// An owned JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A double-precision number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+/// Types that can render themselves into a [`Json`] tree.
+pub trait Serialize {
+    /// Renders this value as JSON.
+    fn to_json(&self) -> Json;
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::UInt(*self as u64) }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::Int(*self as i64) }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json(&self) -> Json {
+        // Sort for stable output: HashMap iteration order is unspecified.
+        let sorted: BTreeMap<&String, &V> = self.iter().collect();
+        Json::Object(
+            sorted
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_container_impls() {
+        assert_eq!(3u32.to_json(), Json::UInt(3));
+        assert_eq!((-4i64).to_json(), Json::Int(-4));
+        assert_eq!(
+            vec![(1usize, 0.5f64)].to_json(),
+            Json::Array(vec![Json::Array(vec![Json::UInt(1), Json::Float(0.5)])])
+        );
+        assert_eq!(Option::<u32>::None.to_json(), Json::Null);
+    }
+
+    #[test]
+    fn derive_handles_named_fields() {
+        #[derive(Serialize)]
+        struct S {
+            alpha: u32,
+            beta: Vec<(usize, f64)>,
+        }
+        let s = S {
+            alpha: 1,
+            beta: vec![(2, 0.5)],
+        };
+        match s.to_json() {
+            Json::Object(fields) => {
+                assert_eq!(fields[0].0, "alpha");
+                assert_eq!(fields[1].0, "beta");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! Generates `impl serde::Serialize` for plain structs with named fields —
+//! the only shape the workspace derives on. Implemented directly on
+//! `proc_macro` token streams (no `syn`/`quote`, which are unavailable
+//! offline): the struct name and field names are extracted by a small
+//! hand-rolled scan and the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct <Name>` then the `{ ... }` field group.
+    let mut name = None;
+    let mut body = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                    for t in &tokens[i + 2..] {
+                        match t {
+                            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                                body = Some(g.stream());
+                            }
+                            // A `<` before the body means generics, which
+                            // this stub does not support.
+                            TokenTree::Punct(p) if p.as_char() == '<' && body.is_none() => {
+                                return Err(
+                                    "derive(Serialize) stub does not support generic structs"
+                                        .into(),
+                                );
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        i += 1;
+    }
+    let name = name.ok_or_else(|| "derive(Serialize) stub supports only structs".to_string())?;
+    let body =
+        body.ok_or_else(|| "derive(Serialize) stub supports only named-field structs".to_string())?;
+
+    let fields = field_names(body);
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "({f:?}.to_string(), ::serde::Serialize::to_json(&self.{f})),"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{\n\
+                 ::serde::Json::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("derive(Serialize) stub generated invalid code: {e:?}"))
+}
+
+/// Extracts the field names from the token stream inside the struct braces:
+/// for each comma-separated chunk, the last identifier before the `:`.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current: Option<String> = None;
+    let mut seen_colon = false;
+    // Angle-bracket depth: commas inside `Vec<(usize, f64)>`-style generic
+    // arguments are part of the type, not field separators.
+    let mut angle_depth = 0i32;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if let Some(f) = current.take() {
+                    fields.push(f);
+                }
+                seen_colon = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                seen_colon = true;
+            }
+            TokenTree::Ident(id) if !seen_colon => {
+                let s = id.to_string();
+                // Skip visibility and attribute-ish keywords; the field name
+                // is the identifier immediately preceding the `:`.
+                if s != "pub" {
+                    current = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(f) = current {
+        fields.push(f);
+    }
+    fields
+}

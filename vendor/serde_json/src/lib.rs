@@ -1,0 +1,171 @@
+//! Vendored stand-in for `serde_json`: pretty-prints the [`serde::Json`]
+//! tree produced by the workspace's serde stub.
+
+use std::fmt;
+
+use serde::{Json, Serialize};
+
+/// Serialization error (the stub's rendering is infallible; this exists for
+/// signature compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as pretty-printed JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value).map(|s| {
+        // Compact by re-rendering without the pretty writer's whitespace is
+        // overkill for a stub; strip newline + indent runs instead.
+        let mut compact = String::with_capacity(s.len());
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut chars = s.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_string {
+                compact.push(c);
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => {
+                    in_string = true;
+                    compact.push(c);
+                }
+                '\n' => {
+                    while chars.peek() == Some(&' ') {
+                        chars.next();
+                    }
+                }
+                _ => compact.push(c),
+            }
+        }
+        compact
+    })
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `{}` prints 3.0 as "3"; that is still valid JSON, keep it.
+    } else {
+        // JSON has no NaN/inf; emit null like serde_json does for invalid
+        // floats only under its arbitrary-precision mode — null is the
+        // safest portable choice.
+        out.push_str("null");
+    }
+}
+
+fn write_json(v: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::UInt(u) => out.push_str(&u.to_string()),
+        Json::Float(f) => write_float(*f, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_json(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_json(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_objects() {
+        let v = Json::Object(vec![
+            ("x".into(), Json::UInt(3)),
+            ("y".into(), Json::Array(vec![Json::Float(1.5), Json::Null])),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"x\": 3"));
+        assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn compact_strips_whitespace_outside_strings() {
+        let v = Json::Object(vec![("a b".into(), Json::Str("c  d".into()))]);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "{\"a b\": \"c  d\"}");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let s = to_string_pretty(&Json::Str("a\"b\\c\nd".into())).unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}
