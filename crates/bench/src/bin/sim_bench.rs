@@ -1,0 +1,223 @@
+//! Simulator event-loop benchmark: measures what the PR-2 overhaul targets
+//! (interned NodeIds, the tombstone-free timer index, matrix latency
+//! lookup) and writes the results to `BENCH_sim.json` so the trajectory is
+//! tracked like `BENCH_table.json`.
+//!
+//! Two sections:
+//!
+//! * `toy_event_loop` — rings of trivial periodic hosts (one ping per
+//!   second per node, no dataflow machinery). This isolates the simulator's
+//!   own per-event cost; with the interned core it should be roughly
+//!   independent of node count and allocation-free on the delivery and
+//!   wakeup paths.
+//! * `chord_rings` — full declarative Chord rings brought up with the
+//!   batched `start_all`/`inject_many` path, reporting bring-up wall time
+//!   and steady-state event throughput.
+//!
+//! Usage: `cargo run --release --bin sim_bench [-- --smoke] [--sizes N,N,..]
+//! [--out PATH]`
+
+use std::time::Instant;
+
+use p2_bench::to_json;
+use p2_harness::ChordCluster;
+use p2_netsim::{Envelope, Host, NetworkConfig, Simulator};
+use p2_value::{SimTime, Tuple, TupleBuilder};
+use serde::Serialize;
+
+/// A minimal host: one ping to its ring neighbor every second, phase-spread
+/// so events are not synchronized.
+struct Toy {
+    addr: String,
+    peer: String,
+    next: Option<SimTime>,
+    received: u64,
+}
+
+impl Host for Toy {
+    fn start(&mut self, now: SimTime) -> Vec<Envelope> {
+        // Phase-spread the first tick by the node's hash.
+        let phase = (self.addr.len() as u64 * 131 + self.addr.as_bytes()[1] as u64) % 997;
+        self.next = Some(now + SimTime::from_millis(1000 + phase));
+        Vec::new()
+    }
+
+    fn deliver(&mut self, _tuple: Tuple, _now: SimTime) -> Vec<Envelope> {
+        self.received += 1;
+        Vec::new()
+    }
+
+    fn advance_to(&mut self, now: SimTime) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        if let Some(t) = self.next {
+            if t <= now {
+                out.push(Envelope::new(
+                    self.peer.clone(),
+                    TupleBuilder::new("ping").push(self.addr.as_str()).build(),
+                ));
+                self.next = Some(t + SimTime::from_secs(1));
+            }
+        }
+        out
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.next
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ToyResult {
+    nodes: usize,
+    virtual_secs: u64,
+    events: u64,
+    wall_secs: f64,
+    ns_per_event: f64,
+    events_per_sec: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ChordResult {
+    nodes: usize,
+    build_wall_secs: f64,
+    ring_correctness: f64,
+    virtual_secs: u64,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    messages_per_virtual_sec: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    bench: String,
+    toy_event_loop: Vec<ToyResult>,
+    chord_rings: Vec<ChordResult>,
+}
+
+fn bench_toy(nodes: usize, virtual_secs: u64) -> ToyResult {
+    let mut sim: Simulator<Toy> = Simulator::new(NetworkConfig::emulab_default(17));
+    for i in 0..nodes {
+        let addr = format!("n{i}");
+        let peer = format!("n{}", (i + 1) % nodes);
+        sim.add_node(
+            addr.clone(),
+            Toy {
+                addr,
+                peer,
+                next: None,
+                received: 0,
+            },
+        );
+    }
+    sim.start_all();
+    // Warm up one virtual second so every node's first tick has fired.
+    sim.run_for(SimTime::from_secs(2));
+    let before = sim.events_processed();
+    let start = Instant::now();
+    sim.run_for(SimTime::from_secs(virtual_secs));
+    let wall = start.elapsed().as_secs_f64();
+    let events = sim.events_processed() - before;
+    ToyResult {
+        nodes,
+        virtual_secs,
+        events,
+        wall_secs: wall,
+        ns_per_event: wall * 1e9 / events.max(1) as f64,
+        events_per_sec: events as f64 / wall.max(1e-12),
+    }
+}
+
+fn bench_chord(nodes: usize, warmup_secs: u64, virtual_secs: u64) -> ChordResult {
+    let start = Instant::now();
+    let mut cluster = ChordCluster::build_fast(nodes, warmup_secs, 42);
+    let build_wall_secs = start.elapsed().as_secs_f64();
+    let ring_correctness = cluster.ring_correctness();
+
+    let before_events = cluster.sim.events_processed();
+    cluster.sim.reset_stats();
+    let start = Instant::now();
+    cluster.run_for(virtual_secs as f64);
+    let wall = start.elapsed().as_secs_f64();
+    let events = cluster.sim.events_processed() - before_events;
+    let sent = cluster.sim.stats().messages_sent;
+    ChordResult {
+        nodes,
+        build_wall_secs,
+        ring_correctness,
+        virtual_secs,
+        events,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall.max(1e-12),
+        messages_per_virtual_sec: sent as f64 / virtual_secs.max(1) as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let out_path = value("--out").unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let smoke = flag("--smoke");
+    let sizes: Vec<usize> = match value("--sizes") {
+        Some(s) => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        None if smoke => vec![16],
+        None => vec![100, 500, 2000],
+    };
+    // Simultaneous joins need more stabilization time than the paper's
+    // staggered bring-up: ~300 virtual seconds forms a fully correct ring.
+    let (warmup_secs, measure_secs) = if smoke { (60, 10) } else { (300, 30) };
+
+    // Fail on an unwritable output path up front, not after minutes of
+    // measurement.
+    if let Err(e) = std::fs::write(&out_path, "{}") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+
+    let mut toy_event_loop = Vec::new();
+    for &n in &sizes {
+        eprintln!("toy event loop: {n} nodes...");
+        let r = bench_toy(n, if smoke { 30 } else { 120 });
+        eprintln!(
+            "  {} events in {:.3} s -> {:>9.1} ns/event ({:>12.0} events/s)",
+            r.events, r.wall_secs, r.ns_per_event, r.events_per_sec
+        );
+        toy_event_loop.push(r);
+    }
+
+    let mut chord_rings = Vec::new();
+    for &n in &sizes {
+        eprintln!("chord ring: {n} nodes (batched bring-up, warmup {warmup_secs} s)...");
+        let r = bench_chord(n, warmup_secs, measure_secs);
+        eprintln!(
+            "  bring-up {:.2} s wall, ring {:.2}, {} events in {:.3} s -> {:>12.0} events/s \
+             ({:>8.0} msgs/virtual-s)",
+            r.build_wall_secs,
+            r.ring_correctness,
+            r.events,
+            r.wall_secs,
+            r.events_per_sec,
+            r.messages_per_virtual_sec
+        );
+        chord_rings.push(r);
+    }
+
+    let report = BenchReport {
+        bench: "sim_event_loop".to_string(),
+        toy_event_loop,
+        chord_rings,
+    };
+    let json = to_json(&report);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -21,6 +21,7 @@ pub struct Outgoing {
 /// ports after the element returns (run-to-completion per element).
 pub struct ElementCtx<'a> {
     now: SimTime,
+    pending: usize,
     eval: &'a mut EvalContext,
     emissions: &'a mut Vec<(usize, Tuple)>,
     outgoing: &'a mut Vec<Outgoing>,
@@ -30,6 +31,7 @@ pub struct ElementCtx<'a> {
 impl<'a> ElementCtx<'a> {
     pub(crate) fn new(
         now: SimTime,
+        pending: usize,
         eval: &'a mut EvalContext,
         emissions: &'a mut Vec<(usize, Tuple)>,
         outgoing: &'a mut Vec<Outgoing>,
@@ -37,6 +39,7 @@ impl<'a> ElementCtx<'a> {
     ) -> ElementCtx<'a> {
         ElementCtx {
             now,
+            pending,
             eval,
             emissions,
             outgoing,
@@ -47,6 +50,13 @@ impl<'a> ElementCtx<'a> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Number of tuples queued in the engine's work queue behind the one
+    /// being processed (the node's pending backlog). Queueing elements use
+    /// this as their occupancy signal.
+    pub fn pending(&self) -> usize {
+        self.pending
     }
 
     /// The node-local PEL evaluation context (clock, RNG, local address).
@@ -127,6 +137,7 @@ mod tests {
         let mut timers = Vec::new();
         let mut ctx = ElementCtx::new(
             SimTime::from_secs(5),
+            3,
             &mut eval,
             &mut emissions,
             &mut outgoing,
@@ -134,6 +145,7 @@ mod tests {
         );
         assert_eq!(ctx.local_addr(), "n1");
         assert_eq!(ctx.now(), SimTime::from_secs(5));
+        assert_eq!(ctx.pending(), 3);
 
         let t = TupleBuilder::new("ping").push("n1").build();
         Echo.push(3, &t, &mut ctx);

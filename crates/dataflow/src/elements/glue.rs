@@ -1,5 +1,6 @@
 //! General-purpose "glue" elements: demultiplexer, queue, and tap.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -13,25 +14,36 @@ use crate::element::{Element, ElementCtx};
 /// Tuple name `names[i]` goes to output port `i`; tuples whose name is not
 /// listed go to the *default port* `names.len()`. This is the big
 /// classifier at the entry of every planned dataflow (Figure 2's
-/// "Demux (tuple name)").
+/// "Demux (tuple name)"): Chord's planner generates dozens of arms, and
+/// every delivered tuple passes through here, so the name→port mapping is a
+/// prebuilt hash table rather than a linear scan.
 pub struct Demux {
-    names: Vec<String>,
+    ports: HashMap<Arc<str>, usize>,
+    default_port: usize,
 }
 
 impl Demux {
     /// Creates a demux for the given tuple names.
     pub fn new(names: Vec<String>) -> Demux {
-        Demux { names }
+        let mut ports = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            // First occurrence wins, matching the old linear scan.
+            ports.entry(Arc::from(n.as_str())).or_insert(i);
+        }
+        Demux {
+            ports,
+            default_port: names.len(),
+        }
     }
 
     /// The port unmatched tuples are emitted on.
     pub fn default_port(&self) -> usize {
-        self.names.len()
+        self.default_port
     }
 
-    /// The port a given tuple name is routed to, if it is known.
+    /// The port a given tuple name is routed to, if it is known. O(1).
     pub fn port_for(&self, name: &str) -> Option<usize> {
-        self.names.iter().position(|n| n == name)
+        self.ports.get(name).copied()
     }
 }
 
@@ -52,25 +64,27 @@ impl Element for Demux {
 ///
 /// In the original system queues decouple push and pull sections of the
 /// graph and block when full. In this reproduction intra-node flow control
-/// is not needed (the engine drains a FIFO work queue), so `Queue` simply
-/// forwards tuples while keeping occupancy statistics, and optionally
-/// enforces a drop-tail capacity so that planner-generated graphs still have
-/// an explicit queueing point in front of the network.
+/// is not needed (the engine drains a FIFO work queue), so a queue's
+/// *occupancy* is defined as the engine's pending-work backlog at the moment
+/// a tuple reaches the queueing point, including that tuple
+/// ([`ElementCtx::pending`] + 1). The optional capacity is a load-shedding
+/// bound on that backlog: while the node is processing a cascade deeper than
+/// `capacity`, tuples reaching the queue are dropped. (The seed incremented
+/// and decremented a counter around a synchronous emit, so occupancy never
+/// exceeded one and the capacity could never trigger.)
 pub struct Queue {
     capacity: Option<usize>,
-    in_flight: usize,
-    /// Number of tuples dropped because the queue was full.
+    /// Number of tuples dropped because the backlog exceeded capacity.
     pub dropped: u64,
     /// Highest occupancy observed.
     pub high_watermark: usize,
 }
 
 impl Queue {
-    /// Creates a queue with an optional drop-tail capacity.
+    /// Creates a queue with an optional load-shedding capacity.
     pub fn new(capacity: Option<usize>) -> Queue {
         Queue {
             capacity,
-            in_flight: 0,
             dropped: 0,
             high_watermark: 0,
         }
@@ -83,19 +97,15 @@ impl Element for Queue {
     }
 
     fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let occupancy = ctx.pending() + 1;
+        self.high_watermark = self.high_watermark.max(occupancy);
         if let Some(cap) = self.capacity {
-            if self.in_flight >= cap {
+            if occupancy > cap {
                 self.dropped += 1;
                 return;
             }
         }
-        // The engine processes the emission immediately after this element
-        // returns, so occupancy is transient; we still track a watermark for
-        // benchmarks.
-        self.in_flight += 1;
-        self.high_watermark = self.high_watermark.max(self.in_flight);
         ctx.emit(0, tuple.clone());
-        self.in_flight -= 1;
     }
 }
 
@@ -201,6 +211,62 @@ mod tests {
             engine.deliver(TupleBuilder::new("x").push(i).build(), SimTime::ZERO);
         }
         assert_eq!(buf.lock().len(), 5);
+    }
+
+    /// Emits a burst of `n` copies of every incoming tuple.
+    struct Burst(usize);
+
+    impl Element for Burst {
+        fn class(&self) -> &'static str {
+            "Burst"
+        }
+        fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+            for _ in 0..self.0 {
+                ctx.emit(0, tuple.clone());
+            }
+        }
+    }
+
+    /// Pins the queue's occupancy/capacity semantics: occupancy is the
+    /// engine backlog at the queueing point (pending work + the tuple in
+    /// hand), and the capacity sheds tuples while that backlog exceeds it.
+    #[test]
+    fn queue_capacity_sheds_load_under_backlog() {
+        let mut g = Graph::new();
+        let b = g.add("burst", Box::new(Burst(5)));
+        let q = g.add("queue", Box::new(Queue::new(Some(3))));
+        let (c, buf) = Collector::new();
+        let c = g.add("tap", Box::new(c));
+        g.connect(b, 0, q, 0);
+        g.connect(q, 0, c, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route {
+            element: b,
+            port: 0,
+        });
+        engine.deliver(TupleBuilder::new("x").push(1i64).build(), SimTime::ZERO);
+
+        // The burst enqueues 5 tuples for the queue at once. The first two
+        // see backlogs of 5 and 4 (> capacity 3) and are shed; the remaining
+        // three pass (forwarding re-enqueues downstream work, but the
+        // backlog never exceeds the capacity again).
+        assert_eq!(buf.lock().len(), 3);
+
+        // A calm, one-at-a-time trickle is never shed.
+        let mut g = Graph::new();
+        let q = g.add("queue", Box::new(Queue::new(Some(1))));
+        let (c, buf) = Collector::new();
+        let c = g.add("tap", Box::new(c));
+        g.connect(q, 0, c, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route {
+            element: q,
+            port: 0,
+        });
+        for i in 0..4i64 {
+            engine.deliver(TupleBuilder::new("x").push(i).build(), SimTime::ZERO);
+        }
+        assert_eq!(buf.lock().len(), 4);
     }
 
     #[test]

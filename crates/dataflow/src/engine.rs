@@ -193,6 +193,7 @@ impl Engine {
             {
                 let mut ctx = ElementCtx::new(
                     self.now,
+                    self.queue.len(),
                     &mut self.eval,
                     &mut emissions,
                     &mut outgoing,
@@ -244,6 +245,7 @@ impl Engine {
             {
                 let mut ctx = ElementCtx::new(
                     self.now,
+                    self.queue.len(),
                     &mut self.eval,
                     &mut emissions,
                     &mut outgoing,
@@ -292,6 +294,7 @@ impl Engine {
             {
                 let mut ctx = ElementCtx::new(
                     self.now,
+                    self.queue.len(),
                     &mut self.eval,
                     &mut emissions,
                     outgoing,

@@ -7,6 +7,9 @@
 //! landmark. The population therefore stays constant while membership turns
 //! over, exactly as in the paper's churn experiments.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,21 +18,23 @@ use rand::{Rng, SeedableRng};
 pub struct ChurnSchedule {
     mean_session_secs: f64,
     rng: SmallRng,
-    /// (next death time in seconds, node index); the landmark (index 0) is
-    /// never churned so rejoining nodes always have a working entry point.
-    deaths: Vec<(f64, usize)>,
+    /// Min-heap of (death time bits, node index); death times are positive
+    /// finite seconds, whose IEEE-754 bit patterns order like the floats, so
+    /// pop and reschedule are O(log n) (the seed kept a sorted `Vec` and
+    /// shifted it per event). The landmark (index 0) is never churned so
+    /// rejoining nodes always have a working entry point.
+    deaths: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl ChurnSchedule {
     /// Creates a schedule for `n` nodes with the given mean session time.
     pub fn new(n: usize, mean_session_secs: f64, start_secs: f64, seed: u64) -> ChurnSchedule {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut deaths = Vec::new();
+        let mut deaths = BinaryHeap::with_capacity(n.saturating_sub(1));
         for i in 1..n {
             let lifetime = sample_exponential(&mut rng, mean_session_secs);
-            deaths.push((start_secs + lifetime, i));
+            deaths.push(Reverse(((start_secs + lifetime).to_bits(), i)));
         }
-        deaths.sort_by(|a, b| a.0.total_cmp(&b.0));
         ChurnSchedule {
             mean_session_secs,
             rng,
@@ -39,23 +44,17 @@ impl ChurnSchedule {
 
     /// The time (in seconds) of the next churn event, if any.
     pub fn next_event_at(&self) -> Option<f64> {
-        self.deaths.first().map(|(t, _)| *t)
+        self.deaths.peek().map(|Reverse((t, _))| f64::from_bits(*t))
     }
 
     /// Pops the next churn event, returning `(time, node index)` and
     /// scheduling that node's next death (after it rejoins).
     pub fn pop(&mut self) -> Option<(f64, usize)> {
-        if self.deaths.is_empty() {
-            return None;
-        }
-        let (at, idx) = self.deaths.remove(0);
+        let Reverse((bits, idx)) = self.deaths.pop()?;
+        let at = f64::from_bits(bits);
         let next_lifetime = sample_exponential(&mut self.rng, self.mean_session_secs);
-        let next = (at + next_lifetime, idx);
-        let pos = self
-            .deaths
-            .binary_search_by(|(t, _)| t.total_cmp(&next.0))
-            .unwrap_or_else(|p| p);
-        self.deaths.insert(pos, next);
+        self.deaths
+            .push(Reverse(((at + next_lifetime).to_bits(), idx)));
         Some((at, idx))
     }
 

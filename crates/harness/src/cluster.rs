@@ -1,7 +1,7 @@
 //! Whole-overlay cluster bring-up, workload generation and measurement.
 
 use p2_baseline::{BaselineChord, BaselineConfig};
-use p2_netsim::{NetworkConfig, Simulator};
+use p2_netsim::{Host, NetworkConfig, Simulator};
 use p2_overlays::{chord, P2Host};
 use p2_value::{SimTime, Tuple, TupleBuilder, Uint160, Value};
 use rand::rngs::SmallRng;
@@ -34,6 +34,32 @@ pub struct LookupOutcome {
 
 fn node_addr(i: usize) -> String {
     format!("node{i}:11111")
+}
+
+/// Fraction of up nodes whose reported successor (per `successor_of`) is
+/// the correct clockwise ring successor among up nodes. Shared by the
+/// declarative and baseline clusters; iterates borrowed addresses, no list
+/// clone.
+fn ring_correctness_of<H: Host>(
+    sim: &Simulator<H>,
+    successor_of: impl Fn(&str) -> Option<String>,
+) -> f64 {
+    let mut ids: Vec<(Uint160, &str)> = sim
+        .up_addresses_iter()
+        .map(|a| (chord::node_id(a), a))
+        .collect();
+    if ids.len() < 2 {
+        return 1.0;
+    }
+    ids.sort();
+    let correct = (0..ids.len())
+        .filter(|&pos| {
+            let a = ids[pos].1;
+            let expect = ids[(pos + 1) % ids.len()].1;
+            successor_of(a).as_deref() == Some(expect)
+        })
+        .count();
+    correct as f64 / ids.len() as f64
 }
 
 /// The correct owner of `key` among `nodes`: the node whose identifier is
@@ -69,6 +95,14 @@ impl ChordCluster {
     /// until every node has learned a successor, then the ring is left to
     /// stabilize for `warmup_secs` of virtual time.
     pub fn build(n: usize, warmup_secs: u64, seed: u64) -> ChordCluster {
+        let mut cluster = ChordCluster::new_unbooted(n, seed);
+        cluster.boot(warmup_secs);
+        cluster
+    }
+
+    /// Plans `n` Chord nodes and adds them to a fresh simulator without
+    /// starting any of them (shared prelude of the bring-up paths).
+    fn new_unbooted(n: usize, seed: u64) -> ChordCluster {
         let mut sim = Simulator::new(NetworkConfig::emulab_default(seed));
         let addrs: Vec<String> = (0..n).map(node_addr).collect();
         for (i, addr) in addrs.iter().enumerate() {
@@ -81,15 +115,51 @@ impl ChordCluster {
                 .expect("chord node must plan");
             sim.add_node(addr.clone(), host);
         }
-        let mut cluster = ChordCluster {
+        ChordCluster {
             sim,
             addrs,
             seed,
             next_event: 1_000_000,
             rng: SmallRng::seed_from_u64(seed ^ 0x5EED),
-        };
-        cluster.boot(warmup_secs);
+        }
+    }
+
+    /// Builds an `n`-node ring with the batched bring-up path: every node is
+    /// started at the same virtual instant ([`Simulator::start_all`]) and
+    /// all joins are injected in one batch, instead of staggering nodes
+    /// 500 ms apart. Much less virtual time for large rings (the throughput
+    /// benchmarks use this); [`ChordCluster::build`] remains the paper's
+    /// staggered bring-up.
+    pub fn build_fast(n: usize, warmup_secs: u64, seed: u64) -> ChordCluster {
+        let mut cluster = ChordCluster::new_unbooted(n, seed);
+        cluster.sim.start_all();
+        for _ in 0..12 {
+            let joins = cluster.join_batch();
+            if joins.is_empty() {
+                break;
+            }
+            cluster.sim.inject_many(joins);
+            cluster.sim.run_for(SimTime::from_secs(20));
+        }
+        cluster.sim.run_for(SimTime::from_secs(warmup_secs));
+        cluster.clear_observations();
+        cluster.sim.reset_stats();
         cluster
+    }
+
+    /// Fresh join tuples for every node that has not yet learned a
+    /// successor, in address order.
+    fn join_batch(&mut self) -> Vec<(String, Tuple)> {
+        let mut out = Vec::new();
+        for i in 0..self.addrs.len() {
+            if !self.is_joined(&self.addrs[i]) {
+                let addr = self.addrs[i].clone();
+                let event = self.fresh_event();
+                let tuple = chord::join_tuple(&addr, event);
+                out.push((addr, tuple));
+            }
+        }
+        out
     }
 
     fn boot(&mut self, warmup_secs: u64) {
@@ -100,20 +170,15 @@ impl ChordCluster {
             self.sim.inject(addr, chord::join_tuple(addr, event));
             self.sim.run_for(SimTime::from_millis(500));
         }
-        // Re-issue joins for stragglers (the `join` tuple only lives 10 s).
+        // Re-issue joins for stragglers (the `join` tuple only lives 10 s),
+        // in one batch per round.
         for _ in 0..12 {
             self.sim.run_for(SimTime::from_secs(20));
-            let mut all_joined = true;
-            for addr in &addrs {
-                if !self.is_joined(addr) {
-                    all_joined = false;
-                    let event = self.fresh_event();
-                    self.sim.inject(addr, chord::join_tuple(addr, event));
-                }
-            }
-            if all_joined {
+            let rejoin: Vec<(String, Tuple)> = self.join_batch();
+            if rejoin.is_empty() {
                 break;
             }
+            self.sim.inject_many(rejoin);
         }
         self.sim.run_for(SimTime::from_secs(warmup_secs));
         self.clear_observations();
@@ -184,22 +249,7 @@ impl ChordCluster {
     /// Fraction of up nodes whose best successor is the correct ring
     /// successor among up nodes (a ring-consistency health metric).
     pub fn ring_correctness(&self) -> f64 {
-        let up = self.up_addrs();
-        if up.len() < 2 {
-            return 1.0;
-        }
-        let mut ids: Vec<(Uint160, String)> =
-            up.iter().map(|a| (chord::node_id(a), a.clone())).collect();
-        ids.sort();
-        let correct = up
-            .iter()
-            .filter(|a| {
-                let pos = ids.iter().position(|(_, x)| x == *a).unwrap();
-                let expect = &ids[(pos + 1) % ids.len()].1;
-                self.best_successor(a).as_deref() == Some(expect.as_str())
-            })
-            .count();
-        correct as f64 / up.len() as f64
+        ring_correctness_of(&self.sim, |a| self.best_successor(a))
     }
 
     /// Issues a lookup for `key` at `origin`.
@@ -218,8 +268,13 @@ impl ChordCluster {
 
     /// Issues a lookup for a uniformly random key from a random up node.
     pub fn issue_random_lookup(&mut self) -> LookupHandle {
-        let up = self.up_addrs();
-        let origin = up[self.rng.gen_range(0..up.len())].clone();
+        let idx = self.rng.gen_range(0..self.sim.up_count());
+        let origin = self
+            .sim
+            .up_addresses_iter()
+            .nth(idx)
+            .expect("up_count bounds the index")
+            .to_string();
         let key = Uint160::hash_of(&self.rng.gen::<[u8; 16]>());
         self.issue_lookup_from(&origin, key)
     }
@@ -296,16 +351,16 @@ impl ChordCluster {
 
     /// Average bytes of soft state per up node (working-set style metric).
     pub fn mean_resident_bytes(&self) -> f64 {
-        let up = self.up_addrs();
-        if up.is_empty() {
+        let mut count = 0usize;
+        let mut total = 0usize;
+        for id in self.sim.up_ids() {
+            count += 1;
+            total += self.sim.node_by_id(id).node().resident_table_bytes();
+        }
+        if count == 0 {
             return 0.0;
         }
-        let total: usize = up
-            .iter()
-            .filter_map(|a| self.sim.node(a))
-            .map(|h| h.node().resident_table_bytes())
-            .sum();
-        total as f64 / up.len() as f64
+        total as f64 / count as f64
     }
 
     /// Table-storage operation counters summed over all up nodes (indexed
@@ -313,12 +368,22 @@ impl ChordCluster {
     /// verify that the hot probe paths stay on an index.
     pub fn storage_ops(&self) -> crate::metrics::StorageOps {
         let mut total = p2_table::TableStats::default();
-        for addr in self.up_addrs() {
-            if let Some(host) = self.sim.node(&addr) {
-                total += host.node().catalog().stats_total();
-            }
+        for id in self.sim.up_ids() {
+            total += self.sim.node_by_id(id).node().catalog().stats_total();
         }
         total.into()
+    }
+
+    /// Simulator event-loop counters (events processed, wakeup share, live
+    /// timer entries). Lets experiments verify the event core stays
+    /// tombstone-free at scale.
+    pub fn sim_ops(&self) -> crate::metrics::SimOps {
+        crate::metrics::SimOps {
+            events_processed: self.sim.events_processed(),
+            wakeups_processed: self.sim.wakeups_processed(),
+            packets_in_flight: self.sim.packets_in_flight(),
+            scheduled_wakeups: self.sim.scheduled_wakeups(),
+        }
     }
 }
 
@@ -379,25 +444,11 @@ impl BaselineCluster {
     /// Fraction of nodes whose first successor is the correct ring
     /// successor.
     pub fn ring_correctness(&self) -> f64 {
-        let up = self.sim.up_addresses();
-        if up.len() < 2 {
-            return 1.0;
-        }
-        let mut ids: Vec<(Uint160, String)> =
-            up.iter().map(|a| (chord::node_id(a), a.clone())).collect();
-        ids.sort();
-        let correct = up
-            .iter()
-            .filter(|a| {
-                let pos = ids.iter().position(|(_, x)| x == *a).unwrap();
-                let expect = &ids[(pos + 1) % ids.len()].1;
-                self.sim
-                    .node(a)
-                    .map(|n| n.successors().first() == Some(expect))
-                    .unwrap_or(false)
-            })
-            .count();
-        correct as f64 / up.len() as f64
+        ring_correctness_of(&self.sim, |a| {
+            self.sim
+                .node(a)
+                .and_then(|n| n.successors().first().cloned())
+        })
     }
 
     /// Issues a lookup for `key` from `origin`.
@@ -422,8 +473,13 @@ impl BaselineCluster {
 
     /// Issues a lookup for a uniformly random key from a random up node.
     pub fn issue_random_lookup(&mut self) -> LookupHandle {
-        let up = self.sim.up_addresses();
-        let origin = up[self.rng.gen_range(0..up.len())].clone();
+        let idx = self.rng.gen_range(0..self.sim.up_count());
+        let origin = self
+            .sim
+            .up_addresses_iter()
+            .nth(idx)
+            .expect("up_count bounds the index")
+            .to_string();
         let key = Uint160::hash_of(&self.rng.gen::<[u8; 16]>());
         self.issue_lookup_from(&origin, key)
     }
@@ -464,6 +520,35 @@ mod tests {
         assert!(outcome.latency > 0.0 && outcome.latency < 8.0);
         assert!(cluster.mean_resident_bytes() > 0.0);
         cluster.clear_observations();
+    }
+
+    #[test]
+    fn fast_bring_up_forms_a_ring() {
+        // The batched start_all/inject_many path converges too, given the
+        // longer stabilization window simultaneous joins need.
+        let mut cluster = ChordCluster::build_fast(8, 300, 17);
+        assert!(
+            cluster.ring_correctness() > 0.99,
+            "fast-boot ring did not form: {}",
+            cluster.ring_correctness()
+        );
+        let key = Uint160::hash_of(b"fast boot object");
+        let origin = cluster.addrs()[3].clone();
+        let handle = cluster.issue_lookup_from(&origin, key);
+        cluster.run_for(8.0);
+        let outcome = cluster.outcome(&handle).expect("lookup completes");
+        assert_eq!(
+            Some(outcome.owner),
+            expected_owner(key, &cluster.up_addrs())
+        );
+        let ops = cluster.sim_ops();
+        assert!(ops.events_processed > 0);
+        assert!(ops.wakeups_processed > 0);
+        assert!(
+            ops.scheduled_wakeups <= cluster.len(),
+            "timer index leaked entries: {ops:?}"
+        );
+        cluster.sim.check_consistency();
     }
 
     #[test]

@@ -277,11 +277,22 @@ fn churn_chord_single(session_minutes: f64, params: &ChurnParams) -> ChurnResult
             cluster.clear_observations();
             rng_key = rng_key.wrapping_mul(6364136223846793005).wrapping_add(1);
             let key = Uint160::hash_of(&rng_key.to_be_bytes());
-            let up = cluster.up_addrs();
+            // Pick the probe origins without cloning the whole address list
+            // (only the handful of chosen origins are materialized).
+            let up_len = cluster.sim.up_count();
+            let origins: Vec<String> = (0..params.probes_per_round.min(up_len))
+                .map(|i| {
+                    cluster
+                        .sim
+                        .up_addresses_iter()
+                        .nth((rng_key as usize + i * 7919) % up_len)
+                        .expect("index is reduced modulo up_len")
+                        .to_string()
+                })
+                .collect();
             let mut handles = Vec::new();
-            for i in 0..params.probes_per_round.min(up.len()) {
-                let origin = up[(rng_key as usize + i * 7919) % up.len()].clone();
-                handles.push(cluster.issue_lookup_from(&origin, key));
+            for origin in &origins {
+                handles.push(cluster.issue_lookup_from(origin, key));
                 issued += 1;
             }
             outstanding.push((key, handles));

@@ -46,6 +46,23 @@ impl From<p2_table::TableStats> for StorageOps {
     }
 }
 
+/// Simulator event-loop counters (the event-core analogue of
+/// [`StorageOps`]): how many events the loop has processed and what its
+/// pending-work structures currently hold. `scheduled_wakeups` can never
+/// exceed the node count — the timer index keeps at most one live entry per
+/// node, so a larger value would flag tombstone accumulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SimOps {
+    /// Total events processed (deliveries, arrival-time drops, wakeups).
+    pub events_processed: u64,
+    /// Wakeup events processed.
+    pub wakeups_processed: u64,
+    /// Packets currently in flight.
+    pub packets_in_flight: usize,
+    /// Live wakeup entries in the timer index (≤ node count).
+    pub scheduled_wakeups: usize,
+}
+
 /// A discrete histogram over small non-negative integers (e.g. hop counts).
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct Histogram {

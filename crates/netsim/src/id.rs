@@ -1,0 +1,119 @@
+//! Interned node identifiers.
+//!
+//! The public [`Host`](crate::Host) API addresses nodes by string (that is
+//! what OverLog tuples carry on the wire), but everything inside the event
+//! loop runs on dense [`NodeId`]s: slot lookup, timer indexing, domain and
+//! latency resolution are all plain array loads instead of `String` hashing.
+//! The [`AddrInterner`] owns the bidirectional mapping; an address is
+//! resolved to its `NodeId` exactly once per packet, at dispatch.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dense, interned identifier for a simulated node.
+///
+/// Ids are assigned sequentially by [`AddrInterner::intern`] and never
+/// reused: a node that crashes and rejoins under the same address keeps its
+/// id (the simulator swaps the host in the slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The slot index this id denotes.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("more than u32::MAX simulated nodes"))
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional address ⇄ [`NodeId`] mapping.
+#[derive(Debug, Default)]
+pub struct AddrInterner {
+    by_addr: HashMap<Arc<str>, NodeId>,
+    addrs: Vec<Arc<str>>,
+}
+
+impl AddrInterner {
+    /// Creates an empty interner.
+    pub fn new() -> AddrInterner {
+        AddrInterner::default()
+    }
+
+    /// Returns the id for `addr`, allocating a fresh one on first sight.
+    pub fn intern(&mut self, addr: &str) -> NodeId {
+        if let Some(id) = self.by_addr.get(addr) {
+            return *id;
+        }
+        let arc: Arc<str> = Arc::from(addr);
+        let id = NodeId::from_index(self.addrs.len());
+        self.addrs.push(arc.clone());
+        self.by_addr.insert(arc, id);
+        id
+    }
+
+    /// The id previously assigned to `addr`, if any. Allocation-free.
+    #[inline]
+    pub fn get(&self, addr: &str) -> Option<NodeId> {
+        self.by_addr.get(addr).copied()
+    }
+
+    /// The address behind `id`.
+    #[inline]
+    pub fn addr(&self, id: NodeId) -> &str {
+        &self.addrs[id.index()]
+    }
+
+    /// The address behind `id` as a cheaply clonable `Arc<str>`.
+    #[inline]
+    pub fn addr_arc(&self, id: NodeId) -> &Arc<str> {
+        &self.addrs[id.index()]
+    }
+
+    /// Number of interned addresses.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// All interned addresses in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.addrs.iter().map(|a| a.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut i = AddrInterner::new();
+        let a = i.intern("n0");
+        let b = i.intern("n1");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("n0"), a);
+        assert_eq!(i.get("n1"), Some(b));
+        assert_eq!(i.get("n2"), None);
+        assert_eq!(i.addr(a), "n0");
+        assert_eq!(i.addr(b), "n1");
+        assert_eq!(i.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec!["n0", "n1"]);
+        assert_eq!(format!("{b}"), "#1");
+    }
+}

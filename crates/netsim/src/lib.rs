@@ -17,13 +17,22 @@
 //!   dropped, their timers stop) and replacing them with fresh hosts.
 //!
 //! The simulator is fully deterministic for a given seed.
+//!
+//! Internally the event loop runs on interned [`NodeId`]s (dense `u32`
+//! indices into the slot table) rather than string addresses, packet
+//! latencies come from a precomputed domain×domain matrix, and node wakeups
+//! live in a tombstone-free timer index separate from the delivery heap.
+//! String addresses appear only at the public API boundary.
 
 pub mod host;
+pub mod id;
 pub mod sim;
 pub mod stats;
+mod timer;
 pub mod topology;
 
 pub use host::{Envelope, Host};
+pub use id::{AddrInterner, NodeId};
 pub use sim::{NetworkConfig, Simulator};
 pub use stats::NetStats;
 pub use topology::Topology;

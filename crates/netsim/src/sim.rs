@@ -1,12 +1,24 @@
 //! The discrete-event simulator core.
+//!
+//! Everything inside the event loop runs on interned [`NodeId`]s: the slot
+//! table is a dense `Vec` indexed by id, packet deliveries carry ids, and
+//! per-packet latency is two array loads (sender domain, receiver domain)
+//! into the topology's precomputed latency matrix. Node wakeups live in a
+//! dedicated tombstone-free [`TimerIndex`](crate::timer) instead of the
+//! delivery heap, so rescheduling a node's timer replaces its entry in
+//! O(log n) and no superseded entries are ever popped and skipped. String
+//! addresses only appear at the public API boundary and are resolved to ids
+//! once per call (or once per packet, at dispatch).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use p2_value::{wire, SimTime, Tuple};
 
 use crate::host::{Envelope, Host};
+use crate::id::{AddrInterner, NodeId};
 use crate::stats::NetStats;
+use crate::timer::TimerIndex;
 use crate::topology::Topology;
 
 /// Simulator-wide configuration.
@@ -37,20 +49,27 @@ struct Slot<H> {
     up: bool,
     started: bool,
     link_busy_until: SimTime,
-    scheduled_deadline: Option<SimTime>,
 }
 
+/// A delivery destination: resolved to an id at dispatch for every known
+/// node (the hot path), kept as the raw address for destinations that do
+/// not exist yet so they can be re-resolved at arrival time — a node added
+/// and started while the packet is in flight still receives it, as in the
+/// seed simulator.
 #[derive(Debug)]
-enum EventKind {
-    Delivery { dst: String, tuple: Tuple },
-    Wakeup { addr: String },
+enum Dst {
+    Id(NodeId),
+    Unresolved(String),
 }
 
+/// A packet in flight. Wakeups do not appear here — they live in the
+/// [`TimerIndex`].
 #[derive(Debug)]
 struct Event {
     at: SimTime,
     seq: u64,
-    kind: EventKind,
+    dst: Dst,
+    tuple: Tuple,
 }
 
 impl PartialEq for Event {
@@ -78,24 +97,32 @@ impl PartialOrd for Event {
 pub struct Simulator<H: Host> {
     topology: Topology,
     loss_rate: f64,
-    slots: HashMap<String, Slot<H>>,
-    order: Vec<String>,
+    interner: AddrInterner,
+    slots: Vec<Slot<H>>,
     events: BinaryHeap<Reverse<Event>>,
+    timers: TimerIndex,
     seq: u64,
     now: SimTime,
     rng_state: u64,
     stats: NetStats,
+    deliveries_processed: u64,
+    wakeups_processed: u64,
 }
 
 impl<H: Host> Simulator<H> {
     /// Creates an empty simulator.
     pub fn new(config: NetworkConfig) -> Simulator<H> {
+        let mut topology = config.topology;
+        // The matrix is built by `Topology::new`, but the config's fields are
+        // public; honor any direct edits made between construction and here.
+        topology.rebuild_latency_matrix();
         Simulator {
-            topology: config.topology,
+            topology,
             loss_rate: config.loss_rate,
-            slots: HashMap::new(),
-            order: Vec::new(),
+            interner: AddrInterner::new(),
+            slots: Vec::new(),
             events: BinaryHeap::new(),
+            timers: TimerIndex::default(),
             seq: 0,
             now: SimTime::ZERO,
             rng_state: if config.seed == 0 {
@@ -104,6 +131,8 @@ impl<H: Host> Simulator<H> {
                 config.seed
             },
             stats: NetStats::default(),
+            deliveries_processed: 0,
+            wakeups_processed: 0,
         }
     }
 
@@ -123,6 +152,18 @@ impl<H: Host> Simulator<H> {
         self.stats = NetStats::default();
     }
 
+    /// Total events processed by [`Simulator::run_until`] since construction
+    /// (packet deliveries, arrival-time drops, and wakeups). This is the
+    /// denominator for event-loop throughput benchmarks.
+    pub fn events_processed(&self) -> u64 {
+        self.deliveries_processed + self.wakeups_processed
+    }
+
+    /// Wakeup events processed since construction.
+    pub fn wakeups_processed(&self) -> u64 {
+        self.wakeups_processed
+    }
+
     /// Mutable access to the topology (placement of future nodes).
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.topology
@@ -133,165 +174,247 @@ impl<H: Host> Simulator<H> {
         &self.topology
     }
 
+    /// The interned id of a node address, if the node was ever added.
+    pub fn node_id(&self, addr: &str) -> Option<NodeId> {
+        self.interner.get(addr)
+    }
+
+    /// The address behind an interned id.
+    pub fn addr_of(&self, id: NodeId) -> &str {
+        self.interner.addr(id)
+    }
+
+    /// Addresses of all nodes ever added, in insertion order, without
+    /// cloning. Prefer this over [`Simulator::addresses`] in loops.
+    pub fn addresses_iter(&self) -> impl Iterator<Item = &str> {
+        self.interner.iter()
+    }
+
     /// Addresses of all nodes ever added, in insertion order.
     pub fn addresses(&self) -> Vec<String> {
-        self.order.clone()
+        self.addresses_iter().map(str::to_string).collect()
+    }
+
+    /// Addresses of nodes currently up, without cloning. Prefer this over
+    /// [`Simulator::up_addresses`] in loops.
+    pub fn up_addresses_iter(&self) -> impl Iterator<Item = &str> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.up)
+            .map(|(i, _)| self.interner.addr(NodeId::from_index(i)))
     }
 
     /// Addresses of nodes currently up.
     pub fn up_addresses(&self) -> Vec<String> {
-        self.order
+        self.up_addresses_iter().map(str::to_string).collect()
+    }
+
+    /// Ids of nodes currently up, in insertion order.
+    pub fn up_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots
             .iter()
-            .filter(|a| self.slots.get(*a).map(|s| s.up).unwrap_or(false))
-            .cloned()
-            .collect()
+            .enumerate()
+            .filter(|(_, s)| s.up)
+            .map(|(i, _)| NodeId::from_index(i))
     }
 
     /// Number of nodes currently up.
     pub fn up_count(&self) -> usize {
-        self.slots.values().filter(|s| s.up).count()
+        self.slots.iter().filter(|s| s.up).count()
+    }
+
+    /// Total number of nodes ever added.
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Shared access to a node's host.
     pub fn node(&self, addr: &str) -> Option<&H> {
-        self.slots.get(addr).map(|s| &s.host)
+        self.node_id(addr).map(|id| &self.slots[id.index()].host)
     }
 
     /// Mutable access to a node's host (state inspection in experiments).
     pub fn node_mut(&mut self, addr: &str) -> Option<&mut H> {
-        self.slots.get_mut(addr).map(|s| &mut s.host)
+        self.node_id(addr)
+            .map(|id| &mut self.slots[id.index()].host)
+    }
+
+    /// Shared access to a node's host by id.
+    pub fn node_by_id(&self, id: NodeId) -> &H {
+        &self.slots[id.index()].host
     }
 
     /// True if the node exists and is up.
     pub fn is_up(&self, addr: &str) -> bool {
-        self.slots.get(addr).map(|s| s.up).unwrap_or(false)
+        self.node_id(addr)
+            .map(|id| self.slots[id.index()].up)
+            .unwrap_or(false)
     }
 
     /// Adds a node (initially up but not started) and places it in the
-    /// topology.
-    pub fn add_node(&mut self, addr: impl Into<String>, host: H) {
+    /// topology. Returns the node's interned id.
+    pub fn add_node(&mut self, addr: impl Into<String>, host: H) -> NodeId {
         let addr = addr.into();
         let domain = self.topology.place(addr.clone());
-        self.slots.insert(
-            addr.clone(),
-            Slot {
-                host,
-                domain,
-                up: true,
-                started: false,
-                link_busy_until: SimTime::ZERO,
-                scheduled_deadline: None,
-            },
+        let id = self.interner.intern(&addr);
+        assert_eq!(
+            id.index(),
+            self.slots.len(),
+            "address {addr:?} was already added; use replace_node"
         );
-        self.order.push(addr);
+        self.slots.push(Slot {
+            host,
+            domain,
+            up: true,
+            started: false,
+            link_busy_until: SimTime::ZERO,
+        });
+        self.timers.grow(self.slots.len());
+        id
     }
 
     /// Boots a node at the current virtual time.
     pub fn start_node(&mut self, addr: &str) {
+        if let Some(id) = self.node_id(addr) {
+            self.start_node_id(id);
+        }
+    }
+
+    /// Boots a node by id at the current virtual time.
+    pub fn start_node_id(&mut self, id: NodeId) {
         let now = self.now;
-        let Some(slot) = self.slots.get_mut(addr) else {
-            return;
-        };
+        let slot = &mut self.slots[id.index()];
         if !slot.up {
             return;
         }
         slot.started = true;
         let out = slot.host.start(now);
-        self.dispatch(addr, out);
-        self.schedule_wakeup(addr);
+        self.dispatch(id, out);
+        self.schedule_wakeup(id);
+    }
+
+    /// Boots every node that is up and not yet started, in insertion order.
+    /// Batched bring-up path for large rings.
+    pub fn start_all(&mut self) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].up && !self.slots[i].started {
+                self.start_node_id(NodeId::from_index(i));
+            }
+        }
     }
 
     /// Delivers an application-level tuple to a node immediately (e.g. a
     /// lookup request or a join event injected by the workload generator).
     pub fn inject(&mut self, addr: &str, tuple: Tuple) {
+        if let Some(id) = self.node_id(addr) {
+            self.inject_id(id, tuple);
+        }
+    }
+
+    /// Delivers an application-level tuple to a node by id.
+    pub fn inject_id(&mut self, id: NodeId, tuple: Tuple) {
         let now = self.now;
-        let Some(slot) = self.slots.get_mut(addr) else {
-            return;
-        };
+        let slot = &mut self.slots[id.index()];
         if !slot.up {
             return;
         }
         let out = slot.host.deliver(tuple, now);
-        self.dispatch(addr, out);
-        self.schedule_wakeup(addr);
+        self.dispatch(id, out);
+        self.schedule_wakeup(id);
+    }
+
+    /// Injects a batch of tuples at the current virtual time, in order.
+    /// Batched bring-up / workload path for large rings.
+    pub fn inject_many<S: AsRef<str>>(&mut self, batch: impl IntoIterator<Item = (S, Tuple)>) {
+        for (addr, tuple) in batch {
+            self.inject(addr.as_ref(), tuple);
+        }
     }
 
     /// Marks a node as failed: its timers stop and packets addressed to it
     /// are dropped.
     pub fn take_down(&mut self, addr: &str) {
-        if let Some(slot) = self.slots.get_mut(addr) {
-            slot.up = false;
-            slot.scheduled_deadline = None;
+        if let Some(id) = self.node_id(addr) {
+            self.slots[id.index()].up = false;
+            self.timers.cancel(id);
         }
     }
 
     /// Replaces a failed node with a fresh host (crash-rejoin churn) and
-    /// boots it at the current time.
+    /// boots it at the current time. The address keeps its interned id and
+    /// topology placement.
     pub fn replace_node(&mut self, addr: &str, host: H) {
-        let domain = self
-            .slots
-            .get(addr)
-            .map(|s| s.domain)
-            .unwrap_or_else(|| self.topology.place(addr.to_string()));
-        self.slots.insert(
-            addr.to_string(),
-            Slot {
-                host,
-                domain,
-                up: true,
-                started: false,
-                link_busy_until: self.now,
-                scheduled_deadline: None,
-            },
-        );
-        if !self.order.iter().any(|a| a == addr) {
-            self.order.push(addr.to_string());
-        }
-        self.start_node(addr);
+        let id = match self.node_id(addr) {
+            Some(id) => {
+                let slot = &mut self.slots[id.index()];
+                slot.host = host;
+                slot.up = true;
+                slot.started = false;
+                slot.link_busy_until = self.now;
+                self.timers.cancel(id);
+                id
+            }
+            None => self.add_node(addr.to_string(), host),
+        };
+        self.start_node_id(id);
     }
 
     /// Runs the simulation until virtual time `until`.
     pub fn run_until(&mut self, until: SimTime) {
         loop {
-            let due = matches!(self.events.peek(), Some(Reverse(e)) if e.at <= until);
-            if !due {
-                break;
-            }
-            let Reverse(event) = self.events.pop().expect("peeked");
-            if event.at > self.now {
-                self.now = event.at;
-            }
-            match event.kind {
-                EventKind::Delivery { dst, tuple } => {
-                    let now = self.now;
-                    let out = match self.slots.get_mut(&dst) {
-                        Some(slot) if slot.up && slot.started => {
-                            self.stats.record_delivery();
-                            Some(slot.host.deliver(tuple, now))
-                        }
-                        _ => {
-                            self.stats.record_drop();
-                            None
-                        }
-                    };
-                    if let Some(out) = out {
-                        self.dispatch(&dst, out);
-                        self.schedule_wakeup(&dst);
+            // The next event is the lowest (time, seq) across the delivery
+            // heap and the timer index; seq preserves a deterministic order
+            // for events scheduled at the same microsecond.
+            let next_delivery = self.events.peek().map(|Reverse(e)| (e.at, e.seq));
+            let next_wakeup = self.timers.peek().map(|(at, seq, _)| (at, seq));
+            let (wakeup_first, at) = match (next_delivery, next_wakeup) {
+                (None, None) => break,
+                (Some((da, _)), None) => (false, da),
+                (None, Some((wa, _))) => (true, wa),
+                (Some(d), Some(w)) => {
+                    if w < d {
+                        (true, w.0)
+                    } else {
+                        (false, d.0)
                     }
                 }
-                EventKind::Wakeup { addr } => {
-                    let now = self.now;
-                    let out = match self.slots.get_mut(&addr) {
-                        Some(slot) if slot.up && slot.started => {
-                            slot.scheduled_deadline = None;
-                            Some(slot.host.advance_to(now))
-                        }
-                        _ => None,
-                    };
-                    if let Some(out) = out {
-                        self.dispatch(&addr, out);
-                        self.schedule_wakeup(&addr);
+            };
+            if at > until {
+                break;
+            }
+            if at > self.now {
+                self.now = at;
+            }
+            if wakeup_first {
+                let (_, id) = self.timers.pop_first().expect("peeked");
+                self.wakeups_processed += 1;
+                let now = self.now;
+                let slot = &mut self.slots[id.index()];
+                if slot.up && slot.started {
+                    let out = slot.host.advance_to(now);
+                    self.dispatch(id, out);
+                    self.schedule_wakeup(id);
+                }
+            } else {
+                let Reverse(event) = self.events.pop().expect("peeked");
+                self.deliveries_processed += 1;
+                let now = self.now;
+                let id = match event.dst {
+                    Dst::Id(id) => Some(id),
+                    // Rare path: the destination did not exist at dispatch;
+                    // it may have been added while the packet was in flight.
+                    Dst::Unresolved(ref addr) => self.interner.get(addr),
+                };
+                match id {
+                    Some(id) if self.slots[id.index()].up && self.slots[id.index()].started => {
+                        self.stats.record_delivery();
+                        let slot = &mut self.slots[id.index()];
+                        let out = slot.host.deliver(event.tuple, now);
+                        self.dispatch(id, out);
+                        self.schedule_wakeup(id);
                     }
+                    _ => self.stats.record_drop(),
                 }
             }
         }
@@ -312,11 +435,14 @@ impl<H: Host> Simulator<H> {
         (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    /// Queues envelopes produced by `src` as network transmissions.
-    fn dispatch(&mut self, src: &str, envelopes: Vec<Envelope>) {
+    /// Queues envelopes produced by `src` as network transmissions. The
+    /// destination address is resolved to a [`NodeId`] here, once per packet;
+    /// nothing past this point touches strings.
+    fn dispatch(&mut self, src: NodeId, envelopes: Vec<Envelope>) {
         for env in envelopes {
             let payload = wire::encoded_size(&env.tuple) + wire::UDP_IP_HEADER;
-            self.stats.record_send(src, env.tuple.name(), payload);
+            self.stats
+                .record_send(self.interner.addr(src), env.tuple.name(), payload);
 
             if self.loss_rate > 0.0 && self.next_rand() < self.loss_rate {
                 self.stats.record_drop();
@@ -326,52 +452,108 @@ impl<H: Host> Simulator<H> {
             // Serialization on the sender's access link (the link is busy
             // until the previous packet has left).
             let tx_delay = self.topology.access_tx_delay(payload);
-            let departure = {
-                let slot = self.slots.get_mut(src).expect("sender exists");
-                let start = slot.link_busy_until.max(self.now);
-                let departure = start + tx_delay;
-                slot.link_busy_until = departure;
-                departure
+            let slot = &mut self.slots[src.index()];
+            let start = slot.link_busy_until.max(self.now);
+            let departure = start + tx_delay;
+            slot.link_busy_until = departure;
+            let src_domain = slot.domain;
+
+            let (dst, latency) = match self.interner.get(&env.dst) {
+                Some(dst) if dst == src => (Dst::Id(dst), SimTime::ZERO),
+                Some(dst) => (
+                    Dst::Id(dst),
+                    self.topology
+                        .domain_latency(src_domain, self.slots[dst.index()].domain),
+                ),
+                // Unknown destination: keep the address and re-resolve at
+                // arrival (the node may be added while the packet flies).
+                // Latency honors any placement already made via
+                // `topology_mut`, as the seed did; unplaced falls to domain 0.
+                None => {
+                    let dst_domain = self.topology.domain_of(&env.dst).unwrap_or(0);
+                    (
+                        Dst::Unresolved(env.dst),
+                        self.topology.domain_latency(src_domain, dst_domain),
+                    )
+                }
             };
-            let latency = self.topology.latency(src, &env.dst);
             let arrival = departure + latency;
             self.seq += 1;
             self.events.push(Reverse(Event {
                 at: arrival,
                 seq: self.seq,
-                kind: EventKind::Delivery {
-                    dst: env.dst,
-                    tuple: env.tuple,
-                },
+                dst,
+                tuple: env.tuple,
             }));
         }
     }
 
-    /// (Re)schedules a wakeup event for the node's next timer deadline.
-    fn schedule_wakeup(&mut self, addr: &str) {
-        let Some(slot) = self.slots.get_mut(addr) else {
-            return;
-        };
+    /// (Re)schedules the node's wakeup to its next timer deadline, replacing
+    /// any previously scheduled entry (no tombstones, no spurious wakeups).
+    fn schedule_wakeup(&mut self, id: NodeId) {
+        let slot = &self.slots[id.index()];
         if !slot.up || !slot.started {
             return;
         }
-        let Some(deadline) = slot.host.next_deadline() else {
-            return;
-        };
-        let needs_scheduling = match slot.scheduled_deadline {
-            None => true,
-            Some(existing) => deadline < existing,
-        };
-        if needs_scheduling {
-            slot.scheduled_deadline = Some(deadline);
-            self.seq += 1;
-            self.events.push(Reverse(Event {
-                at: deadline.max(self.now),
-                seq: self.seq,
-                kind: EventKind::Wakeup {
-                    addr: addr.to_string(),
-                },
-            }));
+        match slot.host.next_deadline() {
+            None => self.timers.cancel(id),
+            Some(deadline) => {
+                let at = deadline.max(self.now);
+                if self.timers.deadline_of(id) == Some(at) {
+                    return;
+                }
+                self.seq += 1;
+                self.timers.set(id, at, self.seq);
+            }
+        }
+    }
+
+    /// Number of scheduled wakeup entries (at most one per node — a
+    /// regression guard against tombstone accumulation).
+    pub fn scheduled_wakeups(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Number of packets currently in flight.
+    pub fn packets_in_flight(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Verifies the internal indices agree (interner ⇄ slots ⇄ timer index);
+    /// panics on the first inconsistency. Test support.
+    pub fn check_consistency(&self) {
+        assert_eq!(
+            self.interner.len(),
+            self.slots.len(),
+            "interner and slot table disagree on node count"
+        );
+        self.timers.check_consistency();
+        assert!(
+            self.timers.len() <= self.slots.len(),
+            "more timer entries than nodes"
+        );
+        for i in 0..self.slots.len() {
+            let id = NodeId::from_index(i);
+            assert_eq!(
+                self.interner.get(self.interner.addr(id)),
+                Some(id),
+                "interner round-trip failed for {id}"
+            );
+            if let Some(deadline) = self.timers.deadline_of(id) {
+                let slot = &self.slots[i];
+                assert!(
+                    slot.up && slot.started,
+                    "down or unstarted node {id} has a timer entry at {deadline}"
+                );
+            }
+        }
+        for Reverse(e) in self.events.iter() {
+            if let Dst::Id(id) = e.dst {
+                assert!(
+                    id.index() < self.slots.len(),
+                    "in-flight packet addressed to dangling {id}"
+                );
+            }
         }
     }
 }
@@ -389,6 +571,7 @@ mod tests {
         next_hello: Option<SimTime>,
         pongs_received: usize,
         pings_received: usize,
+        spurious_wakeups: usize,
     }
 
     impl Toy {
@@ -399,6 +582,7 @@ mod tests {
                 next_hello: None,
                 pongs_received: 0,
                 pings_received: 0,
+                spurious_wakeups: 0,
             }
         }
     }
@@ -431,8 +615,8 @@ mod tests {
 
         fn advance_to(&mut self, now: SimTime) -> Vec<Envelope> {
             let mut out = Vec::new();
-            if let Some(t) = self.next_hello {
-                if t <= now {
+            match self.next_hello {
+                Some(t) if t <= now => {
                     if let Some(peer) = &self.peer {
                         out.push(Envelope::new(
                             peer.clone(),
@@ -441,6 +625,7 @@ mod tests {
                     }
                     self.next_hello = Some(t + SimTime::from_secs(5));
                 }
+                _ => self.spurious_wakeups += 1,
             }
             out
         }
@@ -472,6 +657,8 @@ mod tests {
         assert_eq!(sim.stats().messages_delivered, 10);
         assert!(sim.stats().bytes_sent > 0);
         assert!(sim.stats().bytes_by_name.contains_key("ping"));
+        assert!(sim.events_processed() >= 10);
+        sim.check_consistency();
     }
 
     #[test]
@@ -504,12 +691,14 @@ mod tests {
         assert!(sim.stats().messages_dropped > 0);
         assert_eq!(sim.up_count(), 1);
         assert!(!sim.is_up("n1"));
+        sim.check_consistency();
 
         // Rejoin with a fresh host: traffic flows again.
         sim.replace_node("n1", Toy::new("n1", None));
         sim.run_until(SimTime::from_secs(60));
         assert!(sim.node("n1").unwrap().pings_received > 0);
         assert!(sim.is_up("n1"));
+        sim.check_consistency();
     }
 
     #[test]
@@ -533,5 +722,105 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn no_spurious_wakeups_ever_fire() {
+        // Toy counts advance_to calls with nothing due. The tombstone-free
+        // timer index must never produce one, even across churn.
+        let mut sim = two_node_sim(0.0);
+        sim.run_until(SimTime::from_secs(40));
+        sim.take_down("n0");
+        sim.replace_node("n0", Toy::new("n0", Some("n1")));
+        sim.run_until(SimTime::from_secs(120));
+        for addr in ["n0", "n1"] {
+            assert_eq!(
+                sim.node(addr).unwrap().spurious_wakeups,
+                0,
+                "{addr} saw a spurious wakeup"
+            );
+        }
+        // At most one scheduled wakeup per node, no tombstones.
+        assert!(sim.scheduled_wakeups() <= sim.node_count());
+        sim.check_consistency();
+    }
+
+    #[test]
+    fn rescheduling_earlier_cancels_the_superseded_wakeup() {
+        // n0's periodic hello is at t=5; delivering a ping to n0 makes the
+        // simulator re-examine its deadline. The timer index must keep
+        // exactly one entry for n0 throughout.
+        let mut sim = two_node_sim(0.0);
+        sim.inject("n0", TupleBuilder::new("pong").push("n1").build());
+        assert!(sim.scheduled_wakeups() <= 2);
+        sim.run_until(SimTime::from_secs(26));
+        assert_eq!(sim.node("n1").unwrap().pings_received, 5);
+        assert_eq!(sim.node("n0").unwrap().spurious_wakeups, 0);
+        assert_eq!(sim.node("n1").unwrap().spurious_wakeups, 0);
+    }
+
+    #[test]
+    fn batched_bring_up_matches_manual_bring_up() {
+        let build = |batched: bool| {
+            let mut sim: Simulator<Toy> = Simulator::new(NetworkConfig::emulab_default(7));
+            sim.add_node("n0", Toy::new("n0", Some("n1")));
+            sim.add_node("n1", Toy::new("n1", None));
+            if batched {
+                sim.start_all();
+                sim.inject_many([("n1", TupleBuilder::new("ping").push("n0").build())]);
+            } else {
+                sim.start_node("n0");
+                sim.start_node("n1");
+                sim.inject("n1", TupleBuilder::new("ping").push("n0").build());
+            }
+            sim.run_until(SimTime::from_secs(26));
+            (
+                sim.stats().messages_sent,
+                sim.stats().messages_delivered,
+                sim.stats().bytes_sent,
+            )
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn packet_to_a_node_added_mid_flight_is_delivered() {
+        // n0 pings "n2" before n2 exists; n2 is added and started while the
+        // packet is in flight and must still receive it (destinations are
+        // re-resolved at arrival time).
+        let mut sim = two_node_sim(0.0);
+        sim.inject("n0", TupleBuilder::new("ping").push("n2").build());
+        // The pong to "n2" is now in flight (unplaced destinations get
+        // domain-0 latency: ~4 ms away).
+        sim.run_for(SimTime::from_millis(2));
+        sim.add_node("n2", Toy::new("n2", None));
+        sim.start_node("n2");
+        sim.run_for(SimTime::from_secs(1));
+        assert_eq!(sim.node("n2").unwrap().pongs_received, 1);
+        sim.check_consistency();
+
+        // A packet to an address that never materializes is dropped at
+        // arrival, not lost silently at dispatch.
+        let drops_before = sim.stats().messages_dropped;
+        sim.inject("n0", TupleBuilder::new("ping").push("ghost").build());
+        sim.run_for(SimTime::from_secs(1));
+        assert_eq!(sim.stats().messages_dropped, drops_before + 1);
+    }
+
+    #[test]
+    fn ids_are_stable_across_replacement() {
+        let mut sim = two_node_sim(0.0);
+        let id = sim.node_id("n1").unwrap();
+        sim.take_down("n1");
+        sim.replace_node("n1", Toy::new("n1", None));
+        assert_eq!(sim.node_id("n1"), Some(id));
+        assert_eq!(sim.addr_of(id), "n1");
+        assert_eq!(sim.node_by_id(id).addr, "n1");
+        assert_eq!(sim.up_ids().count(), 2);
+        assert_eq!(
+            sim.up_addresses_iter().collect::<Vec<_>>(),
+            vec!["n0", "n1"]
+        );
+        assert_eq!(sim.addresses_iter().count(), 2);
     }
 }

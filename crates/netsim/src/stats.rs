@@ -23,14 +23,25 @@ pub struct NetStats {
     pub bytes_by_source: HashMap<String, u64>,
 }
 
+/// Bumps `map[key]` by `bytes`, allocating the key string only the first
+/// time a name/source is seen — the per-packet steady state is a plain
+/// hash probe.
+fn bump(map: &mut HashMap<String, u64>, key: &str, bytes: u64) {
+    if let Some(v) = map.get_mut(key) {
+        *v += bytes;
+    } else {
+        map.insert(key.to_string(), bytes);
+    }
+}
+
 impl NetStats {
     /// Records a transmission attempt of `bytes` bytes for tuple `name` from
     /// `src`.
     pub fn record_send(&mut self, src: &str, name: &str, bytes: usize) {
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
-        *self.bytes_by_name.entry(name.to_string()).or_default() += bytes as u64;
-        *self.bytes_by_source.entry(src.to_string()).or_default() += bytes as u64;
+        bump(&mut self.bytes_by_name, name, bytes as u64);
+        bump(&mut self.bytes_by_source, src, bytes as u64);
     }
 
     /// Records a successful delivery.
@@ -80,6 +91,16 @@ mod tests {
         assert_eq!(s.maintenance_bytes(), 225);
         assert_eq!(s.bytes_by_source["n1"], 300);
         assert_eq!(s.messages_sent, 4);
+    }
+
+    #[test]
+    fn repeated_sends_accumulate_under_one_key() {
+        let mut s = NetStats::default();
+        for _ in 0..3 {
+            s.record_send("n1", "succ", 10);
+        }
+        assert_eq!(s.bytes_by_name.len(), 1);
+        assert_eq!(s.bytes_by_name["succ"], 30);
     }
 
     #[test]

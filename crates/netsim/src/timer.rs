@@ -1,0 +1,156 @@
+//! Tombstone-free node-wakeup index.
+//!
+//! The seed simulator pushed wakeups into the same `BinaryHeap` as packet
+//! deliveries and could only *add* entries: when a node's next deadline moved
+//! earlier, the superseded entry stayed in the heap and later fired as a
+//! spurious `advance_to` call (which in turn re-scheduled, leaving duplicate
+//! entries — unbounded tombstone churn under load). This index mirrors the
+//! table layer's staleness queue instead: one ordered set of
+//! `(SimTime, seq, NodeId)` plus a per-node mirror, so rescheduling a node's
+//! timer is an O(log n) remove+insert and *every* entry that fires is live.
+//!
+//! Entries carry the simulator's global event sequence number so that
+//! wakeups and packet deliveries falling on the same microsecond keep the
+//! seed's deterministic `(time, seq)` tie-break.
+
+use p2_value::SimTime;
+use std::collections::BTreeSet;
+
+use crate::id::NodeId;
+
+/// Indexed per-node wakeup deadlines: at most one entry per node, updated in
+/// place.
+#[derive(Debug, Default)]
+pub(crate) struct TimerIndex {
+    queue: BTreeSet<(SimTime, u64, NodeId)>,
+    /// Mirror of `queue` keyed by node (index = `NodeId::index()`), for O(1)
+    /// lookup of the entry to cancel.
+    entries: Vec<Option<(SimTime, u64)>>,
+}
+
+impl TimerIndex {
+    /// Ensures the mirror covers node ids up to `n - 1`.
+    pub fn grow(&mut self, n: usize) {
+        if self.entries.len() < n {
+            self.entries.resize(n, None);
+        }
+    }
+
+    /// Sets (or replaces) the node's wakeup deadline.
+    ///
+    /// `seq` is the scheduling order stamp used to break ties between events
+    /// at the same instant; it is kept from the previous entry when the
+    /// deadline is unchanged.
+    pub fn set(&mut self, id: NodeId, deadline: SimTime, seq: u64) {
+        match self.entries[id.index()] {
+            Some((at, _)) if at == deadline => return,
+            Some((at, old_seq)) => {
+                self.queue.remove(&(at, old_seq, id));
+            }
+            None => {}
+        }
+        self.entries[id.index()] = Some((deadline, seq));
+        self.queue.insert((deadline, seq, id));
+    }
+
+    /// Cancels the node's wakeup, if one is scheduled.
+    pub fn cancel(&mut self, id: NodeId) {
+        if let Some((at, seq)) = self.entries[id.index()].take() {
+            self.queue.remove(&(at, seq, id));
+        }
+    }
+
+    /// The node's scheduled deadline, if any.
+    pub fn deadline_of(&self, id: NodeId) -> Option<SimTime> {
+        self.entries.get(id.index()).copied().flatten().map(|e| e.0)
+    }
+
+    /// The earliest scheduled wakeup as `(deadline, seq, node)`.
+    #[inline]
+    pub fn peek(&self) -> Option<(SimTime, u64, NodeId)> {
+        self.queue.first().copied()
+    }
+
+    /// Removes and returns the earliest wakeup.
+    #[inline]
+    pub fn pop_first(&mut self) -> Option<(SimTime, NodeId)> {
+        let (at, _, id) = self.queue.pop_first()?;
+        self.entries[id.index()] = None;
+        Some((at, id))
+    }
+
+    /// Number of scheduled wakeups.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Verifies the queue and the per-node mirror agree; panics with a
+    /// description of the first mismatch. Test support, mirroring
+    /// `p2_table`'s `check_consistency`.
+    pub fn check_consistency(&self) {
+        assert_eq!(
+            self.queue.len(),
+            self.entries.iter().filter(|d| d.is_some()).count(),
+            "timer queue and deadline mirror disagree on entry count"
+        );
+        for &(at, seq, id) in &self.queue {
+            assert_eq!(
+                self.entries.get(id.index()).copied().flatten(),
+                Some((at, seq)),
+                "timer queue entry ({at}, {seq}, {id}) not mirrored"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn set_replaces_instead_of_accumulating() {
+        let mut t = TimerIndex::default();
+        t.grow(3);
+        t.set(id(0), SimTime::from_secs(10), 1);
+        t.set(id(1), SimTime::from_secs(4), 2);
+        // Rescheduling earlier *and* later both replace the old entry.
+        t.set(id(0), SimTime::from_secs(2), 3);
+        t.set(id(1), SimTime::from_secs(7), 4);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.peek(), Some((SimTime::from_secs(2), 3, id(0))));
+        t.check_consistency();
+
+        assert_eq!(t.pop_first(), Some((SimTime::from_secs(2), id(0))));
+        assert_eq!(t.deadline_of(id(0)), None);
+        assert_eq!(t.deadline_of(id(1)), Some(SimTime::from_secs(7)));
+        t.check_consistency();
+    }
+
+    #[test]
+    fn cancel_removes_the_entry() {
+        let mut t = TimerIndex::default();
+        t.grow(2);
+        t.set(id(1), SimTime::from_secs(3), 1);
+        t.cancel(id(1));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.pop_first(), None);
+        // Cancelling an unscheduled node is a no-op.
+        t.cancel(id(0));
+        t.check_consistency();
+    }
+
+    #[test]
+    fn unchanged_deadline_keeps_the_original_sequence_stamp() {
+        let mut t = TimerIndex::default();
+        t.grow(1);
+        t.set(id(0), SimTime::from_secs(5), 1);
+        t.set(id(0), SimTime::from_secs(5), 9);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.peek(), Some((SimTime::from_secs(5), 1, id(0))));
+        t.check_consistency();
+    }
+}

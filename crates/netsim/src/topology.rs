@@ -10,6 +10,12 @@ use p2_value::SimTime;
 /// domains, each with one router; stub nodes attach to their domain router.
 /// Latency between two nodes is the sum of their access hops plus, for
 /// different domains, the inter-domain hop.
+///
+/// Pairwise domain latencies are precomputed into a `domains × domains`
+/// matrix at construction so the simulator's per-packet lookup is a single
+/// array load ([`Topology::domain_latency`]). The latency fields are public
+/// for inspection; code that mutates them after construction must call
+/// [`Topology::rebuild_latency_matrix`].
 #[derive(Debug, Clone)]
 pub struct Topology {
     /// Number of domains (routers).
@@ -22,6 +28,9 @@ pub struct Topology {
     pub access_bandwidth_bps: f64,
     /// Core link capacity (bits per second) between routers.
     pub core_bandwidth_bps: f64,
+    /// Row-major `domains × domains` matrix of one-way latencies between
+    /// nodes placed in each pair of domains.
+    latency_matrix: Vec<SimTime>,
     assignments: HashMap<String, usize>,
     next: usize,
 }
@@ -48,15 +57,29 @@ impl Topology {
         access_bandwidth_bps: f64,
         core_bandwidth_bps: f64,
     ) -> Topology {
-        Topology {
+        let mut t = Topology {
             domains: domains.max(1),
             intra_domain_latency,
             inter_domain_latency,
             access_bandwidth_bps,
             core_bandwidth_bps,
+            latency_matrix: Vec::new(),
             assignments: HashMap::new(),
             next: 0,
-        }
+        };
+        t.rebuild_latency_matrix();
+        t
+    }
+
+    /// Recomputes the domain×domain latency matrix from the latency fields.
+    pub fn rebuild_latency_matrix(&mut self) {
+        let d = self.domains;
+        let same = self.intra_domain_latency + self.intra_domain_latency;
+        let cross =
+            self.intra_domain_latency + self.inter_domain_latency + self.intra_domain_latency;
+        self.latency_matrix = (0..d * d)
+            .map(|i| if i / d == i % d { same } else { cross })
+            .collect();
     }
 
     /// Assigns a node to a domain (round-robin if not explicitly placed).
@@ -81,20 +104,26 @@ impl Topology {
         self.assignments.get(addr).copied()
     }
 
+    /// One-way propagation latency between two *distinct* placed nodes, by
+    /// their domains. A single array load — this is the simulator's
+    /// per-packet path.
+    #[inline]
+    pub fn domain_latency(&self, da: usize, db: usize) -> SimTime {
+        self.latency_matrix[da * self.domains + db]
+    }
+
     /// One-way propagation latency between two placed nodes.
     ///
-    /// Unplaced nodes are treated as being in domain 0.
+    /// Unplaced nodes are treated as being in domain 0. Boundary/diagnostic
+    /// API: the simulator resolves domains once per node and calls
+    /// [`Topology::domain_latency`] directly.
     pub fn latency(&self, a: &str, b: &str) -> SimTime {
         if a == b {
             return SimTime::ZERO;
         }
         let da = self.domain_of(a).unwrap_or(0);
         let db = self.domain_of(b).unwrap_or(0);
-        if da == db {
-            self.intra_domain_latency + self.intra_domain_latency
-        } else {
-            self.intra_domain_latency + self.inter_domain_latency + self.intra_domain_latency
-        }
+        self.domain_latency(da, db)
     }
 
     /// Transmission (serialization) delay of a packet of `bytes` bytes on a
@@ -151,6 +180,30 @@ mod tests {
         assert_eq!(t.latency("a", "b"), SimTime::from_millis(4));
         assert_eq!(t.latency("a", "c"), SimTime::from_millis(104));
         assert_eq!(t.latency("a", "c"), t.latency("c", "a"));
+    }
+
+    #[test]
+    fn domain_latency_matrix_matches_the_model() {
+        let t = Topology::emulab_default();
+        for da in 0..t.domains {
+            for db in 0..t.domains {
+                let expect = if da == db {
+                    SimTime::from_millis(4)
+                } else {
+                    SimTime::from_millis(104)
+                };
+                assert_eq!(t.domain_latency(da, db), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_tracks_field_edits() {
+        let mut t = Topology::emulab_default();
+        t.inter_domain_latency = SimTime::from_millis(50);
+        t.rebuild_latency_matrix();
+        assert_eq!(t.domain_latency(0, 1), SimTime::from_millis(54));
+        assert_eq!(t.domain_latency(0, 0), SimTime::from_millis(4));
     }
 
     #[test]

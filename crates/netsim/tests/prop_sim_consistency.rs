@@ -1,0 +1,153 @@
+//! Property tests for the simulator's interned-id core: arbitrary
+//! interleavings of traffic, crashes, and crash-rejoin churn must never
+//! leave dangling `NodeId`s, orphaned timer entries, or spurious wakeups.
+
+use p2_netsim::{Envelope, Host, NetworkConfig, Simulator};
+use p2_value::{SimTime, Tuple, TupleBuilder};
+use proptest::prelude::*;
+
+/// A minimal periodic host: sends one `ping` to its peer every `period`
+/// seconds and counts wakeups that arrive with nothing due (there must be
+/// none — the timer index never fires stale entries).
+struct Periodic {
+    addr: String,
+    peer: String,
+    period: SimTime,
+    next: Option<SimTime>,
+    spurious_wakeups: usize,
+    delivered: usize,
+}
+
+impl Periodic {
+    fn new(addr: String, peer: String, period_secs: u64) -> Periodic {
+        Periodic {
+            addr,
+            peer,
+            period: SimTime::from_secs(period_secs),
+            next: None,
+            spurious_wakeups: 0,
+            delivered: 0,
+        }
+    }
+}
+
+impl Host for Periodic {
+    fn start(&mut self, now: SimTime) -> Vec<Envelope> {
+        self.next = Some(now + self.period);
+        Vec::new()
+    }
+
+    fn deliver(&mut self, _tuple: Tuple, _now: SimTime) -> Vec<Envelope> {
+        self.delivered += 1;
+        Vec::new()
+    }
+
+    fn advance_to(&mut self, now: SimTime) -> Vec<Envelope> {
+        match self.next {
+            Some(t) if t <= now => {
+                self.next = Some(t + self.period);
+                vec![Envelope::new(
+                    self.peer.clone(),
+                    TupleBuilder::new("ping").push(self.addr.as_str()).build(),
+                )]
+            }
+            _ => {
+                self.spurious_wakeups += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.next
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Advance virtual time by this many milliseconds.
+    Run(u64),
+    /// Inject a ping into node `i` (mod population).
+    Inject(usize),
+    /// Crash node `i`.
+    TakeDown(usize),
+    /// Crash-rejoin node `i` with a fresh host.
+    Replace(usize),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u64..30_000).prop_map(Action::Run),
+        (0usize..16).prop_map(Action::Inject),
+        (0usize..16).prop_map(Action::TakeDown),
+        (0usize..16).prop_map(Action::Replace),
+    ]
+}
+
+fn addr(i: usize) -> String {
+    format!("n{i}")
+}
+
+fn host(i: usize, n: usize) -> Periodic {
+    Periodic::new(addr(i), addr((i + 1) % n), 2 + (i as u64 % 5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn churn_never_leaves_dangling_ids_or_timers(
+        n in 2usize..10,
+        actions in proptest::collection::vec(arb_action(), 1..60),
+    ) {
+        let mut sim: Simulator<Periodic> =
+            Simulator::new(NetworkConfig::emulab_default(11));
+        for i in 0..n {
+            sim.add_node(addr(i), host(i, n));
+        }
+        sim.start_all();
+        sim.check_consistency();
+
+        for action in actions {
+            let desc = format!("{action:?}");
+            match action {
+                Action::Run(ms) => sim.run_for(SimTime::from_millis(ms)),
+                Action::Inject(i) => {
+                    let a = addr(i % n);
+                    sim.inject(&a, TupleBuilder::new("ping").push(a.as_str()).build());
+                }
+                Action::TakeDown(i) => sim.take_down(&addr(i % n)),
+                Action::Replace(i) => sim.replace_node(&addr(i % n), host(i % n, n)),
+            }
+
+            sim.check_consistency();
+            // Ids are dense and stable: every address resolves, round-trips,
+            // and stays within the slot table.
+            for i in 0..n {
+                let a = addr(i);
+                let id = sim.node_id(&a);
+                prop_assert!(id.is_some(), "{a} lost its id after {desc}");
+                let id = id.unwrap();
+                prop_assert!(id.index() < sim.node_count());
+                prop_assert_eq!(sim.addr_of(id), a.as_str());
+            }
+            // At most one timer entry per node, none for down nodes.
+            prop_assert!(
+                sim.scheduled_wakeups() <= sim.up_count(),
+                "timer entries leaked after {}", desc
+            );
+        }
+
+        // Drain remaining traffic; no host may ever have seen a stale wakeup.
+        sim.run_for(SimTime::from_secs(60));
+        sim.check_consistency();
+        for i in 0..n {
+            let a = addr(i);
+            prop_assert_eq!(
+                sim.node(&a).unwrap().spurious_wakeups,
+                0,
+                "{} saw spurious wakeups", a
+            );
+        }
+    }
+}
