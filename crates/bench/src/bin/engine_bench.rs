@@ -1,0 +1,361 @@
+//! Dataflow-engine benchmark: measures what the PR-3 overhaul targets
+//! (compiled adjacency dispatch, scratch-buffer element calls, `Arc<str>`
+//! sends, batched delivery, and shared-plan instantiation) and writes the
+//! results to `BENCH_engine.json` so the engine gets the same perf
+//! trajectory tracking as `BENCH_table.json` and `BENCH_sim.json`.
+//!
+//! Three sections:
+//!
+//! * `pipeline` — a synthetic chain of pass-through elements with fan-out,
+//!   no tables or PEL. This isolates the engine's per-handoff cost: queue
+//!   pop, adjacency lookup, tuple clone per route.
+//! * `chord_deliver` — a single-node Chord ring answering `lookup` tuples
+//!   end-to-end (demux, joins, agg probes, head projection, netout),
+//!   through both the one-at-a-time and the batched delivery entry points.
+//! * `plan_sharing` — wall time and resident memory to bring up many Chord
+//!   nodes by re-planning per node (the pre-PR-3 path) versus instantiating
+//!   from one shared `PlannedProgram`.
+//!
+//! Usage: `cargo run --release --bin engine_bench [-- --smoke] [--out PATH]`
+
+use std::time::Instant;
+
+use p2_bench::to_json;
+use p2_core::{P2Node, PlanConfig, PlannedProgram};
+use p2_dataflow::{Element, ElementCtx, Engine, Graph, Route};
+use p2_overlays::chord;
+use p2_value::{SimTime, Tuple, TupleBuilder, Uint160};
+use serde::Serialize;
+
+/// Forwards every tuple on all connected output ports.
+struct Repeat {
+    ports: usize,
+}
+
+impl Element for Repeat {
+    fn class(&self) -> &'static str {
+        "Repeat"
+    }
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        for p in 0..self.ports {
+            ctx.emit(p, tuple.clone());
+        }
+    }
+}
+
+/// Terminal element: counts arrivals, emits nothing.
+struct Count {
+    seen: u64,
+}
+
+impl Element for Count {
+    fn class(&self) -> &'static str {
+        "Count"
+    }
+    fn push(&mut self, _port: usize, _tuple: &Tuple, _ctx: &mut ElementCtx<'_>) {
+        self.seen += 1;
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct PipelineResult {
+    chain_len: usize,
+    fanout: usize,
+    deliveries: u64,
+    handoffs: u64,
+    wall_secs: f64,
+    ns_per_handoff: f64,
+    handoffs_per_sec: f64,
+}
+
+/// A chain of `chain_len` single-port repeaters ending in a `fanout`-way
+/// split into counters: every delivery costs `chain_len + fanout` handoffs.
+fn bench_pipeline(chain_len: usize, fanout: usize, deliveries: u64) -> PipelineResult {
+    let mut g = Graph::new();
+    let mut prev = None;
+    let mut first = None;
+    for i in 0..chain_len {
+        let id = g.add(format!("repeat{i}"), Box::new(Repeat { ports: 1 }));
+        if let Some(p) = prev {
+            g.connect(p, 0, id, 0);
+        }
+        first.get_or_insert(id);
+        prev = Some(id);
+    }
+    let tail = g.add("split", Box::new(Repeat { ports: 1 }));
+    if let Some(p) = prev {
+        g.connect(p, 0, tail, 0);
+    }
+    for i in 0..fanout {
+        let c = g.add(format!("count{i}"), Box::new(Count { seen: 0 }));
+        g.connect(tail, 0, c, 0);
+    }
+    let mut engine = Engine::new(g, "n1", 1);
+    engine.set_entry(Route {
+        element: first.unwrap_or(tail),
+        port: 0,
+    });
+    engine.start(SimTime::ZERO);
+
+    let tuple = TupleBuilder::new("x").push("payload").push(7i64).build();
+    let start = Instant::now();
+    for _ in 0..deliveries {
+        engine.deliver(tuple.clone(), SimTime::from_secs(1));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let handoffs = engine.stats().handoffs;
+    PipelineResult {
+        chain_len,
+        fanout,
+        deliveries,
+        handoffs,
+        wall_secs: wall,
+        ns_per_handoff: wall * 1e9 / handoffs.max(1) as f64,
+        handoffs_per_sec: handoffs as f64 / wall.max(1e-12),
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ChordDeliverResult {
+    lookups: u64,
+    batched: bool,
+    wall_secs: f64,
+    us_per_lookup: f64,
+    lookups_per_sec: f64,
+    handoffs_per_lookup: f64,
+}
+
+/// A one-node Chord ring (the node is its own successor) answering lookups
+/// locally: the full demux → rule-strand → netout path with real tables.
+fn bench_chord_deliver(lookups: u64, batch: usize) -> ChordDeliverResult {
+    let mut host = chord::build_node("n0:11111", None, 7, false).expect("chord node plans");
+    let node = host.node_mut();
+    node.start(SimTime::ZERO);
+    node.deliver(chord::join_tuple("n0:11111", 1), SimTime::from_secs(1));
+    node.advance_to(SimTime::from_secs(30));
+    assert!(
+        node.table("bestSucc").map(|t| !t.lock().is_empty()) == Some(true),
+        "single-node ring did not converge"
+    );
+    let handoffs_before = node.stats().handoffs;
+
+    let mut made = 0u64;
+    let mut key_seq = 0u64;
+    let mut next_key = || {
+        key_seq += 1;
+        Uint160::hash_of(&key_seq.to_le_bytes())
+    };
+    let start = Instant::now();
+    let now = SimTime::from_secs(31);
+    while made < lookups {
+        let n = batch.min((lookups - made) as usize);
+        if n == 1 {
+            node.deliver(
+                chord::lookup_tuple("n0:11111", next_key(), "n0:11111", made as i64),
+                now,
+            );
+        } else {
+            let batch_tuples: Vec<Tuple> = (0..n)
+                .map(|i| {
+                    chord::lookup_tuple(
+                        "n0:11111",
+                        next_key(),
+                        "n0:11111",
+                        (made as usize + i) as i64,
+                    )
+                })
+                .collect();
+            node.deliver_many(batch_tuples, now);
+        }
+        made += n as u64;
+        // Keep the observation taps from growing without bound.
+        if made.is_multiple_of(8192) {
+            for name in ["lookup", "lookupResults"] {
+                if let Some(c) = node.collector(name) {
+                    c.lock().clear();
+                }
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let handoffs = node.stats().handoffs - handoffs_before;
+    ChordDeliverResult {
+        lookups,
+        batched: batch > 1,
+        wall_secs: wall,
+        us_per_lookup: wall * 1e6 / lookups.max(1) as f64,
+        lookups_per_sec: lookups as f64 / wall.max(1e-12),
+        handoffs_per_lookup: handoffs as f64 / lookups.max(1) as f64,
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct PlanSharingResult {
+    nodes: usize,
+    fresh_plan_wall_secs: f64,
+    fresh_plan_us_per_node: f64,
+    shared_plan_wall_secs: f64,
+    shared_plan_us_per_node: f64,
+    instantiation_speedup: f64,
+    fresh_rss_bytes_per_node: f64,
+    shared_rss_bytes_per_node: f64,
+}
+
+/// Resident-set size of this process in bytes (Linux; 0 elsewhere).
+fn rss_bytes() -> u64 {
+    let Ok(statm) = std::fs::read_to_string("/proc/self/statm") else {
+        return 0;
+    };
+    let pages: u64 = statm
+        .split_whitespace()
+        .nth(1)
+        .and_then(|f| f.parse().ok())
+        .unwrap_or(0);
+    pages * 4096
+}
+
+fn chord_facts(addr: &str) -> Vec<Tuple> {
+    chord::base_facts(addr, Some("node0:11111"))
+}
+
+fn bench_plan_sharing(nodes: usize) -> PlanSharingResult {
+    let program = chord::program();
+    let config = PlanConfig::new()
+        .watch("lookupResults")
+        .watch("lookup")
+        .without_jitter();
+
+    // Shared path first, from the cleanest heap baseline: one compile, N
+    // instantiations.
+    let rss0 = rss_bytes();
+    let start = Instant::now();
+    let shared_plan = PlannedProgram::compile(program, &config).expect("chord plans");
+    let shared: Vec<P2Node> = (0..nodes)
+        .map(|i| {
+            let addr = format!("node{i}:11111");
+            P2Node::from_plan(&shared_plan, &addr, i as u64, chord_facts(&addr))
+        })
+        .collect();
+    let shared_wall = start.elapsed().as_secs_f64();
+    let shared_rss = rss_bytes().saturating_sub(rss0);
+
+    // Pre-PR-3 path: full compile per node. Measured second, so any pages
+    // recycled from the shared run's temporaries shrink this delta — the
+    // comparison is conservative for the shared-plan claim.
+    let rss1 = rss_bytes();
+    let start = Instant::now();
+    let fresh: Vec<P2Node> = (0..nodes)
+        .map(|i| {
+            let addr = format!("node{i}:11111");
+            let plan = PlannedProgram::compile(program, &config).expect("chord plans");
+            P2Node::from_plan(&plan, &addr, i as u64, chord_facts(&addr))
+        })
+        .collect();
+    let fresh_wall = start.elapsed().as_secs_f64();
+    let fresh_rss = rss_bytes().saturating_sub(rss1);
+
+    // Touch both fleets so the optimizer cannot elide them, and count a
+    // value the fleets agree on.
+    let sanity: usize = fresh
+        .iter()
+        .chain(shared.iter())
+        .filter(|n| {
+            n.table("node")
+                .map(|t| t.lock().len() == 1)
+                .unwrap_or(false)
+        })
+        .count();
+    assert_eq!(sanity, 2 * nodes, "fleet sanity check failed");
+
+    PlanSharingResult {
+        nodes,
+        fresh_plan_wall_secs: fresh_wall,
+        fresh_plan_us_per_node: fresh_wall * 1e6 / nodes.max(1) as f64,
+        shared_plan_wall_secs: shared_wall,
+        shared_plan_us_per_node: shared_wall * 1e6 / nodes.max(1) as f64,
+        instantiation_speedup: fresh_wall / shared_wall.max(1e-12),
+        fresh_rss_bytes_per_node: fresh_rss as f64 / nodes.max(1) as f64,
+        shared_rss_bytes_per_node: shared_rss as f64 / nodes.max(1) as f64,
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    bench: String,
+    pipeline: Vec<PipelineResult>,
+    chord_deliver: Vec<ChordDeliverResult>,
+    plan_sharing: PlanSharingResult,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let out_path = value("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let smoke = flag("--smoke");
+    let (pipe_deliveries, lookups, fleet) = if smoke {
+        (50_000u64, 20_000u64, 64usize)
+    } else {
+        (500_000, 100_000, 512)
+    };
+
+    // Fail on an unwritable output path up front.
+    if let Err(e) = std::fs::write(&out_path, "{}") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+
+    // Plan sharing first: its RSS deltas are cleanest before the other
+    // sections grow (and then recycle) the heap.
+    eprintln!("plan sharing: {fleet} chord nodes...");
+    let plan_sharing = bench_plan_sharing(fleet);
+    eprintln!(
+        "  fresh {:>8.1} us/node ({:.0} KiB RSS) vs shared {:>8.1} us/node ({:.0} KiB RSS): {:.1}x",
+        plan_sharing.fresh_plan_us_per_node,
+        plan_sharing.fresh_rss_bytes_per_node / 1024.0,
+        plan_sharing.shared_plan_us_per_node,
+        plan_sharing.shared_rss_bytes_per_node / 1024.0,
+        plan_sharing.instantiation_speedup
+    );
+
+    let mut pipeline = Vec::new();
+    for (chain, fanout) in [(32usize, 1usize), (8, 8), (1, 32)] {
+        eprintln!("pipeline: chain {chain}, fanout {fanout}...");
+        let r = bench_pipeline(chain, fanout, pipe_deliveries);
+        eprintln!(
+            "  {} handoffs in {:.3} s -> {:>7.1} ns/handoff ({:>12.0} handoffs/s)",
+            r.handoffs, r.wall_secs, r.ns_per_handoff, r.handoffs_per_sec
+        );
+        pipeline.push(r);
+    }
+
+    let mut chord_deliver = Vec::new();
+    for batch in [1usize, 64] {
+        eprintln!("chord lookups: batch {batch}...");
+        let r = bench_chord_deliver(lookups, batch);
+        eprintln!(
+            "  {} lookups in {:.3} s -> {:>7.2} us/lookup ({:>9.0} lookups/s, {:.1} handoffs each)",
+            r.lookups, r.wall_secs, r.us_per_lookup, r.lookups_per_sec, r.handoffs_per_lookup
+        );
+        chord_deliver.push(r);
+    }
+
+    let report = BenchReport {
+        bench: "dataflow_engine".to_string(),
+        pipeline,
+        chord_deliver,
+        plan_sharing,
+    };
+    let json = to_json(&report);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -4,12 +4,12 @@ use std::collections::HashMap;
 
 use p2_dataflow::elements::CollectorHandle;
 use p2_dataflow::{EngineStats, Outgoing};
-use p2_overlog::{Expr as OExpr, Program};
+use p2_overlog::Program;
 use p2_table::{Catalog, TableRef};
-use p2_value::{SimTime, Tuple, Value};
+use p2_value::{SimTime, Tuple};
 
 use crate::error::PlanError;
-use crate::planner::{plan, PlanOptions, Planned};
+use crate::planner::{PlanConfig, Planned, PlannedProgram};
 
 /// Configuration for instantiating a [`P2Node`].
 #[derive(Debug, Clone)]
@@ -81,60 +81,58 @@ impl P2Node {
     /// Like [`P2Node::new`], additionally installing host-provided base
     /// facts (e.g. `landmark(addr, landmark_addr)` and `node(addr, id)`
     /// tuples that differ per node).
+    ///
+    /// This compiles a fresh plan per call; multi-node hosts should compile
+    /// one [`PlannedProgram`] and use [`P2Node::from_plan`] instead.
     pub fn with_facts(
         program: &Program,
         config: NodeConfig,
         extra_facts: Vec<Tuple>,
     ) -> Result<P2Node, PlanError> {
-        let mut opts = PlanOptions::new(config.addr.clone(), config.seed);
-        opts.watches = config.watches.clone();
-        opts.jitter_periodics = config.jitter_periodics;
+        let plan_config = PlanConfig {
+            watches: config.watches.clone(),
+            jitter_periodics: config.jitter_periodics,
+        };
+        let shared = PlannedProgram::compile(program, &plan_config)?;
+        Ok(P2Node::from_plan(
+            &shared,
+            &config.addr,
+            config.seed,
+            extra_facts,
+        ))
+    }
+
+    /// Instantiates a node from a shared, pre-compiled plan: the cheap
+    /// per-node path (no rule analysis or PEL compilation). The plan's
+    /// program facts are installed with the location variable bound to
+    /// `addr`, followed by the host-provided `extra_facts`.
+    pub fn from_plan(
+        plan: &PlannedProgram,
+        addr: &str,
+        seed: u64,
+        extra_facts: Vec<Tuple>,
+    ) -> P2Node {
         let Planned {
             engine,
             catalog,
             collectors,
-        } = plan(program, &opts)?;
+        } = plan.instantiate(addr, seed);
 
         let mut node = P2Node {
-            addr: config.addr,
+            addr: addr.to_string(),
             engine,
             catalog,
             collectors,
             pending_stream_facts: Vec::new(),
             started: false,
         };
-
-        for fact in &program.facts {
-            let tuple = node.fact_to_tuple(&fact.name, &fact.location, &fact.args)?;
+        for tuple in plan.facts_for(addr) {
             node.install_fact(tuple);
         }
         for tuple in extra_facts {
             node.install_fact(tuple);
         }
-        Ok(node)
-    }
-
-    fn fact_to_tuple(
-        &self,
-        name: &str,
-        location: &Option<String>,
-        args: &[OExpr],
-    ) -> Result<Tuple, PlanError> {
-        let mut values = Vec::with_capacity(args.len());
-        for arg in args {
-            match arg {
-                OExpr::Const(v) => values.push(v.clone()),
-                OExpr::Var(v) if Some(v) == location.as_ref() => {
-                    values.push(Value::str(&self.addr))
-                }
-                other => {
-                    return Err(PlanError::program(format!(
-                        "fact `{name}` argument {other:?} is not a constant"
-                    )))
-                }
-            }
-        }
-        Ok(Tuple::new(name, values))
+        node
     }
 
     fn install_fact(&mut self, tuple: Tuple) {
@@ -178,6 +176,18 @@ impl P2Node {
         self.engine.deliver(tuple, now)
     }
 
+    /// Delivers a batch of tuples arriving at the same virtual instant,
+    /// expiring soft state once and draining the dataflow once for the
+    /// whole batch.
+    pub fn deliver_many(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        now: SimTime,
+    ) -> Vec<Outgoing> {
+        self.catalog.expire_all(now);
+        self.engine.deliver_many(tuples, now)
+    }
+
     /// Advances the node's clock to `now`, firing due timers and sweeping
     /// expired soft state.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<Outgoing> {
@@ -217,7 +227,7 @@ impl P2Node {
 
     /// Human-readable dump of the planned dataflow graph.
     pub fn graph_description(&self) -> String {
-        self.engine.graph().describe()
+        self.engine.describe()
     }
 }
 
@@ -225,7 +235,7 @@ impl P2Node {
 mod tests {
     use super::*;
     use p2_overlog::compile_checked;
-    use p2_value::TupleBuilder;
+    use p2_value::{TupleBuilder, Value};
 
     /// A two-rule ping/pong program: delivering `pingEvent(X, Y, E)` at X
     /// sends `ping(Y, X, E)` to Y; Y answers with `pong(X, Y, E)`.
@@ -258,12 +268,12 @@ mod tests {
             .build();
         let out = a.deliver(event, SimTime::from_secs(1));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].dst, "n2");
+        assert_eq!(&*out[0].dst, "n2");
         assert_eq!(out[0].tuple.name(), "ping");
 
         let out = b.deliver(out[0].tuple.clone(), SimTime::from_secs(1));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].dst, "n1");
+        assert_eq!(&*out[0].dst, "n1");
         assert_eq!(out[0].tuple.name(), "pong");
 
         let out = a.deliver(out[0].tuple.clone(), SimTime::from_secs(1));
@@ -289,7 +299,7 @@ mod tests {
             SimTime::from_secs(1),
         );
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].dst, "n0");
+        assert_eq!(&*out[0].dst, "n0");
         assert_eq!(out[0].tuple.name(), "joinReq");
     }
 

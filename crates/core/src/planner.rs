@@ -1,5 +1,5 @@
-//! The OverLog planner: compiles a validated program into a per-node
-//! dataflow graph.
+//! The OverLog planner: compiles a validated program into a *shared*,
+//! node-independent plan, then stamps out per-node dataflow engines from it.
 //!
 //! The translation follows §3.5 of the paper. Every rule becomes one or more
 //! *strands*; a strand is a chain of elements
@@ -14,17 +14,38 @@
 //! tuple (via the node's main demultiplexer) or the insertion delta of a
 //! materialized table. Rules whose body consists solely of a table and whose
 //! head aggregates over it become materialized [`TableAgg`] watchers instead.
+//!
+//! # Shared plans
+//!
+//! Planning is split in two:
+//!
+//! * [`PlannedProgram::compile`] runs the whole §3.5 translation **once per
+//!   program**: rule analysis, variable layout, PEL compilation, element
+//!   naming and edge wiring. The result is immutable and node-independent —
+//!   element *specs* instead of element instances, table specs instead of
+//!   tables, and a prebuilt shared demux classifier map.
+//! * [`PlannedProgram::instantiate`] stamps out one node's engine from the
+//!   shared plan: fresh tables, fresh (stateful) elements parameterized by
+//!   the shared compiled artifacts (PEL byte-code is `Arc`-shared, the demux
+//!   map is one allocation program-wide), and the precompiled edge list.
+//!
+//! A thousand-node simulation therefore pays the expensive translation once
+//! instead of a thousand times, and the per-node resident footprint shrinks
+//! to the genuinely per-node state (tables, element scratch, engine queue).
+//! [`plan`] remains as the one-shot convenience wrapper (compile +
+//! instantiate) for single-node uses.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use p2_dataflow::elements::{
     AggProbe, AntiJoin, Collector, CollectorHandle, Delete, Demux, Insert, Join, NetOut, Periodic,
     Project, Select, TableAgg,
 };
-use p2_dataflow::{Engine, Graph, Route};
+use p2_dataflow::{Element, Engine, Graph, Route};
 use p2_overlog::{AggSpec, BodyTerm, Expr as OExpr, HeadArg, Predicate, Program, Rule, SizeBound};
 use p2_pel::{BinOp, Expr as PExpr, Program as PelProgram};
-use p2_table::{Catalog, TableRef};
+use p2_table::{AggFunc, Catalog, TableSpec};
 use p2_value::Value;
 
 use crate::binding::Layout;
@@ -70,6 +91,38 @@ impl PlanOptions {
     }
 }
 
+/// Node-independent planning configuration: everything [`PlanOptions`]
+/// carries except the per-node address and seed.
+#[derive(Debug, Clone, Default)]
+pub struct PlanConfig {
+    /// Tuple names to attach observation taps to.
+    pub watches: Vec<String>,
+    /// Whether `periodic` sources start at a random phase.
+    pub jitter_periodics: bool,
+}
+
+impl PlanConfig {
+    /// Creates a config with jitter enabled and no watches.
+    pub fn new() -> PlanConfig {
+        PlanConfig {
+            watches: Vec::new(),
+            jitter_periodics: true,
+        }
+    }
+
+    /// Adds a watched tuple name.
+    pub fn watch(mut self, name: impl Into<String>) -> PlanConfig {
+        self.watches.push(name.into());
+        self
+    }
+
+    /// Disables periodic phase jitter.
+    pub fn without_jitter(mut self) -> PlanConfig {
+        self.jitter_periodics = false;
+        self
+    }
+}
+
 /// The result of planning: a ready-to-run engine plus handles to its state.
 pub struct Planned {
     /// The node's dataflow engine.
@@ -80,9 +133,255 @@ pub struct Planned {
     pub collectors: HashMap<String, CollectorHandle>,
 }
 
-/// Plans a validated OverLog program into a per-node dataflow engine.
+/// Plans a validated OverLog program into a per-node dataflow engine
+/// (compile + instantiate in one step; multi-node callers should compile a
+/// [`PlannedProgram`] once and instantiate it per node).
 pub fn plan(program: &Program, opts: &PlanOptions) -> Result<Planned, PlanError> {
-    Builder::new(program, opts)?.build()
+    let config = PlanConfig {
+        watches: opts.watches.clone(),
+        jitter_periodics: opts.jitter_periodics,
+    };
+    let planned = PlannedProgram::compile(program, &config)?;
+    Ok(planned.instantiate(opts.local_addr.clone(), opts.seed))
+}
+
+/// A node-independent element description; instantiation turns it into a
+/// stateful element bound to the node's tables.
+enum ElementSpec {
+    /// The node's main demultiplexer, over the program-wide shared map.
+    Demux,
+    /// Insert bridge into table `table` (index into the plan's table list).
+    Insert { table: usize },
+    /// Delete bridge into table `table`.
+    Delete { table: usize },
+    /// Stream × table equijoin.
+    Join {
+        table: usize,
+        key: Vec<(usize, usize)>,
+        out_name: Arc<str>,
+    },
+    /// Stream × table anti-join.
+    AntiJoin {
+        table: usize,
+        key: Vec<(usize, usize)>,
+    },
+    /// PEL selection.
+    Select { filter: PelProgram },
+    /// PEL projection.
+    Project {
+        out_name: Arc<str>,
+        fields: Vec<PelProgram>,
+    },
+    /// Per-event aggregation probe over a table.
+    AggProbe {
+        table: usize,
+        table_arity: usize,
+        func: AggFunc,
+        filter: Option<PelProgram>,
+        agg_expr: PelProgram,
+        out_name: Arc<str>,
+    },
+    /// Materialized aggregate watcher over a table.
+    TableAgg {
+        table: usize,
+        func: AggFunc,
+        agg_col: Option<usize>,
+        group_cols: Vec<usize>,
+        out_name: Arc<str>,
+    },
+    /// `periodic` timer source.
+    Periodic {
+        period: f64,
+        count: Option<u64>,
+        period_value: Value,
+        extra_args: Vec<Value>,
+    },
+    /// Network egress reading the destination from `dest_field`.
+    NetOut { dest_field: usize },
+    /// Observation tap for a watched tuple name.
+    Collector { watch: String },
+}
+
+/// One field of a program fact, resolved at compile time.
+enum FactField {
+    /// A constant value.
+    Const(Value),
+    /// The fact's location variable: bound to the node's address at
+    /// instantiation.
+    LocalAddr,
+}
+
+/// A program fact with its location variable resolved.
+struct FactTemplate {
+    name: String,
+    fields: Vec<FactField>,
+}
+
+/// A table declaration plus the secondary indices the plan's probes need.
+struct TablePlan {
+    spec: TableSpec,
+    extra_indexes: Vec<Vec<usize>>,
+}
+
+/// An immutable, node-independent compilation of an OverLog program: the
+/// element graph as *specs*, the edge list, table declarations, and the
+/// program facts. Build once with [`PlannedProgram::compile`], then stamp
+/// out per-node engines with [`PlannedProgram::instantiate`].
+pub struct PlannedProgram {
+    specs: Vec<ElementSpec>,
+    names: Vec<Arc<str>>,
+    edges: Vec<(usize, usize, Route)>,
+    entry: Route,
+    demux_map: Arc<HashMap<Arc<str>, usize>>,
+    demux_default: usize,
+    tables: Vec<TablePlan>,
+    facts: Vec<FactTemplate>,
+    jitter_periodics: bool,
+}
+
+impl PlannedProgram {
+    /// Runs the full §3.5 translation once, producing a shareable plan.
+    pub fn compile(program: &Program, config: &PlanConfig) -> Result<PlannedProgram, PlanError> {
+        Builder::new(program, config)?.build()
+    }
+
+    /// Number of elements in the planned graph.
+    pub fn element_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Number of edges in the planned graph.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The resolved program facts, as tuples for a node at `addr`.
+    pub fn facts_for(&self, addr: &str) -> Vec<p2_value::Tuple> {
+        self.facts
+            .iter()
+            .map(|f| {
+                let values = f
+                    .fields
+                    .iter()
+                    .map(|field| match field {
+                        FactField::Const(v) => v.clone(),
+                        FactField::LocalAddr => Value::str(addr),
+                    })
+                    .collect();
+                p2_value::Tuple::new(&f.name, values)
+            })
+            .collect()
+    }
+
+    /// Whether the plan declares `name` as a materialized table.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.iter().any(|t| t.spec.name == name)
+    }
+
+    /// Stamps out one node's engine, catalog, and collectors from the shared
+    /// plan. Cheap relative to [`PlannedProgram::compile`]: no rule
+    /// analysis, no PEL compilation, no string formatting — just element
+    /// construction over `Arc`-shared artifacts.
+    pub fn instantiate(&self, local_addr: impl Into<String>, seed: u64) -> Planned {
+        let mut catalog = Catalog::new();
+        let mut refs = Vec::with_capacity(self.tables.len());
+        for tp in &self.tables {
+            let table = catalog.declare(tp.spec.clone());
+            for idx in &tp.extra_indexes {
+                table.lock().add_index(idx.clone());
+            }
+            refs.push(table);
+        }
+
+        let mut collectors = HashMap::new();
+        let mut graph = Graph::new();
+        for (spec, name) in self.specs.iter().zip(&self.names) {
+            let element: Box<dyn Element> = match spec {
+                ElementSpec::Demux => Box::new(Demux::from_shared(
+                    self.demux_map.clone(),
+                    self.demux_default,
+                )),
+                ElementSpec::Insert { table } => Box::new(Insert::new(refs[*table].clone())),
+                ElementSpec::Delete { table } => Box::new(Delete::new(refs[*table].clone())),
+                ElementSpec::Join {
+                    table,
+                    key,
+                    out_name,
+                } => Box::new(Join::new(
+                    refs[*table].clone(),
+                    key.clone(),
+                    out_name.to_string(),
+                )),
+                ElementSpec::AntiJoin { table, key } => {
+                    Box::new(AntiJoin::new(refs[*table].clone(), key.clone()))
+                }
+                ElementSpec::Select { filter } => Box::new(Select::new(filter.clone())),
+                ElementSpec::Project { out_name, fields } => {
+                    Box::new(Project::new(out_name.to_string(), fields.clone()))
+                }
+                ElementSpec::AggProbe {
+                    table,
+                    table_arity,
+                    func,
+                    filter,
+                    agg_expr,
+                    out_name,
+                } => Box::new(AggProbe::new(
+                    refs[*table].clone(),
+                    *table_arity,
+                    *func,
+                    filter.clone(),
+                    agg_expr.clone(),
+                    out_name.to_string(),
+                )),
+                ElementSpec::TableAgg {
+                    table,
+                    func,
+                    agg_col,
+                    group_cols,
+                    out_name,
+                } => Box::new(TableAgg::new(
+                    refs[*table].clone(),
+                    *func,
+                    *agg_col,
+                    group_cols.clone(),
+                    out_name.to_string(),
+                )),
+                ElementSpec::Periodic {
+                    period,
+                    count,
+                    period_value,
+                    extra_args,
+                } => {
+                    let mut periodic = Periodic::new("periodic", *period, *count)
+                        .with_period_value(period_value.clone())
+                        .with_extra_args(extra_args.clone());
+                    if !self.jitter_periodics {
+                        periodic = periodic.without_phase_jitter();
+                    }
+                    Box::new(periodic)
+                }
+                ElementSpec::NetOut { dest_field } => Box::new(NetOut::new(*dest_field)),
+                ElementSpec::Collector { watch } => {
+                    let (collector, handle) = Collector::new();
+                    collectors.insert(watch.clone(), handle);
+                    Box::new(collector)
+                }
+            };
+            graph.add(name.clone(), element);
+        }
+        for &(from, out_port, route) in &self.edges {
+            graph.connect(from, out_port, route.element, route.port);
+        }
+
+        let mut engine = Engine::new(graph, local_addr, seed);
+        engine.set_entry(self.entry);
+        Planned {
+            engine,
+            catalog,
+            collectors,
+        }
+    }
 }
 
 enum TriggerSource<'a> {
@@ -103,9 +402,12 @@ struct AggPlan<'a> {
 
 struct Builder<'a> {
     program: &'a Program,
-    opts: &'a PlanOptions,
-    graph: Graph,
-    catalog: Catalog,
+    config: &'a PlanConfig,
+    specs: Vec<ElementSpec>,
+    names: Vec<Arc<str>>,
+    edges: Vec<(usize, usize, Route)>,
+    tables: Vec<TablePlan>,
+    table_index: HashMap<String, usize>,
     demux_id: usize,
     demux_names: Vec<String>,
     insert_ids: HashMap<String, usize>,
@@ -114,19 +416,22 @@ struct Builder<'a> {
     table_aggs: HashMap<String, Vec<usize>>,
     /// Delete elements per table name (their output also pokes TableAggs).
     delete_ids: HashMap<String, Vec<usize>>,
-    collectors: HashMap<String, CollectorHandle>,
 }
 
 impl<'a> Builder<'a> {
-    fn new(program: &'a Program, opts: &'a PlanOptions) -> Result<Builder<'a>, PlanError> {
+    fn new(program: &'a Program, config: &'a PlanConfig) -> Result<Builder<'a>, PlanError> {
         if program.rules.is_empty() && program.facts.is_empty() {
             return Err(PlanError::program("program has no rules or facts"));
         }
 
-        let mut graph = Graph::new();
-        let mut catalog = Catalog::new();
+        let mut tables = Vec::new();
+        let mut table_index = HashMap::new();
         for m in &program.materializations {
-            catalog.declare(m.to_spec());
+            table_index.insert(m.name.clone(), tables.len());
+            tables.push(TablePlan {
+                spec: m.to_spec(),
+                extra_indexes: Vec::new(),
+            });
         }
 
         // Collect every tuple name the demultiplexer must know about.
@@ -145,88 +450,104 @@ impl<'a> Builder<'a> {
                 }
             }
         }
-        for w in &opts.watches {
+        for w in &config.watches {
             names.insert(w.clone());
         }
         let demux_names: Vec<String> = names.into_iter().collect();
-        let demux_id = graph.add("demux", Box::new(Demux::new(demux_names.clone())));
-
-        // One Insert bridge per materialized table, fed from the demux.
-        let mut insert_ids = HashMap::new();
-        for m in &program.materializations {
-            let table = catalog.get(&m.name).expect("table was declared just above");
-            let id = graph.add(format!("insert:{}", m.name), Box::new(Insert::new(table)));
-            insert_ids.insert(m.name.clone(), id);
-        }
 
         let mut builder = Builder {
             program,
-            opts,
-            graph,
-            catalog,
-            demux_id,
+            config,
+            specs: Vec::new(),
+            names: Vec::new(),
+            edges: Vec::new(),
+            tables,
+            table_index,
+            demux_id: 0,
             demux_names,
-            insert_ids,
+            insert_ids: HashMap::new(),
             table_aggs: HashMap::new(),
             delete_ids: HashMap::new(),
-            collectors: HashMap::new(),
         };
+        builder.demux_id = builder.add("demux", ElementSpec::Demux);
 
-        // Wire demux ports to the table inserts now that ports are known.
+        // One Insert bridge per materialized table, fed from the demux.
         for m in &program.materializations {
+            let table = builder.table_index[&m.name];
+            let id = builder.add(format!("insert:{}", m.name), ElementSpec::Insert { table });
+            builder.insert_ids.insert(m.name.clone(), id);
             let port = builder.demux_port(&m.name).expect("declared above");
-            let insert = builder.insert_ids[&m.name];
-            builder.graph.connect(builder.demux_id, port, insert, 0);
+            builder.connect(builder.demux_id, port, id, 0);
         }
         Ok(builder)
+    }
+
+    fn add(&mut self, name: impl Into<Arc<str>>, spec: ElementSpec) -> usize {
+        self.specs.push(spec);
+        self.names.push(name.into());
+        self.specs.len() - 1
+    }
+
+    fn connect(&mut self, from: usize, out_port: usize, to: usize, in_port: usize) {
+        self.edges.push((
+            from,
+            out_port,
+            Route {
+                element: to,
+                port: in_port,
+            },
+        ));
     }
 
     fn demux_port(&self, name: &str) -> Option<usize> {
         self.demux_names.iter().position(|n| n == name)
     }
 
-    fn table_ref(&self, rule: &Rule, name: &str) -> Result<TableRef, PlanError> {
-        self.catalog.get(name).ok_or_else(|| {
+    fn table_id(&self, rule: &Rule, name: &str) -> Result<usize, PlanError> {
+        self.table_index.get(name).copied().ok_or_else(|| {
             PlanError::in_rule(&rule.id, format!("`{name}` is not a materialized table"))
         })
     }
 
-    /// Auto-declares the secondary index an equijoin/anti-join probe needs.
+    /// Records the secondary index an equijoin/anti-join probe needs.
     ///
     /// Probes over exactly the table's primary-key columns are served by the
     /// storage engine's primary index, so no redundant secondary index is
     /// materialized for them.
-    fn declare_probe_index(&self, table: &TableRef, join_keys: &[(usize, usize)]) {
+    fn declare_probe_index(&mut self, table: usize, join_keys: &[(usize, usize)]) {
         if join_keys.is_empty() {
             return;
         }
         let mut cols: Vec<usize> = join_keys.iter().map(|(_, c)| *c).collect();
         cols.sort_unstable();
         cols.dedup();
-        let mut table = table.lock();
-        let mut pk = table.spec().primary_key.clone();
+        let plan = &mut self.tables[table];
+        let mut pk = plan.spec.primary_key.clone();
         pk.sort_unstable();
         pk.dedup();
         if !pk.is_empty() && pk == cols {
             return;
         }
-        table.add_index(cols);
+        if !plan.extra_indexes.contains(&cols) {
+            plan.extra_indexes.push(cols);
+        }
     }
 
-    fn build(mut self) -> Result<Planned, PlanError> {
+    fn build(mut self) -> Result<PlannedProgram, PlanError> {
         let rules: Vec<&Rule> = self.program.rules.iter().collect();
         for rule in rules {
             self.plan_rule(rule)?;
         }
 
         // Watchpoints.
-        for w in &self.opts.watches {
-            let (collector, handle) = Collector::new();
-            let id = self.graph.add(format!("watch:{w}"), Box::new(collector));
+        for w in &self.config.watches.clone() {
+            let id = self.add(
+                format!("watch:{w}"),
+                ElementSpec::Collector { watch: w.clone() },
+            );
             if let Some(port) = self.demux_port(w) {
-                self.graph.connect(self.demux_id, port, id, 0);
+                self.connect(self.demux_id, port, id, 0);
             }
-            self.collectors.insert(w.clone(), handle);
         }
 
         // Wire materialized aggregates to their table's insert and delete
@@ -234,26 +555,57 @@ impl<'a> Builder<'a> {
         let table_aggs = std::mem::take(&mut self.table_aggs);
         for (table, aggs) in table_aggs {
             for agg in aggs {
-                if let Some(insert) = self.insert_ids.get(&table) {
-                    self.graph.connect(*insert, 0, agg, 0);
+                if let Some(insert) = self.insert_ids.get(&table).copied() {
+                    self.connect(insert, 0, agg, 0);
                 }
-                if let Some(deletes) = self.delete_ids.get(&table) {
+                if let Some(deletes) = self.delete_ids.get(&table).cloned() {
                     for d in deletes {
-                        self.graph.connect(*d, 0, agg, 0);
+                        self.connect(d, 0, agg, 0);
                     }
                 }
             }
         }
 
-        let mut engine = Engine::new(self.graph, self.opts.local_addr.clone(), self.opts.seed);
-        engine.set_entry(Route {
+        // Resolve facts: every argument must be a constant or the fact's
+        // location variable (bound to the node address at instantiation).
+        let mut facts = Vec::with_capacity(self.program.facts.len());
+        for fact in &self.program.facts {
+            let mut fields = Vec::with_capacity(fact.args.len());
+            for arg in &fact.args {
+                match arg {
+                    OExpr::Const(v) => fields.push(FactField::Const(v.clone())),
+                    OExpr::Var(v) if Some(v) == fact.location.as_ref() => {
+                        fields.push(FactField::LocalAddr)
+                    }
+                    other => {
+                        return Err(PlanError::program(format!(
+                            "fact `{}` argument {other:?} is not a constant",
+                            fact.name
+                        )))
+                    }
+                }
+            }
+            facts.push(FactTemplate {
+                name: fact.name.clone(),
+                fields,
+            });
+        }
+
+        let (demux_map, demux_default) = Demux::build_map(&self.demux_names);
+        let entry = Route {
             element: self.demux_id,
             port: 0,
-        });
-        Ok(Planned {
-            engine,
-            catalog: self.catalog,
-            collectors: self.collectors,
+        };
+        Ok(PlannedProgram {
+            specs: self.specs,
+            names: self.names,
+            edges: self.edges,
+            entry,
+            demux_map,
+            demux_default,
+            tables: self.tables,
+            facts,
+            jitter_periodics: self.config.jitter_periodics,
         })
     }
 
@@ -360,11 +712,12 @@ impl<'a> Builder<'a> {
             trigger_checks.push(PExpr::bin(BinOp::Eq, PExpr::Field(*a), PExpr::Field(*b)));
         }
         if !trigger_checks.is_empty() && !matches!(source, TriggerSource::Periodic(_)) {
-            let select = Select::new(PelProgram::compile(&and_all(trigger_checks)));
-            chain.push(
-                self.graph
-                    .add(format!("{}:trigger-select", rule.id), Box::new(select)),
+            let filter = PelProgram::compile(&and_all(trigger_checks));
+            let id = self.add(
+                format!("{}:trigger-select", rule.id),
+                ElementSpec::Select { filter },
             );
+            chain.push(id);
         }
 
         // --- Aggregate analysis.
@@ -397,17 +750,17 @@ impl<'a> Builder<'a> {
             let binding = layout
                 .bind_predicate(pred, true)
                 .map_err(|e| PlanError::in_rule(&rule.id, e.message))?;
-            let table = self.table_ref(rule, &pred.name)?;
-            self.declare_probe_index(&table, &binding.join_keys);
-            let join = Join::new(
-                table,
-                binding.join_keys.clone(),
-                format!("{}#{}", rule.id, pred.name),
+            let table = self.table_id(rule, &pred.name)?;
+            self.declare_probe_index(table, &binding.join_keys);
+            let id = self.add(
+                format!("{}:join:{}", rule.id, pred.name),
+                ElementSpec::Join {
+                    table,
+                    key: binding.join_keys.clone(),
+                    out_name: format!("{}#{}", rule.id, pred.name).into(),
+                },
             );
-            chain.push(
-                self.graph
-                    .add(format!("{}:join:{}", rule.id, pred.name), Box::new(join)),
-            );
+            chain.push(id);
 
             let mut checks: Vec<PExpr> = Vec::new();
             for (col, value) in &binding.const_checks {
@@ -425,11 +778,12 @@ impl<'a> Builder<'a> {
                 ));
             }
             if !checks.is_empty() {
-                let select = Select::new(PelProgram::compile(&and_all(checks)));
-                chain.push(self.graph.add(
+                let filter = PelProgram::compile(&and_all(checks));
+                let id = self.add(
                     format!("{}:join-select:{}", rule.id, pred.name),
-                    Box::new(select),
-                ));
+                    ElementSpec::Select { filter },
+                );
+                chain.push(id);
             }
         }
 
@@ -447,13 +801,16 @@ impl<'a> Builder<'a> {
                     ),
                 ));
             }
-            let table = self.table_ref(rule, &pred.name)?;
-            self.declare_probe_index(&table, &binding.join_keys);
-            let anti = AntiJoin::new(table, binding.join_keys);
-            chain.push(self.graph.add(
+            let table = self.table_id(rule, &pred.name)?;
+            self.declare_probe_index(table, &binding.join_keys);
+            let id = self.add(
                 format!("{}:antijoin:{}", rule.id, pred.name),
-                Box::new(anti),
-            ));
+                ElementSpec::AntiJoin {
+                    table,
+                    key: binding.join_keys,
+                },
+            );
+            chain.push(id);
         }
 
         // --- Assignments (dependency order), excluding the aggregate
@@ -484,11 +841,14 @@ impl<'a> Builder<'a> {
                             .map(|i| PelProgram::compile(&PExpr::Field(i)))
                             .collect();
                         fields.push(PelProgram::compile(&compiled));
-                        let project = Project::new(format!("{}#assign:{}", rule.id, var), fields);
-                        chain.push(
-                            self.graph
-                                .add(format!("{}:assign:{}", rule.id, var), Box::new(project)),
+                        let id = self.add(
+                            format!("{}:assign:{}", rule.id, var),
+                            ElementSpec::Project {
+                                out_name: format!("{}#assign:{}", rule.id, var).into(),
+                                fields,
+                            },
                         );
+                        chain.push(id);
                         layout.push_var(var.clone());
                         progress = true;
                     }
@@ -527,11 +887,12 @@ impl<'a> Builder<'a> {
             }
         }
         if !pre_conditions.is_empty() {
-            let select = Select::new(PelProgram::compile(&and_all(pre_conditions)));
-            chain.push(
-                self.graph
-                    .add(format!("{}:select", rule.id), Box::new(select)),
+            let filter = PelProgram::compile(&and_all(pre_conditions));
+            let id = self.add(
+                format!("{}:select", rule.id),
+                ElementSpec::Select { filter },
             );
+            chain.push(id);
         }
 
         // --- Aggregation.
@@ -608,23 +969,23 @@ impl<'a> Builder<'a> {
                     ))
                 }
             };
-            let table = self.table_ref(rule, &pred.name)?;
-            let probe = AggProbe::new(
-                table,
-                pred.args.len(),
-                aggp.spec.func,
-                if filter.is_empty() {
-                    None
-                } else {
-                    Some(PelProgram::compile(&and_all(filter)))
+            let table = self.table_id(rule, &pred.name)?;
+            let id = self.add(
+                format!("{}:agg:{}", rule.id, pred.name),
+                ElementSpec::AggProbe {
+                    table,
+                    table_arity: pred.args.len(),
+                    func: aggp.spec.func,
+                    filter: if filter.is_empty() {
+                        None
+                    } else {
+                        Some(PelProgram::compile(&and_all(filter)))
+                    },
+                    agg_expr: PelProgram::compile(&agg_expr),
+                    out_name: format!("{}#agg", rule.id).into(),
                 },
-                PelProgram::compile(&agg_expr),
-                format!("{}#agg", rule.id),
             );
-            chain.push(
-                self.graph
-                    .add(format!("{}:agg:{}", rule.id, pred.name), Box::new(probe)),
-            );
+            chain.push(id);
             layout = agg_layout;
             agg_field = Some(layout.push_anonymous());
         }
@@ -650,18 +1011,21 @@ impl<'a> Builder<'a> {
                 }
             }
         }
-        let project = Project::new(rule.head.name.clone(), fields);
-        chain.push(
-            self.graph
-                .add(format!("{}:head", rule.id), Box::new(project)),
+        let id = self.add(
+            format!("{}:head", rule.id),
+            ElementSpec::Project {
+                out_name: rule.head.name.as_str().into(),
+                fields,
+            },
         );
+        chain.push(id);
 
         // --- Routing.
-        self.route_head(rule, &mut chain, agg_field)?;
+        self.route_head(rule, &mut chain)?;
 
         // --- Wire the chain and its trigger source.
         for pair in chain.windows(2) {
-            self.graph.connect(pair[0], 0, pair[1], 0);
+            self.connect(pair[0], 0, pair[1], 0);
         }
         let entry = Route {
             element: chain[0],
@@ -672,21 +1036,18 @@ impl<'a> Builder<'a> {
                 let port = self.demux_port(name).ok_or_else(|| {
                     PlanError::in_rule(&rule.id, format!("no demux port for stream `{name}`"))
                 })?;
-                self.graph
-                    .connect(self.demux_id, port, entry.element, entry.port);
+                self.connect(self.demux_id, port, entry.element, entry.port);
             }
             TriggerSource::TableDelta(name) => {
                 let insert = *self.insert_ids.get(name).ok_or_else(|| {
                     PlanError::in_rule(&rule.id, format!("no insert element for table `{name}`"))
                 })?;
-                self.graph.connect(insert, 0, entry.element, entry.port);
+                self.connect(insert, 0, entry.element, entry.port);
             }
             TriggerSource::Periodic(pred) => {
                 let periodic = self.make_periodic(rule, pred)?;
-                let id = self
-                    .graph
-                    .add(format!("{}:periodic", rule.id), Box::new(periodic));
-                self.graph.connect(id, 0, entry.element, entry.port);
+                let id = self.add(format!("{}:periodic", rule.id), periodic);
+                self.connect(id, 0, entry.element, entry.port);
             }
         }
         Ok(())
@@ -695,12 +1056,7 @@ impl<'a> Builder<'a> {
     /// Routes the head projection output: deletes go straight to the head
     /// table, everything else goes through a network egress element whose
     /// local side wraps around to the demultiplexer.
-    fn route_head(
-        &mut self,
-        rule: &Rule,
-        chain: &mut Vec<usize>,
-        _agg_field: Option<usize>,
-    ) -> Result<(), PlanError> {
+    fn route_head(&mut self, rule: &Rule, chain: &mut Vec<usize>) -> Result<(), PlanError> {
         if rule.delete {
             let body_loc = rule
                 .positive_predicates()
@@ -712,11 +1068,10 @@ impl<'a> Builder<'a> {
                     "delete rules must target the local node's table",
                 ));
             }
-            let table = self.table_ref(rule, &rule.head.name)?;
-            let delete = Delete::new(table);
-            let id = self.graph.add(
+            let table = self.table_id(rule, &rule.head.name)?;
+            let id = self.add(
                 format!("{}:delete:{}", rule.id, rule.head.name),
-                Box::new(delete),
+                ElementSpec::Delete { table },
             );
             chain.push(id);
             self.delete_ids
@@ -731,7 +1086,7 @@ impl<'a> Builder<'a> {
                 // No location specifier: the tuple stays local; feed it back
                 // through the demultiplexer.
                 let last = *chain.last().expect("head projection exists");
-                self.graph.connect(last, 0, self.demux_id, 0);
+                self.connect(last, 0, self.demux_id, 0);
                 Ok(())
             }
             Some(loc) => {
@@ -750,13 +1105,13 @@ impl<'a> Builder<'a> {
                             format!("head location variable `{loc}` must appear among the head arguments"),
                         )
                     })?;
-                let netout = NetOut::new(dest_field);
-                let id = self
-                    .graph
-                    .add(format!("{}:netout", rule.id), Box::new(netout));
+                let id = self.add(
+                    format!("{}:netout", rule.id),
+                    ElementSpec::NetOut { dest_field },
+                );
                 chain.push(id);
                 // Local tuples wrap around into the demultiplexer.
-                self.graph.connect(id, 0, self.demux_id, 0);
+                self.connect(id, 0, self.demux_id, 0);
                 Ok(())
             }
         }
@@ -832,17 +1187,17 @@ impl<'a> Builder<'a> {
             })?),
         };
 
-        let table = self.table_ref(rule, &pred.name)?;
-        let agg = TableAgg::new(
-            table,
-            spec.func,
-            agg_col,
-            group_cols.clone(),
-            format!("{}#tagg", rule.id),
+        let table = self.table_id(rule, &pred.name)?;
+        let agg_id = self.add(
+            format!("{}:tableagg:{}", rule.id, pred.name),
+            ElementSpec::TableAgg {
+                table,
+                func: spec.func,
+                agg_col,
+                group_cols: group_cols.clone(),
+                out_name: format!("{}#tagg", rule.id).into(),
+            },
         );
-        let agg_id = self
-            .graph
-            .add(format!("{}:tableagg:{}", rule.id, pred.name), Box::new(agg));
         self.table_aggs
             .entry(pred.name.clone())
             .or_default()
@@ -862,15 +1217,17 @@ impl<'a> Builder<'a> {
                 }
             }
         }
-        let project = Project::new(rule.head.name.clone(), fields);
-        let mut chain = vec![
-            agg_id,
-            self.graph
-                .add(format!("{}:head", rule.id), Box::new(project)),
-        ];
-        self.route_head(rule, &mut chain, Some(group_len))?;
+        let head_id = self.add(
+            format!("{}:head", rule.id),
+            ElementSpec::Project {
+                out_name: rule.head.name.as_str().into(),
+                fields,
+            },
+        );
+        let mut chain = vec![agg_id, head_id];
+        self.route_head(rule, &mut chain)?;
         for pair in chain.windows(2) {
-            self.graph.connect(pair[0], 0, pair[1], 0);
+            self.connect(pair[0], 0, pair[1], 0);
         }
         Ok(())
     }
@@ -933,8 +1290,8 @@ impl<'a> Builder<'a> {
         Ok(candidates[candidates.len() - 1])
     }
 
-    /// Builds the `periodic` source element for a rule.
-    fn make_periodic(&self, rule: &Rule, pred: &Predicate) -> Result<Periodic, PlanError> {
+    /// Builds the `periodic` source spec for a rule.
+    fn make_periodic(&self, rule: &Rule, pred: &Predicate) -> Result<ElementSpec, PlanError> {
         if pred.args.len() < 3 {
             return Err(PlanError::in_rule(
                 &rule.id,
@@ -973,13 +1330,12 @@ impl<'a> Builder<'a> {
                 }
             }
         }
-        let mut periodic = Periodic::new("periodic", period, count)
-            .with_period_value(period_value)
-            .with_extra_args(extra);
-        if !self.opts.jitter_periodics {
-            periodic = periodic.without_phase_jitter();
-        }
-        Ok(periodic)
+        Ok(ElementSpec::Periodic {
+            period,
+            count,
+            period_value,
+            extra_args: extra,
+        })
     }
 }
 
@@ -1010,7 +1366,7 @@ mod tests {
             P2 pong@X(X, Y, E) :- ping@Y(Y, X, E).
         "#;
         let planned = plan_src(src).unwrap();
-        let desc = planned.engine.graph().describe();
+        let desc = planned.engine.describe();
         assert!(desc.contains("Demux"));
         assert!(desc.contains("NetOut"));
         assert!(desc.contains("P1:head"));
@@ -1029,7 +1385,7 @@ mod tests {
             S1 memberCount@X(X, count<*>) :- member@X(X, A, S, T, L).
         "#;
         let planned = plan_src(src).unwrap();
-        let desc = planned.engine.graph().describe();
+        let desc = planned.engine.describe();
         assert!(desc.contains("Periodic"));
         assert!(desc.contains("R2:join:sequence"));
         assert!(desc.contains("P0:agg:member"));
@@ -1044,7 +1400,7 @@ mod tests {
             L3 delete neighbor@X(X, Y) :- deadNeighbor@X(X, Y).
         "#;
         let planned = plan_src(src).unwrap();
-        assert!(planned.engine.graph().describe().contains("Delete"));
+        assert!(planned.engine.describe().contains("Delete"));
     }
 
     #[test]
@@ -1114,5 +1470,55 @@ mod tests {
         let table = planned.catalog.get("member").unwrap();
         let indexes = table.lock().indexes();
         assert!(indexes.contains(&vec![0, 1]), "indexes: {indexes:?}");
+    }
+
+    #[test]
+    fn shared_plan_instantiates_identical_nodes() {
+        let src = r#"
+            materialize(member, 120, infinity, keys(2)).
+            R1 out@X(X, A) :- trigger@X(X, A), member@X(X, A, S, T, L).
+            S1 memberCount@X(X, count<*>) :- member@X(X, A, S, T, L).
+        "#;
+        let program = compile_checked(src).unwrap();
+        let shared =
+            PlannedProgram::compile(&program, &PlanConfig::new().without_jitter()).unwrap();
+        assert!(shared.element_count() > 0);
+        assert!(shared.edge_count() > 0);
+        assert!(shared.has_table("member"));
+        assert!(!shared.has_table("trigger"));
+
+        let a = shared.instantiate("n1", 1);
+        let b = shared.instantiate("n2", 2);
+        // Same compiled structure...
+        assert_eq!(a.engine.describe(), b.engine.describe());
+        // ...but independent per-node state.
+        assert!(a.catalog.get("member").is_some());
+        assert!(
+            !std::sync::Arc::ptr_eq(
+                &a.catalog.get("member").unwrap(),
+                &b.catalog.get("member").unwrap()
+            ),
+            "nodes must not share table storage"
+        );
+        // The shared plan matches the one-shot path structurally.
+        let one_shot = plan(&program, &PlanOptions::new("n1", 1).without_jitter()).unwrap();
+        assert_eq!(one_shot.engine.describe(), a.engine.describe());
+    }
+
+    #[test]
+    fn shared_plan_resolves_facts_per_node() {
+        let src = r#"
+            materialize(landmark, infinity, 1, keys(1)).
+            F0 landmark@NI(NI, "n0").
+            J1 joinReq@LI(LI, NI) :- joinEvent@NI(NI), landmark@NI(NI, LI), LI != NI.
+        "#;
+        let program = compile_checked(src).unwrap();
+        let shared =
+            PlannedProgram::compile(&program, &PlanConfig::new().without_jitter()).unwrap();
+        let facts = shared.facts_for("n5");
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0].name(), "landmark");
+        assert_eq!(facts[0].field(0), &Value::str("n5"));
+        assert_eq!(facts[0].field(1), &Value::str("n0"));
     }
 }

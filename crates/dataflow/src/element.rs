@@ -1,13 +1,20 @@
 //! The element interface.
 
+use std::sync::Arc;
+
 use p2_pel::EvalContext;
 use p2_value::{SimTime, Tuple};
 
 /// A tuple leaving the node for another node's address.
+///
+/// The destination is an `Arc<str>` rather than an owned `String`: on the
+/// hot send path the address is usually already interned in a tuple field
+/// (`Value::Str` holds an `Arc<str>`), so handing a tuple to the network is
+/// a reference-count bump, not a heap allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Outgoing {
     /// Destination node address (resolved by the network substrate).
-    pub dst: String,
+    pub dst: Arc<str>,
     /// The tuple to deliver.
     pub tuple: Tuple,
 }
@@ -65,8 +72,8 @@ impl<'a> ElementCtx<'a> {
     }
 
     /// The local node's address.
-    pub fn local_addr(&self) -> String {
-        self.eval.local_addr_str().to_string()
+    pub fn local_addr(&self) -> &str {
+        self.eval.local_addr_str()
     }
 
     /// Emits a tuple on the given output port.
@@ -75,7 +82,7 @@ impl<'a> ElementCtx<'a> {
     }
 
     /// Hands a tuple to the network for delivery to `dst`.
-    pub fn send(&mut self, dst: impl Into<String>, tuple: Tuple) {
+    pub fn send(&mut self, dst: impl Into<Arc<str>>, tuple: Tuple) {
         self.outgoing.push(Outgoing {
             dst: dst.into(),
             tuple,
@@ -155,7 +162,7 @@ mod tests {
             vec![(3, TupleBuilder::new("ping").push("n1").build())]
         );
         assert_eq!(outgoing.len(), 1);
-        assert_eq!(outgoing[0].dst, "n2");
+        assert_eq!(&*outgoing[0].dst, "n2");
         assert_eq!(timers, vec![(7, SimTime::from_secs(6))]);
     }
 }

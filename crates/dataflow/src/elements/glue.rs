@@ -18,21 +18,38 @@ use crate::element::{Element, ElementCtx};
 /// every delivered tuple passes through here, so the name→port mapping is a
 /// prebuilt hash table rather than a linear scan.
 pub struct Demux {
-    ports: HashMap<Arc<str>, usize>,
+    ports: Arc<HashMap<Arc<str>, usize>>,
     default_port: usize,
 }
 
 impl Demux {
     /// Creates a demux for the given tuple names.
     pub fn new(names: Vec<String>) -> Demux {
+        let (ports, default_port) = Demux::build_map(&names);
+        Demux {
+            ports,
+            default_port,
+        }
+    }
+
+    /// Builds the shareable name→port map for a list of tuple names. The
+    /// shared-plan path builds this once per program and stamps out per-node
+    /// demuxes via [`Demux::from_shared`].
+    pub fn build_map(names: &[String]) -> (Arc<HashMap<Arc<str>, usize>>, usize) {
         let mut ports = HashMap::with_capacity(names.len());
         for (i, n) in names.iter().enumerate() {
             // First occurrence wins, matching the old linear scan.
             ports.entry(Arc::from(n.as_str())).or_insert(i);
         }
+        (Arc::new(ports), names.len())
+    }
+
+    /// Creates a demux over a prebuilt shared name→port map (no per-node
+    /// copy of the classifier table).
+    pub fn from_shared(ports: Arc<HashMap<Arc<str>, usize>>, default_port: usize) -> Demux {
         Demux {
             ports,
-            default_port: names.len(),
+            default_port,
         }
     }
 

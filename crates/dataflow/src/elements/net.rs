@@ -1,6 +1,8 @@
 //! Network egress element.
 
-use p2_value::Tuple;
+use std::sync::Arc;
+
+use p2_value::{Tuple, Value};
 
 use crate::element::{Element, ElementCtx};
 
@@ -38,12 +40,17 @@ impl Element for NetOut {
             self.malformed += 1;
             return;
         };
-        let dest = dest.to_display_string();
-        if dest.is_empty() || dest == "null" {
+        // Hot path: the destination is a string value, whose `Arc<str>` is
+        // shared into `Outgoing.dst` directly — no allocation per send.
+        let dest: Arc<str> = match dest {
+            Value::Str(s) => s.clone(),
+            other => Arc::from(other.to_display_string()),
+        };
+        if dest.is_empty() || &*dest == "null" {
             self.malformed += 1;
             return;
         }
-        if dest == ctx.local_addr() {
+        if &*dest == ctx.local_addr() {
             ctx.emit(0, tuple.clone());
         } else {
             ctx.send(dest, tuple.clone());
@@ -79,7 +86,7 @@ mod tests {
         let remote = TupleBuilder::new("succ").push("n7").push(5i64).build();
         let out = engine.deliver(remote, SimTime::ZERO);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].dst, "n7");
+        assert_eq!(&*out[0].dst, "n7");
         assert_eq!(local_buf.lock().len(), 1);
     }
 

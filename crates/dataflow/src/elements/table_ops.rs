@@ -1,7 +1,7 @@
 //! Elements bridging the dataflow graph and stored tables: insert, delete,
 //! per-event aggregation probes, and materialized table aggregates.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use p2_pel::Program;
 use p2_table::{AggFunc, TableRef};
@@ -137,20 +137,21 @@ impl Element for AggProbe {
     }
 
     fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
-        // Scan the table through the borrowing iterator: no per-call
-        // Vec<Tuple> snapshot; only the winning witness row is cloned.
+        // Scan the table through the borrowing iterator, evaluating the
+        // filter and aggregate expression against the *virtual* join
+        // `event ++ row` (`Program::eval_joined`): no per-row joined-tuple
+        // materialization; only the winning witness row is cloned.
         let guard = self.table.lock();
         let mut contributions: Vec<Value> = Vec::new();
         let mut witness: Option<(Value, Tuple)> = None;
         for row in guard.scan_iter() {
-            let joined = tuple.join(&self.out_name, row);
             if let Some(filter) = &self.filter {
-                match filter.eval_bool(&joined, ctx.eval()) {
+                match filter.eval_bool_joined(tuple, row, ctx.eval()) {
                     Ok(true) => {}
                     _ => continue,
                 }
             }
-            let Ok(v) = self.agg_expr.eval(&joined, ctx.eval()) else {
+            let Ok(v) = self.agg_expr.eval_joined(tuple, row, ctx.eval()) else {
                 continue;
             };
             let better = match (&witness, self.func) {
@@ -228,6 +229,31 @@ impl TableAgg {
             Ok(g) => g,
             Err(_) => return,
         };
+        // Groups whose key no longer appears must retract: a deleted or
+        // expired last row means downstream should see the empty-group
+        // value (count/sum emit 0; min/max/avg have none, so the entry is
+        // just forgotten and a later re-appearance re-emits).
+        if !self.last.is_empty() {
+            let live: HashSet<&Vec<Value>> = groups.iter().map(|(k, _)| k).collect();
+            let mut vanished: Vec<Vec<Value>> = self
+                .last
+                .keys()
+                .filter(|k| !live.contains(k))
+                .cloned()
+                .collect();
+            // HashMap iteration order is nondeterministic; retractions must
+            // come out in a stable order or same-seed runs diverge.
+            vanished.sort();
+            let empty_value = self.func.apply(&[]).ok().flatten();
+            for key in vanished {
+                self.last.remove(&key);
+                if let Some(v) = &empty_value {
+                    let mut values = key;
+                    values.push(v.clone());
+                    ctx.emit(0, Tuple::new(&self.out_name, values));
+                }
+            }
+        }
         for (key, agg) in groups {
             let changed = self.last.get(&key) != Some(&agg);
             if changed {
@@ -257,7 +283,7 @@ impl Element for TableAgg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::elements::Collector;
+    use crate::elements::{Collector, Demux};
     use crate::engine::{Engine, Graph, Route};
     use p2_pel::{BinOp, Expr, IntervalKind};
     use p2_table::{Table, TableSpec};
@@ -497,5 +523,83 @@ mod tests {
         assert_eq!(emitted.len(), 2);
         assert_eq!(emitted[0].values(), &[Value::str("n1"), Value::Int(1)]);
         assert_eq!(emitted[1].values(), &[Value::str("n1"), Value::Int(2)]);
+    }
+
+    /// Regression: when every row of a group is deleted, the materialized
+    /// aggregate must emit the empty-group value (count 0) instead of
+    /// keeping the stale last value forever, and must forget the group so a
+    /// re-appearance re-emits from scratch.
+    #[test]
+    fn table_agg_retracts_when_group_vanishes() {
+        let t = table(TableSpec::new("succ", vec![1]), vec![]);
+        let mut g = Graph::new();
+        // "succ" tuples insert, "zap" tuples (same layout) delete — the
+        // planner's insert-delta and delete-delta wiring in miniature.
+        let demux = g.add(
+            "demux",
+            Box::new(Demux::new(vec!["succ".into(), "zap".into()])),
+        );
+        let ins = g.add("insert", Box::new(Insert::new(t.clone())));
+        let del = g.add("delete", Box::new(Delete::new(t.clone())));
+        let agg = g.add(
+            "count",
+            Box::new(TableAgg::new(
+                t.clone(),
+                AggFunc::Count,
+                None,
+                vec![0],
+                "succCount",
+            )),
+        );
+        let (c, buf) = Collector::new();
+        let c = g.add("tap", Box::new(c));
+        g.connect(demux, 0, ins, 0);
+        g.connect(demux, 1, del, 0);
+        g.connect(ins, 0, agg, 0);
+        g.connect(del, 0, agg, 0);
+        g.connect(agg, 0, c, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route {
+            element: demux,
+            port: 0,
+        });
+        engine.start(SimTime::ZERO);
+
+        let s1 = TupleBuilder::new("succ")
+            .push("n1")
+            .push(5i64)
+            .push("n5")
+            .build();
+        engine.deliver(s1.clone(), SimTime::from_secs(1));
+        let emitted: Vec<Tuple> = buf.lock().iter().map(|(_, t)| t.clone()).collect();
+        assert_eq!(
+            emitted.last().unwrap().values(),
+            &[Value::str("n1"), Value::Int(1)]
+        );
+
+        // Delete the only row: the group vanishes and the aggregate must
+        // report a count of zero, not stay silent at the stale 1.
+        let zap = TupleBuilder::new("zap")
+            .push("n1")
+            .push(5i64)
+            .push("n5")
+            .build();
+        engine.deliver(zap, SimTime::from_secs(2));
+        assert!(t.lock().is_empty(), "delete did not remove the row");
+        let emitted: Vec<Tuple> = buf.lock().iter().map(|(_, t)| t.clone()).collect();
+        assert_eq!(
+            emitted.last().unwrap().values(),
+            &[Value::str("n1"), Value::Int(0)],
+            "vanished group did not retract: {emitted:?}"
+        );
+
+        // Re-inserting the row re-emits count 1 (the group was dropped from
+        // the memo, not left pinned at a stale value).
+        engine.deliver(s1, SimTime::from_secs(3));
+        let emitted: Vec<Tuple> = buf.lock().iter().map(|(_, t)| t.clone()).collect();
+        assert_eq!(
+            emitted.last().unwrap().values(),
+            &[Value::str("n1"), Value::Int(1)]
+        );
     }
 }

@@ -1,7 +1,47 @@
-//! The per-node dataflow engine: graph construction, work queue, timers.
+//! The per-node dataflow engine: graph construction, compilation, work
+//! queue, and timers.
+//!
+//! # Architecture: build-time graph, compiled run-time form
+//!
+//! A [`Graph`] is the *construction* representation: elements plus a
+//! `HashMap` of edges, convenient for the planner to assemble incrementally.
+//! [`Engine::new`] consumes the graph and compiles the edges into a dense
+//! adjacency table — a flat `Vec<Route>` with one contiguous span per
+//! `(element, output port)` slot, addressed by `port_base[element] + port`.
+//! Routing an emission is then two array loads and a slice walk; the
+//! per-emission `HashMap` probe of the original engine is gone. The
+//! compiled form is semantically identical to the edge map (see
+//! [`Engine::routes_of`], which the property tests compare against
+//! [`Graph::connect`] semantics).
+//!
+//! # Hot-path allocation discipline
+//!
+//! Element calls hand their effects to the engine through two scratch
+//! buffers (`scratch_emissions`, `scratch_timers`) owned by the engine and
+//! reused across every `push`/`on_timer`/`on_start` invocation, so the
+//! steady-state cost of an element call allocates nothing beyond the tuples
+//! it creates. Tuple fan-out across a multi-route port clones the
+//! (`Arc`-backed, cheap) tuple for all but the last route, which takes the
+//! original. Network sends carry `Arc<str>` destinations (see
+//! [`Outgoing`]), so handing a tuple to the simulator does not allocate
+//! either.
+//!
+//! # Batched delivery
+//!
+//! External drivers that have several tuples for the same node at the same
+//! virtual instant use [`Engine::deliver_many`]: the batch is enqueued as a
+//! whole and drained in one run-to-completion pass, amortizing the
+//! per-delivery bookkeeping (one outgoing buffer, one queue drain) across
+//! the batch.
+//!
+//! The engine is instantiated per node, but the *plan* it executes can be
+//! shared: see `p2_core::PlannedProgram`, which compiles an OverLog program
+//! once into element specs plus this module's edge list, and stamps out
+//! per-node engines cheaply.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use p2_pel::EvalContext;
 use p2_value::{SimTime, Tuple};
@@ -26,7 +66,7 @@ pub struct Route {
 #[derive(Default)]
 pub struct Graph {
     elements: Vec<Box<dyn Element>>,
-    names: Vec<String>,
+    names: Vec<Arc<str>>,
     edges: HashMap<(usize, usize), Vec<Route>>,
 }
 
@@ -37,7 +77,7 @@ impl Graph {
     }
 
     /// Adds an element, returning its index.
-    pub fn add(&mut self, name: impl Into<String>, element: Box<dyn Element>) -> usize {
+    pub fn add(&mut self, name: impl Into<Arc<str>>, element: Box<dyn Element>) -> usize {
         self.elements.push(element);
         self.names.push(name.into());
         self.elements.len() - 1
@@ -84,8 +124,12 @@ impl Graph {
 pub struct EngineStats {
     /// Tuples pushed into element input ports.
     pub handoffs: u64,
-    /// Tuples injected from outside (network arrivals, application events).
+    /// Tuples injected from outside (network arrivals, application events)
+    /// that actually entered the graph.
     pub injected: u64,
+    /// Tuples delivered while no entry port was configured; they never
+    /// entered the graph and are *not* counted in `injected`.
+    pub dropped_no_entry: u64,
     /// Timers fired.
     pub timers_fired: u64,
     /// Tuples handed to the network.
@@ -114,13 +158,24 @@ impl PartialOrd for TimerEntry {
 
 /// The per-node execution engine.
 ///
-/// The engine owns the dataflow graph, a FIFO work queue of pending
+/// The engine owns the compiled dataflow graph, a FIFO work queue of pending
 /// `(route, tuple)` deliveries, and a timer heap. External drivers (the
-/// network simulator or a unit test) interact with it through three calls:
-/// [`Engine::start`], [`Engine::deliver`], and [`Engine::advance_to`]; each
-/// returns the tuples the node wants transmitted.
+/// network simulator or a unit test) interact with it through four calls:
+/// [`Engine::start`], [`Engine::deliver`] / [`Engine::deliver_many`], and
+/// [`Engine::advance_to`]; each returns the tuples the node wants
+/// transmitted.
 pub struct Engine {
-    graph: Graph,
+    elements: Vec<Box<dyn Element>>,
+    names: Vec<Arc<str>>,
+    /// `port_base[e]` is the flat slot index of element `e`'s output port 0;
+    /// `port_base[e + 1] - port_base[e]` is the number of connected output
+    /// ports recorded for `e`. One trailing entry marks the total.
+    port_base: Vec<usize>,
+    /// Per-slot `(start, end)` span into `routes`.
+    route_spans: Vec<(u32, u32)>,
+    /// All routes, concatenated in slot order; connect-call order is
+    /// preserved within a slot.
+    routes: Vec<Route>,
     entry: Option<Route>,
     queue: VecDeque<(Route, Tuple)>,
     timers: BinaryHeap<Reverse<TimerEntry>>,
@@ -129,13 +184,54 @@ pub struct Engine {
     now: SimTime,
     stats: EngineStats,
     started: bool,
+    /// Reused emission buffer: filled by one element call, drained by
+    /// `absorb`, never reallocated in steady state.
+    scratch_emissions: Vec<(usize, Tuple)>,
+    /// Reused timer-request buffer, same lifecycle.
+    scratch_timers: Vec<(u64, SimTime)>,
 }
 
 impl Engine {
-    /// Creates an engine for the node with the given address and RNG seed.
+    /// Creates an engine for the node with the given address and RNG seed,
+    /// compiling the graph's edge map into the dense adjacency table.
     pub fn new(graph: Graph, local_addr: impl Into<String>, seed: u64) -> Engine {
+        let Graph {
+            elements,
+            names,
+            edges,
+        } = graph;
+
+        // Output-port count per element (highest connected port + 1).
+        let mut port_counts = vec![0usize; elements.len()];
+        for &(e, p) in edges.keys() {
+            port_counts[e] = port_counts[e].max(p + 1);
+        }
+        let mut port_base = Vec::with_capacity(elements.len() + 1);
+        let mut total = 0usize;
+        for &c in &port_counts {
+            port_base.push(total);
+            total += c;
+        }
+        port_base.push(total);
+
+        // Lay the routes out contiguously in (element, port) order; the
+        // per-slot route order is exactly the `connect` call order.
+        let mut sorted: Vec<((usize, usize), Vec<Route>)> = edges.into_iter().collect();
+        sorted.sort_unstable_by_key(|(k, _)| *k);
+        let mut route_spans = vec![(0u32, 0u32); total];
+        let mut routes = Vec::new();
+        for ((e, p), rs) in sorted {
+            let start = routes.len() as u32;
+            routes.extend(rs);
+            route_spans[port_base[e] + p] = (start, routes.len() as u32);
+        }
+
         Engine {
-            graph,
+            elements,
+            names,
+            port_base,
+            route_spans,
+            routes,
             entry: None,
             queue: VecDeque::new(),
             timers: BinaryHeap::new(),
@@ -144,6 +240,8 @@ impl Engine {
             now: SimTime::ZERO,
             stats: EngineStats::default(),
             started: false,
+            scratch_emissions: Vec::new(),
+            scratch_timers: Vec::new(),
         }
     }
 
@@ -168,9 +266,46 @@ impl Engine {
         self.stats
     }
 
-    /// Access to the underlying graph (for inspection).
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// Number of elements in the compiled graph.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the compiled graph has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The compiled routes out of `(element, out_port)`, in `connect` order.
+    /// Empty for unconnected ports — the compiled equivalent of a missing
+    /// edge-map entry (tuples emitted there are discarded).
+    pub fn routes_of(&self, element: usize, out_port: usize) -> &[Route] {
+        if element >= self.elements.len() {
+            return &[];
+        }
+        let base = self.port_base[element];
+        if out_port >= self.port_base[element + 1] - base {
+            return &[];
+        }
+        let (start, end) = self.route_spans[base + out_port];
+        &self.routes[start as usize..end as usize]
+    }
+
+    /// Human-readable description of the compiled graph (element classes and
+    /// edges), identical in format to [`Graph::describe`].
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.elements.iter().enumerate() {
+            out.push_str(&format!("[{i}] {} ({})\n", self.names[i], e.class()));
+        }
+        for e in 0..self.elements.len() {
+            for p in 0..self.port_base[e + 1] - self.port_base[e] {
+                for r in self.routes_of(e, p) {
+                    out.push_str(&format!("  {e}:{p} -> {}:{}\n", r.element, r.port));
+                }
+            }
+        }
+        out
     }
 
     fn set_now(&mut self, now: SimTime) {
@@ -187,21 +322,19 @@ impl Engine {
         self.set_now(now);
         self.started = true;
         let mut outgoing = Vec::new();
-        for idx in 0..self.graph.elements.len() {
-            let mut emissions = Vec::new();
-            let mut timers = Vec::new();
+        for idx in 0..self.elements.len() {
             {
                 let mut ctx = ElementCtx::new(
                     self.now,
                     self.queue.len(),
                     &mut self.eval,
-                    &mut emissions,
+                    &mut self.scratch_emissions,
                     &mut outgoing,
-                    &mut timers,
+                    &mut self.scratch_timers,
                 );
-                self.graph.elements[idx].on_start(&mut ctx);
+                self.elements[idx].on_start(&mut ctx);
             }
-            self.absorb(idx, emissions, timers);
+            self.absorb(idx);
         }
         self.drain(&mut outgoing);
         self.stats.sent += outgoing.len() as u64;
@@ -210,14 +343,46 @@ impl Engine {
 
     /// Delivers an externally produced tuple (network arrival or application
     /// event) to the entry port and runs the graph to completion.
+    ///
+    /// With no entry port configured the tuple is dropped and counted in
+    /// [`EngineStats::dropped_no_entry`]; it is not counted as injected and
+    /// does not advance the node's clock.
     pub fn deliver(&mut self, tuple: Tuple, now: SimTime) -> Vec<Outgoing> {
+        let Some(entry) = self.entry else {
+            self.stats.dropped_no_entry += 1;
+            return Vec::new();
+        };
         self.set_now(now);
         self.stats.injected += 1;
         let mut outgoing = Vec::new();
-        if let Some(entry) = self.entry {
+        self.queue.push_back((entry, tuple));
+        self.drain(&mut outgoing);
+        self.stats.sent += outgoing.len() as u64;
+        outgoing
+    }
+
+    /// Delivers a batch of external tuples at the same virtual instant: the
+    /// whole batch is enqueued at the entry port, then the graph runs to
+    /// completion once. Equivalent to the tuples arriving back-to-back, but
+    /// with the per-delivery bookkeeping (outgoing buffer, queue drain)
+    /// amortized across the batch.
+    pub fn deliver_many(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        now: SimTime,
+    ) -> Vec<Outgoing> {
+        let Some(entry) = self.entry else {
+            self.stats.dropped_no_entry += tuples.into_iter().count() as u64;
+            return Vec::new();
+        };
+        self.set_now(now);
+        let mut outgoing = Vec::new();
+        let before = self.queue.len();
+        for tuple in tuples {
             self.queue.push_back((entry, tuple));
-            self.drain(&mut outgoing);
         }
+        self.stats.injected += (self.queue.len() - before) as u64;
+        self.drain(&mut outgoing);
         self.stats.sent += outgoing.len() as u64;
         outgoing
     }
@@ -240,20 +405,18 @@ impl Engine {
             self.set_now(entry.fire_at);
             self.stats.timers_fired += 1;
             let idx = entry.element;
-            let mut emissions = Vec::new();
-            let mut timers = Vec::new();
             {
                 let mut ctx = ElementCtx::new(
                     self.now,
                     self.queue.len(),
                     &mut self.eval,
-                    &mut emissions,
+                    &mut self.scratch_emissions,
                     &mut outgoing,
-                    &mut timers,
+                    &mut self.scratch_timers,
                 );
-                self.graph.elements[idx].on_timer(entry.token, &mut ctx);
+                self.elements[idx].on_timer(entry.token, &mut ctx);
             }
-            self.absorb(idx, emissions, timers);
+            self.absorb(idx);
             self.drain(&mut outgoing);
         }
         self.set_now(now);
@@ -261,19 +424,28 @@ impl Engine {
         outgoing
     }
 
-    /// Routes buffered emissions from element `idx` into the work queue and
-    /// registers requested timers.
-    fn absorb(&mut self, idx: usize, emissions: Vec<(usize, Tuple)>, timers: Vec<(u64, SimTime)>) {
-        for (port, tuple) in emissions {
-            if let Some(routes) = self.graph.edges.get(&(idx, port)) {
-                for r in routes {
-                    self.queue.push_back((*r, tuple.clone()));
-                }
-            }
+    /// Routes the scratch-buffered emissions from element `idx` into the
+    /// work queue (via the compiled adjacency table) and registers requested
+    /// timers. Leaves both scratch buffers empty with capacity retained.
+    fn absorb(&mut self, idx: usize) {
+        let base = self.port_base[idx];
+        let nports = self.port_base[idx + 1] - base;
+        for (port, tuple) in self.scratch_emissions.drain(..) {
             // Emissions on unconnected ports are silently dropped, like
             // Click's Discard element.
+            if port >= nports {
+                continue;
+            }
+            let (start, end) = self.route_spans[base + port];
+            let routes = &self.routes[start as usize..end as usize];
+            if let Some((last, rest)) = routes.split_last() {
+                for r in rest {
+                    self.queue.push_back((*r, tuple.clone()));
+                }
+                self.queue.push_back((*last, tuple));
+            }
         }
-        for (token, fire_at) in timers {
+        for (token, fire_at) in self.scratch_timers.drain(..) {
             self.timer_seq += 1;
             self.timers.push(Reverse(TimerEntry {
                 fire_at,
@@ -289,20 +461,18 @@ impl Engine {
         while let Some((route, tuple)) = self.queue.pop_front() {
             self.stats.handoffs += 1;
             let idx = route.element;
-            let mut emissions = Vec::new();
-            let mut timers = Vec::new();
             {
                 let mut ctx = ElementCtx::new(
                     self.now,
                     self.queue.len(),
                     &mut self.eval,
-                    &mut emissions,
+                    &mut self.scratch_emissions,
                     outgoing,
-                    &mut timers,
+                    &mut self.scratch_timers,
                 );
-                self.graph.elements[idx].push(route.port, &tuple, &mut ctx);
+                self.elements[idx].push(route.port, &tuple, &mut ctx);
             }
-            self.absorb(idx, emissions, timers);
+            self.absorb(idx);
         }
     }
 }
@@ -389,11 +559,57 @@ mod tests {
         );
         // Two tuples reach the network: one via a->c, one via a->b->c.
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|o| o.dst == "n9"));
+        assert!(out.iter().all(|o| &*o.dst == "n9"));
         let arities: Vec<usize> = out.iter().map(|o| o.tuple.arity()).collect();
         assert!(arities.contains(&2) && arities.contains(&3));
         assert_eq!(engine.stats().injected, 1);
         assert!(engine.stats().handoffs >= 3);
+    }
+
+    #[test]
+    fn compiled_adjacency_matches_connect_calls() {
+        let mut g = Graph::new();
+        let a = g.add("tagA", Box::new(Tag(1)));
+        let b = g.add("tagB", Box::new(Tag(2)));
+        let c = g.add("send", Box::new(SendAway));
+        g.connect(a, 0, b, 0);
+        g.connect(a, 0, c, 0);
+        g.connect(b, 2, c, 1); // gap: port 1 of b stays unconnected
+        let before = g.describe();
+
+        let engine = Engine::new(g, "n1", 1);
+        assert_eq!(
+            engine.routes_of(a, 0),
+            &[
+                Route {
+                    element: b,
+                    port: 0
+                },
+                Route {
+                    element: c,
+                    port: 0
+                }
+            ]
+        );
+        assert!(engine.routes_of(b, 0).is_empty());
+        assert!(engine.routes_of(b, 1).is_empty());
+        assert_eq!(
+            engine.routes_of(b, 2),
+            &[Route {
+                element: c,
+                port: 1
+            }]
+        );
+        // Out-of-range queries are empty, not a panic — including the exact
+        // element-count boundary (one past the last element).
+        assert!(engine.routes_of(c, 0).is_empty());
+        assert!(engine.routes_of(engine.len(), 0).is_empty());
+        assert!(engine.routes_of(99, 0).is_empty());
+        assert!(engine.routes_of(a, 99).is_empty());
+        // The compiled description matches the construction-time one.
+        assert_eq!(engine.describe(), before);
+        assert_eq!(engine.len(), 3);
+        assert!(!engine.is_empty());
     }
 
     #[test]
@@ -429,10 +645,61 @@ mod tests {
     }
 
     #[test]
-    fn deliver_without_entry_is_noop() {
+    fn deliver_without_entry_counts_drops_not_injections() {
         let g = Graph::new();
         let mut engine = Engine::new(g, "n1", 1);
-        let out = engine.deliver(TupleBuilder::new("x").build(), SimTime::ZERO);
+        let out = engine.deliver(TupleBuilder::new("x").build(), SimTime::from_secs(5));
         assert!(out.is_empty());
+        // The drop is counted separately, not as an injection, and the
+        // node's clock does not advance for a tuple that never entered.
+        assert_eq!(engine.stats().injected, 0);
+        assert_eq!(engine.stats().dropped_no_entry, 1);
+        assert_eq!(engine.now(), SimTime::ZERO);
+
+        let out = engine.deliver_many(
+            vec![
+                TupleBuilder::new("y").build(),
+                TupleBuilder::new("z").build(),
+            ],
+            SimTime::from_secs(6),
+        );
+        assert!(out.is_empty());
+        assert_eq!(engine.stats().injected, 0);
+        assert_eq!(engine.stats().dropped_no_entry, 3);
+    }
+
+    #[test]
+    fn deliver_many_matches_sequential_delivery_totals() {
+        let build = || {
+            let mut g = Graph::new();
+            let a = g.add("tag", Box::new(Tag(1)));
+            let s = g.add("send", Box::new(SendAway));
+            g.connect(a, 0, s, 0);
+            let mut engine = Engine::new(g, "n1", 1);
+            engine.set_entry(Route {
+                element: a,
+                port: 0,
+            });
+            engine.start(SimTime::ZERO);
+            engine
+        };
+        let tuples: Vec<Tuple> = (0..4)
+            .map(|i| TupleBuilder::new("x").push(i as i64).build())
+            .collect();
+
+        let mut seq = build();
+        let mut seq_out = Vec::new();
+        for t in tuples.clone() {
+            seq_out.extend(seq.deliver(t, SimTime::from_secs(1)));
+        }
+
+        let mut batched = build();
+        let batch_out = batched.deliver_many(tuples, SimTime::from_secs(1));
+
+        assert_eq!(seq_out, batch_out);
+        assert_eq!(seq.stats().injected, 4);
+        assert_eq!(batched.stats().injected, 4);
+        assert_eq!(seq.stats().sent, batched.stats().sent);
+        assert_eq!(seq.stats().handoffs, batched.stats().handoffs);
     }
 }

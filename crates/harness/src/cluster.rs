@@ -126,20 +126,49 @@ impl ChordCluster {
 
     /// Builds an `n`-node ring with the batched bring-up path: every node is
     /// started at the same virtual instant ([`Simulator::start_all`]) and
-    /// all joins are injected in one batch, instead of staggering nodes
-    /// 500 ms apart. Much less virtual time for large rings (the throughput
-    /// benchmarks use this); [`ChordCluster::build`] remains the paper's
-    /// staggered bring-up.
+    /// joins are injected in *doubling waves*, each wave landing on a ring
+    /// already stabilized by its predecessors.
+    ///
+    /// The original all-at-once batch funnelled every join through the
+    /// single landmark's trivial one-node ring, whose lookups handed every
+    /// joiner the same successor — rings of 500+ nodes never sorted
+    /// themselves out (ROADMAP bottleneck 2). A wave is therefore sized to
+    /// the ring formed so far: with at most about one joiner landing
+    /// between any two existing nodes, Chord's stabilization integrates a
+    /// whole wave in a couple of periods, and `n` nodes join in `O(log n)`
+    /// waves. [`ChordCluster::build`] remains the paper's staggered
+    /// bring-up.
     pub fn build_fast(n: usize, warmup_secs: u64, seed: u64) -> ChordCluster {
         let mut cluster = ChordCluster::new_unbooted(n, seed);
         cluster.sim.start_all();
-        for _ in 0..12 {
-            let joins = cluster.join_batch();
+        // One stabilization period (SB1 fires every 15 s) per settle round.
+        let settle = SimTime::from_secs(15);
+        let mut joined = 0usize;
+        let max_waves = 4 * (usize::BITS - n.max(1).leading_zeros()) as usize + 16;
+        for _ in 0..max_waves {
+            // Ring size so far bounds the next wave (≈ one joiner per gap);
+            // the first wave seeds the ring with the landmark plus a few
+            // followers.
+            let wave = joined.max(4).min(n);
+            let joins = cluster.join_batch(wave);
             if joins.is_empty() {
                 break;
             }
             cluster.sim.inject_many(joins);
-            cluster.sim.run_for(SimTime::from_secs(20));
+            // Let the wave integrate before the next one relies on its
+            // lookups: settle until the joined subset is ring-consistent
+            // again (bounded rounds — stragglers are re-issued next wave).
+            for _ in 0..8 {
+                cluster.sim.run_for(settle);
+                if cluster.joined_ring_correctness() >= 0.97 {
+                    break;
+                }
+            }
+            joined = cluster
+                .addrs
+                .iter()
+                .filter(|a| cluster.is_joined(a))
+                .count();
         }
         cluster.sim.run_for(SimTime::from_secs(warmup_secs));
         cluster.clear_observations();
@@ -147,11 +176,38 @@ impl ChordCluster {
         cluster
     }
 
-    /// Fresh join tuples for every node that has not yet learned a
-    /// successor, in address order.
-    fn join_batch(&mut self) -> Vec<(String, Tuple)> {
+    /// Fraction of *joined* nodes whose best successor is their correct
+    /// clockwise successor among the joined nodes (bring-up progress
+    /// metric; un-joined nodes are excluded from both sides).
+    fn joined_ring_correctness(&self) -> f64 {
+        let mut ids: Vec<(Uint160, &str)> = self
+            .addrs
+            .iter()
+            .filter(|a| self.is_joined(a))
+            .map(|a| (chord::node_id(a), a.as_str()))
+            .collect();
+        if ids.len() < 2 {
+            return 1.0;
+        }
+        ids.sort();
+        let correct = (0..ids.len())
+            .filter(|&pos| {
+                let a = ids[pos].1;
+                let expect = ids[(pos + 1) % ids.len()].1;
+                self.best_successor(a).as_deref() == Some(expect)
+            })
+            .count();
+        correct as f64 / ids.len() as f64
+    }
+
+    /// Fresh join tuples for up to `limit` nodes that have not yet learned
+    /// a successor, in address order.
+    fn join_batch(&mut self, limit: usize) -> Vec<(String, Tuple)> {
         let mut out = Vec::new();
         for i in 0..self.addrs.len() {
+            if out.len() >= limit {
+                break;
+            }
             if !self.is_joined(&self.addrs[i]) {
                 let addr = self.addrs[i].clone();
                 let event = self.fresh_event();
@@ -174,7 +230,7 @@ impl ChordCluster {
         // in one batch per round.
         for _ in 0..12 {
             self.sim.run_for(SimTime::from_secs(20));
-            let rejoin: Vec<(String, Tuple)> = self.join_batch();
+            let rejoin: Vec<(String, Tuple)> = self.join_batch(usize::MAX);
             if rejoin.is_empty() {
                 break;
             }
@@ -250,6 +306,42 @@ impl ChordCluster {
     /// successor among up nodes (a ring-consistency health metric).
     pub fn ring_correctness(&self) -> f64 {
         ring_correctness_of(&self.sim, |a| self.best_successor(a))
+    }
+
+    /// True when the best-successor pointers of the up nodes form one
+    /// single cycle visiting every up node exactly once — the structural
+    /// definition of a correct Chord ring, stricter than a high
+    /// [`ChordCluster::ring_correctness`] fraction.
+    pub fn is_single_cycle(&self) -> bool {
+        let up: Vec<&str> = self.sim.up_addresses_iter().collect();
+        let Some(&start) = up.first() else {
+            return true;
+        };
+        let mut seen = std::collections::HashSet::with_capacity(up.len());
+        let mut cursor = start.to_string();
+        for _ in 0..up.len() {
+            if !seen.insert(cursor.clone()) {
+                return false; // revisited a node before closing the cycle
+            }
+            match self.best_successor(&cursor) {
+                Some(next) => cursor = next,
+                None => return false, // a node without a successor
+            }
+        }
+        // After exactly `up` hops we must be back at the start having
+        // visited every up node once.
+        cursor == start && seen.len() == up.len()
+    }
+
+    /// Panics unless the successor pointers form a single cycle over the up
+    /// nodes; bring-up tests use this as their ring-structure assertion.
+    pub fn assert_single_cycle(&self) {
+        assert!(
+            self.is_single_cycle(),
+            "successor pointers do not form a single {}-node cycle (ring_correctness = {:.3})",
+            self.sim.up_count(),
+            self.ring_correctness()
+        );
     }
 
     /// Issues a lookup for `key` at `origin`.
@@ -532,6 +624,7 @@ mod tests {
             "fast-boot ring did not form: {}",
             cluster.ring_correctness()
         );
+        cluster.assert_single_cycle();
         let key = Uint160::hash_of(b"fast boot object");
         let origin = cluster.addrs()[3].clone();
         let handle = cluster.issue_lookup_from(&origin, key);

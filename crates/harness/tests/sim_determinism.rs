@@ -1,12 +1,21 @@
-//! Golden determinism test: the simulator must produce bit-identical
+//! Golden determinism tests: the simulator must produce bit-identical
 //! traffic statistics for a fixed seed, across runs and across refactors of
-//! the event core (NodeId interner, timer index).
+//! the event core (NodeId interner, timer index) *and* of the per-node
+//! dataflow engine (compiled adjacency, scratch buffers, shared plans).
+//!
+//! Also property-tests that the engine's compiled adjacency table preserves
+//! `Graph::connect` semantics for arbitrary edge sets.
 
+use p2_dataflow::{Element, ElementCtx, Engine, Graph, Route};
 use p2_harness::ChordCluster;
+use p2_value::Tuple;
+use proptest::prelude::*;
+use std::collections::HashMap;
 
-fn ring_stats(n: usize, warmup: u64, seed: u64) -> (u64, u64, u64, u64) {
+fn ring_stats(n: usize, warmup: u64, seed: u64) -> (u64, u64, u64, u64, u64) {
     let mut cluster = ChordCluster::build(n, warmup, seed);
     cluster.sim.reset_stats();
+    let events_before = cluster.sim.events_processed();
     cluster.run_for(60.0);
     let s = cluster.sim.stats();
     (
@@ -14,6 +23,7 @@ fn ring_stats(n: usize, warmup: u64, seed: u64) -> (u64, u64, u64, u64) {
         s.messages_delivered,
         s.messages_dropped,
         s.bytes_sent,
+        cluster.sim.events_processed() - events_before,
     )
 }
 
@@ -22,13 +32,76 @@ fn hundred_node_ring_matches_golden_stats() {
     let a = ring_stats(100, 120, 42);
     eprintln!("100-node ring stats: {a:?}");
     // Golden values captured from the pre-refactor (PR 1) simulator: the
-    // NodeId/timer-index overhaul reproduces the seed's event stream
-    // bit-for-bit. Update these only for a deliberate semantic change.
+    // NodeId/timer-index overhaul (PR 2) and the compiled-adjacency /
+    // shared-plan engine overhaul (PR 3) both reproduce the seed's event
+    // stream bit-for-bit — traffic counters *and* the number of simulator
+    // events processed during the measurement window. Update these only for
+    // a deliberate semantic change.
     assert_eq!(
-        a,
+        (a.0, a.1, a.2, a.3),
         (29_634, 29_638, 0, 2_787_660),
         "fixed-seed NetStats diverged from the golden run"
     );
+    assert_eq!(
+        a.4, 31_838,
+        "fixed-seed event count diverged from the golden run"
+    );
     let b = ring_stats(100, 120, 42);
     assert_eq!(a, b, "same seed must give identical NetStats across runs");
+}
+
+/// A no-op element for adjacency-compilation tests.
+struct Sink;
+
+impl Element for Sink {
+    fn class(&self) -> &'static str {
+        "Sink"
+    }
+    fn push(&mut self, _port: usize, _tuple: &Tuple, _ctx: &mut ElementCtx<'_>) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiled_adjacency_preserves_connect_semantics(
+        n_elements in 1usize..12,
+        edges in proptest::collection::vec(
+            (0usize..12, 0usize..4, 0usize..12, 0usize..4),
+            0..40,
+        ),
+    ) {
+        // For arbitrary edge sets, the engine's compiled adjacency must
+        // return exactly the routes declared through `Graph::connect`, in
+        // call order, and empty route lists everywhere else.
+        let mut graph = Graph::new();
+        for i in 0..n_elements {
+            graph.add(format!("e{i}"), Box::new(Sink));
+        }
+        // Mirror of what `connect` is asked to record, in call order.
+        let mut expected: HashMap<(usize, usize), Vec<Route>> = HashMap::new();
+        let mut max_port = 0usize;
+        for (from, out_port, to, in_port) in edges {
+            let (from, to) = (from % n_elements, to % n_elements);
+            graph.connect(from, out_port, to, in_port);
+            expected.entry((from, out_port)).or_default().push(Route {
+                element: to,
+                port: in_port,
+            });
+            max_port = max_port.max(out_port);
+        }
+        let engine = Engine::new(graph, "n1", 1);
+        for e in 0..n_elements {
+            for p in 0..=max_port + 1 {
+                let compiled = engine.routes_of(e, p);
+                let declared = expected.get(&(e, p)).map(Vec::as_slice).unwrap_or(&[]);
+                prop_assert_eq!(
+                    compiled, declared,
+                    "adjacency mismatch at element {} port {}", e, p
+                );
+            }
+        }
+        // Unknown elements and ports answer empty, not panic.
+        prop_assert!(engine.routes_of(n_elements + 1, 0).is_empty());
+    }
 }

@@ -12,6 +12,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use p2_value::{wire, SimTime, Tuple};
 
@@ -59,7 +60,7 @@ struct Slot<H> {
 #[derive(Debug)]
 enum Dst {
     Id(NodeId),
-    Unresolved(String),
+    Unresolved(Arc<str>),
 }
 
 /// A packet in flight. Wakeups do not appear here — they live in the
@@ -325,11 +326,46 @@ impl<H: Host> Simulator<H> {
     }
 
     /// Injects a batch of tuples at the current virtual time, in order.
-    /// Batched bring-up / workload path for large rings.
+    /// Batched bring-up / workload path for large rings: consecutive tuples
+    /// for the same node are handed to the host in one
+    /// [`Host::deliver_many`] call, amortizing per-tuple dispatch.
     pub fn inject_many<S: AsRef<str>>(&mut self, batch: impl IntoIterator<Item = (S, Tuple)>) {
+        let mut pending: Option<(NodeId, Vec<Tuple>)> = None;
         for (addr, tuple) in batch {
-            self.inject(addr.as_ref(), tuple);
+            let Some(id) = self.node_id(addr.as_ref()) else {
+                continue;
+            };
+            match &mut pending {
+                Some((pid, tuples)) if *pid == id => tuples.push(tuple),
+                _ => {
+                    if let Some((pid, tuples)) = pending.take() {
+                        self.inject_batch_id(pid, tuples);
+                    }
+                    pending = Some((id, vec![tuple]));
+                }
+            }
         }
+        if let Some((pid, tuples)) = pending.take() {
+            self.inject_batch_id(pid, tuples);
+        }
+    }
+
+    /// Delivers a same-instant batch to one node through the host's batched
+    /// entry point.
+    fn inject_batch_id(&mut self, id: NodeId, tuples: Vec<Tuple>) {
+        let now = self.now;
+        let slot = &mut self.slots[id.index()];
+        if !slot.up {
+            return;
+        }
+        let out = match tuples.len() {
+            1 => slot
+                .host
+                .deliver(tuples.into_iter().next().expect("len checked"), now),
+            _ => slot.host.deliver_many(tuples, now),
+        };
+        self.dispatch(id, out);
+        self.schedule_wakeup(id);
     }
 
     /// Marks a node as failed: its timers stop and packets addressed to it
@@ -458,7 +494,7 @@ impl<H: Host> Simulator<H> {
             slot.link_busy_until = departure;
             let src_domain = slot.domain;
 
-            let (dst, latency) = match self.interner.get(&env.dst) {
+            let (dst, latency) = match self.interner.get(env.dst.as_ref()) {
                 Some(dst) if dst == src => (Dst::Id(dst), SimTime::ZERO),
                 Some(dst) => (
                     Dst::Id(dst),
@@ -470,7 +506,7 @@ impl<H: Host> Simulator<H> {
                 // Latency honors any placement already made via
                 // `topology_mut`, as the seed did; unplaced falls to domain 0.
                 None => {
-                    let dst_domain = self.topology.domain_of(&env.dst).unwrap_or(0);
+                    let dst_domain = self.topology.domain_of(env.dst.as_ref()).unwrap_or(0);
                     (
                         Dst::Unresolved(env.dst),
                         self.topology.domain_latency(src_domain, dst_domain),

@@ -2,7 +2,7 @@
 
 use std::sync::OnceLock;
 
-use p2_core::{NodeConfig, P2Node, PlanError};
+use p2_core::{P2Node, PlanConfig, PlanError, PlannedProgram};
 use p2_overlog::{compile_checked, Program};
 use p2_value::{Tuple, TupleBuilder, Uint160, Value};
 
@@ -16,6 +16,23 @@ pub fn program() -> &'static Program {
     static PROGRAM: OnceLock<Program> = OnceLock::new();
     PROGRAM.get_or_init(|| {
         compile_checked(CHORD_OLG).expect("the shipped Chord program must parse and validate")
+    })
+}
+
+/// The shared, node-independent plan of the Chord program with the standard
+/// harness watches (`lookupResults`, `lookup`), compiled once per process
+/// and per jitter mode. A thousand-node ring instantiates its engines from
+/// this instead of re-planning the 45 rules per node.
+pub fn shared_plan(jitter: bool) -> &'static PlannedProgram {
+    static JITTERED: OnceLock<PlannedProgram> = OnceLock::new();
+    static DETERMINISTIC: OnceLock<PlannedProgram> = OnceLock::new();
+    let cell = if jitter { &JITTERED } else { &DETERMINISTIC };
+    cell.get_or_init(|| {
+        let mut config = PlanConfig::new().watch("lookupResults").watch("lookup");
+        if !jitter {
+            config = config.without_jitter();
+        }
+        PlannedProgram::compile(program(), &config).expect("the shipped Chord program must plan")
     })
 }
 
@@ -76,20 +93,16 @@ pub fn lookup_tuple(at: &str, key: Uint160, requester: &str, event_id: i64) -> T
 /// Builds a ready-to-run Chord node wrapped for the network simulator.
 ///
 /// The node watches `lookupResults` so the harness can observe completed
-/// lookups arriving back at the requester.
+/// lookups arriving back at the requester. Nodes are stamped out from the
+/// process-wide [`shared_plan`], so building the N-th node costs
+/// instantiation only, never re-planning.
 pub fn build_node(
     addr: &str,
     landmark: Option<&str>,
     seed: u64,
     jitter: bool,
 ) -> Result<P2Host, PlanError> {
-    let mut config = NodeConfig::new(addr, seed)
-        .watch("lookupResults")
-        .watch("lookup");
-    if !jitter {
-        config = config.without_jitter();
-    }
-    let node = P2Node::with_facts(program(), config, base_facts(addr, landmark))?;
+    let node = P2Node::from_plan(shared_plan(jitter), addr, seed, base_facts(addr, landmark));
     Ok(P2Host::new(node))
 }
 

@@ -44,6 +44,11 @@ impl Host for P2Host {
         convert(self.node.deliver(tuple, now))
     }
 
+    fn deliver_many(&mut self, tuples: Vec<Tuple>, now: SimTime) -> Vec<Envelope> {
+        // One soft-state sweep and one engine drain for the whole batch.
+        convert(self.node.deliver_many(tuples, now))
+    }
+
     fn advance_to(&mut self, now: SimTime) -> Vec<Envelope> {
         convert(self.node.advance_to(now))
     }
@@ -74,7 +79,7 @@ mod tests {
             SimTime::from_secs(1),
         );
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].dst, "n2");
+        assert_eq!(&*out[0].dst, "n2");
         assert_eq!(out[0].tuple.name(), "pong");
         assert!(host.node().next_deadline().is_none());
         assert_eq!(host.node_mut().addr(), "n1");

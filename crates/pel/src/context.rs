@@ -13,6 +13,10 @@ pub struct EvalContext {
     now: SimTime,
     rng_state: u64,
     local_addr: String,
+    /// Reusable VM evaluation stack: borrowed by `Program::eval` for the
+    /// duration of one evaluation and returned, so steady-state PEL
+    /// evaluation performs no allocation.
+    scratch_stack: Vec<Value>,
 }
 
 impl EvalContext {
@@ -27,7 +31,19 @@ impl EvalContext {
                 seed
             },
             local_addr: local_addr.into(),
+            scratch_stack: Vec::new(),
         }
+    }
+
+    /// Takes the reusable evaluation stack out of the context (the VM holds
+    /// it while builtins may re-borrow the context).
+    pub fn take_scratch_stack(&mut self) -> Vec<Value> {
+        std::mem::take(&mut self.scratch_stack)
+    }
+
+    /// Returns the evaluation stack for reuse by the next evaluation.
+    pub fn put_scratch_stack(&mut self, stack: Vec<Value>) {
+        self.scratch_stack = stack;
     }
 
     /// Current virtual time, as returned by `f_now()`.

@@ -1,5 +1,7 @@
 //! The PEL byte-code compiler and stack virtual machine.
 
+use std::sync::Arc;
+
 use p2_value::{Tuple, Value, ValueError};
 
 use crate::context::EvalContext;
@@ -11,9 +13,13 @@ use crate::ops::Op;
 /// Dataflow elements (selections, projections, aggregations) are
 /// parameterized by one or more compiled programs; each program evaluates a
 /// single expression over an input tuple and yields one value.
+///
+/// The byte-code is held behind an [`Arc`], so cloning a program — as the
+/// shared-plan instantiation path does once per node — shares the compiled
+/// ops instead of duplicating them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
-    ops: Vec<Op>,
+    ops: Arc<[Op]>,
     /// Upper bound on the evaluation stack depth, computed at compile time so
     /// the VM can pre-allocate.
     max_stack: usize,
@@ -25,7 +31,10 @@ impl Program {
         let mut ops = Vec::new();
         emit(expr, &mut ops);
         let max_stack = stack_bound(&ops);
-        Program { ops, max_stack }
+        Program {
+            ops: ops.into(),
+            max_stack,
+        }
     }
 
     /// The compiled operations (for inspection and benchmarks).
@@ -35,18 +44,89 @@ impl Program {
 
     /// Evaluates the program against a tuple, yielding a single value.
     pub fn eval(&self, tuple: &Tuple, ctx: &mut EvalContext) -> Result<Value, ValueError> {
-        let mut stack: Vec<Value> = Vec::with_capacity(self.max_stack);
-        for op in &self.ops {
+        self.eval_fields(tuple.values(), ctx)
+    }
+
+    /// Evaluates the program against the *virtual concatenation*
+    /// `left ++ right`, without materializing a joined tuple: `Field(i)`
+    /// resolves into `left` for `i < left.arity()` and into `right` beyond.
+    /// Aggregation probes use this to scan a table against an event tuple
+    /// allocation-free.
+    pub fn eval_joined(
+        &self,
+        left: &Tuple,
+        right: &Tuple,
+        ctx: &mut EvalContext,
+    ) -> Result<Value, ValueError> {
+        let split = left.arity();
+        self.eval_with(ctx, |i| {
+            if i < split {
+                left.get(i)
+            } else {
+                right.get(i - split)
+            }
+        })
+    }
+
+    /// Like [`Program::eval_joined`], interpreting the result as a boolean.
+    pub fn eval_bool_joined(
+        &self,
+        left: &Tuple,
+        right: &Tuple,
+        ctx: &mut EvalContext,
+    ) -> Result<bool, ValueError> {
+        Ok(self.eval_joined(left, right, ctx)?.truthy())
+    }
+
+    /// Evaluates the program over an explicit field slice.
+    pub fn eval_fields(
+        &self,
+        fields: &[Value],
+        ctx: &mut EvalContext,
+    ) -> Result<Value, ValueError> {
+        self.eval_with(ctx, |i| {
+            fields.get(i).ok_or(ValueError::FieldOutOfRange {
+                index: i,
+                len: fields.len(),
+            })
+        })
+    }
+
+    /// Core VM loop over a field resolver. The evaluation stack is borrowed
+    /// from the context and reused across calls, so steady-state evaluation
+    /// does not allocate.
+    fn eval_with<'t>(
+        &self,
+        ctx: &mut EvalContext,
+        load: impl Fn(usize) -> Result<&'t Value, ValueError>,
+    ) -> Result<Value, ValueError> {
+        // Take the scratch stack out of the context so builtins (which
+        // borrow ctx) cannot observe it; put it back on every path.
+        let mut stack = ctx.take_scratch_stack();
+        stack.clear();
+        stack.reserve(self.max_stack);
+        let result = self.run(&mut stack, ctx, load);
+        ctx.put_scratch_stack(stack);
+        result
+    }
+
+    fn run<'t>(
+        &self,
+        stack: &mut Vec<Value>,
+        ctx: &mut EvalContext,
+        load: impl Fn(usize) -> Result<&'t Value, ValueError>,
+    ) -> Result<Value, ValueError> {
+        for op in self.ops.iter() {
             match op {
                 Op::Push(v) => stack.push(v.clone()),
-                Op::Load(i) => stack.push(tuple.get(*i)?.clone()),
+                Op::Load(i) => stack.push(load(*i)?.clone()),
                 Op::Unary(u) => {
-                    let v = pop(&mut stack)?;
+                    let v = pop(stack)?;
                     stack.push(expr::apply_unop(*u, v)?);
                 }
                 Op::Binary(b) => {
-                    let rhs = pop(&mut stack)?;
-                    let lhs = pop(&mut stack)?;
+                    let rhs = pop(stack)?;
+                    let lhs = pop(stack)?;
                     stack.push(expr::apply_binop(*b, &lhs, &rhs)?);
                 }
                 Op::Call(builtin) => {
@@ -54,18 +134,20 @@ impl Program {
                     if stack.len() < arity {
                         return Err(stack_underflow());
                     }
-                    let args: Vec<Value> = stack.split_off(stack.len() - arity);
-                    stack.push(expr::apply_builtin(*builtin, &args, ctx)?);
+                    let at = stack.len() - arity;
+                    let v = expr::apply_builtin(*builtin, &stack[at..], ctx)?;
+                    stack.truncate(at);
+                    stack.push(v);
                 }
                 Op::Interval(kind) => {
-                    let high = pop(&mut stack)?;
-                    let low = pop(&mut stack)?;
-                    let value = pop(&mut stack)?;
+                    let high = pop(stack)?;
+                    let low = pop(stack)?;
+                    let value = pop(stack)?;
                     stack.push(expr::apply_interval(*kind, &value, &low, &high)?);
                 }
             }
         }
-        pop(&mut stack)
+        pop(stack)
     }
 
     /// Evaluates the program and interprets the result as a boolean
