@@ -13,9 +13,19 @@
 //! * `chord_rings` — full declarative Chord rings brought up with the
 //!   batched `start_all`/`inject_many` path, reporting bring-up wall time
 //!   and steady-state event throughput.
+//! * `join_seed_bring_up` — virtual bring-up time of the batched path with
+//!   and without the JS1 join-time successor-seeding rule (ROADMAP
+//!   bottleneck 2: seeding collapses idle stabilization waits).
 //!
-//! Usage: `cargo run --release --bin sim_bench [-- --smoke] [--sizes N,N,..]
-//! [--out PATH]`
+//! With `--par` the binary instead benchmarks the **parallel sharded
+//! simulator**: steady-state Chord-ring throughput at 1/2/4/8 workers per
+//! ring size, written to `BENCH_parsim.json`, plus a golden gate that runs
+//! the same small ring on the sequential and the 2-worker engine and
+//! **exits non-zero if their NetStats or event counts diverge** (CI runs
+//! this in smoke mode).
+//!
+//! Usage: `cargo run --release --bin sim_bench [-- --smoke] [--par]
+//! [--sizes N,N,..] [--workers N,N,..] [--out PATH]`
 
 use std::time::Instant;
 
@@ -89,10 +99,65 @@ struct ChordResult {
 }
 
 #[derive(Debug, Clone, Serialize)]
+struct JoinSeedResult {
+    nodes: usize,
+    /// Virtual seconds to a settled ring, base program.
+    base_bring_up_virtual_secs: f64,
+    /// Virtual seconds to a settled ring with JS1 seeding.
+    seeded_bring_up_virtual_secs: f64,
+    /// Positive = seeding converged faster.
+    delta_virtual_secs: f64,
+    base_ring_correctness: f64,
+    seeded_ring_correctness: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
     toy_event_loop: Vec<ToyResult>,
     chord_rings: Vec<ChordResult>,
+    join_seed_bring_up: Vec<JoinSeedResult>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ParResult {
+    nodes: usize,
+    workers: usize,
+    build_wall_secs: f64,
+    ring_correctness: f64,
+    virtual_secs: u64,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    /// Throughput relative to the 1-worker run of the same ring size.
+    speedup_vs_1_worker: f64,
+    sync_rounds: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+struct GoldenPin {
+    messages_sent: u64,
+    messages_delivered: u64,
+    messages_dropped: u64,
+    bytes_sent: u64,
+    events_processed: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct GoldenGate {
+    nodes: usize,
+    workers: usize,
+    sequential: GoldenPin,
+    parallel: GoldenPin,
+    matches: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ParReport {
+    bench: String,
+    machine_cores: usize,
+    scaling: Vec<Vec<ParResult>>,
+    golden_gate: GoldenGate,
 }
 
 fn bench_toy(nodes: usize, virtual_secs: u64) -> ToyResult {
@@ -153,6 +218,157 @@ fn bench_chord(nodes: usize, warmup_secs: u64, virtual_secs: u64) -> ChordResult
     }
 }
 
+/// Measures batched bring-up with and without JS1 join-time seeding.
+fn bench_join_seed(nodes: usize, warmup_secs: u64) -> JoinSeedResult {
+    let base = ChordCluster::builder(nodes, 42).build_fast(warmup_secs);
+    let seeded = ChordCluster::builder(nodes, 42)
+        .join_seed(true)
+        .build_fast(warmup_secs);
+    JoinSeedResult {
+        nodes,
+        base_bring_up_virtual_secs: base.bring_up_virtual_secs(),
+        seeded_bring_up_virtual_secs: seeded.bring_up_virtual_secs(),
+        delta_virtual_secs: base.bring_up_virtual_secs() - seeded.bring_up_virtual_secs(),
+        base_ring_correctness: base.ring_correctness(),
+        seeded_ring_correctness: seeded.ring_correctness(),
+    }
+}
+
+/// Steady-state Chord-ring throughput on the sharded simulator.
+fn bench_par(nodes: usize, workers: usize, warmup_secs: u64, virtual_secs: u64) -> ParResult {
+    let start = Instant::now();
+    let mut cluster = ChordCluster::builder(nodes, 42)
+        .par_threads(workers)
+        .build_fast(warmup_secs);
+    let build_wall_secs = start.elapsed().as_secs_f64();
+    let ring_correctness = cluster.ring_correctness();
+    let before_events = cluster.sim.events_processed();
+    let rounds_before = match &cluster.sim {
+        p2_netsim::AnySimulator::Par(sim) => sim.sync_rounds(),
+        p2_netsim::AnySimulator::Seq(_) => 0,
+    };
+    let start = Instant::now();
+    cluster.run_for(virtual_secs as f64);
+    let wall = start.elapsed().as_secs_f64();
+    let events = cluster.sim.events_processed() - before_events;
+    let sync_rounds = match &cluster.sim {
+        p2_netsim::AnySimulator::Par(sim) => sim.sync_rounds() - rounds_before,
+        p2_netsim::AnySimulator::Seq(_) => 0,
+    };
+    ParResult {
+        nodes,
+        workers,
+        build_wall_secs,
+        ring_correctness,
+        virtual_secs,
+        events,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall.max(1e-12),
+        speedup_vs_1_worker: 0.0, // filled in by the caller
+        sync_rounds,
+    }
+}
+
+/// Runs the golden equivalence gate: the same staggered-bring-up ring on
+/// the sequential and the parallel engine must produce identical NetStats
+/// and event counts.
+fn golden_gate(nodes: usize, workers: usize, warmup_secs: u64) -> GoldenGate {
+    let run = |par: Option<usize>| {
+        let builder = ChordCluster::builder(nodes, 42);
+        let builder = match par {
+            None => builder,
+            Some(w) => builder.par_threads(w),
+        };
+        let mut cluster = builder.build(warmup_secs);
+        cluster.sim.reset_stats();
+        let before = cluster.sim.events_processed();
+        cluster.run_for(60.0);
+        let s = cluster.sim.stats();
+        GoldenPin {
+            messages_sent: s.messages_sent,
+            messages_delivered: s.messages_delivered,
+            messages_dropped: s.messages_dropped,
+            bytes_sent: s.bytes_sent,
+            events_processed: cluster.sim.events_processed() - before,
+        }
+    };
+    let sequential = run(None);
+    let parallel = run(Some(workers));
+    GoldenGate {
+        nodes,
+        workers,
+        sequential,
+        parallel,
+        matches: sequential == parallel,
+    }
+}
+
+fn run_par_mode(out_path: &str, smoke: bool, sizes: &[usize], workers: &[usize]) -> i32 {
+    let (warmup_secs, measure_secs) = if smoke { (60, 10) } else { (300, 30) };
+    let machine_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut scaling = Vec::new();
+    for &n in sizes {
+        let mut row: Vec<ParResult> = Vec::new();
+        for &w in workers {
+            eprintln!("parsim chord ring: {n} nodes, {w} workers...");
+            let mut r = bench_par(n, w, warmup_secs, measure_secs);
+            let base = row
+                .iter()
+                .find(|r| r.workers == 1)
+                .map(|r| r.events_per_sec);
+            r.speedup_vs_1_worker = match base {
+                Some(b) if b > 0.0 => r.events_per_sec / b,
+                _ => 1.0,
+            };
+            eprintln!(
+                "  ring {:.2}, {} events in {:.3} s -> {:>10.0} events/s \
+                 (speedup {:.2}x, {} sync rounds)",
+                r.ring_correctness,
+                r.events,
+                r.wall_secs,
+                r.events_per_sec,
+                r.speedup_vs_1_worker,
+                r.sync_rounds
+            );
+            row.push(r);
+        }
+        scaling.push(row);
+    }
+
+    let gate_nodes = if smoke { 16 } else { 64 };
+    eprintln!("golden gate: {gate_nodes}-node ring, sequential vs 2 workers...");
+    let gate = golden_gate(gate_nodes, 2, if smoke { 60 } else { 120 });
+    eprintln!(
+        "  sequential {:?} vs parallel {:?} -> {}",
+        gate.sequential,
+        gate.parallel,
+        if gate.matches { "MATCH" } else { "DIVERGED" }
+    );
+
+    let matches = gate.matches;
+    let report = ParReport {
+        bench: "parsim_scaling".to_string(),
+        machine_cores,
+        scaling,
+        golden_gate: gate,
+    };
+    let json = to_json(&report);
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return 2;
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    if !matches {
+        eprintln!("error: parallel golden run diverged from the sequential pin");
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| args.iter().any(|a| a == name);
@@ -162,11 +378,19 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
 
-    let out_path = value("--out").unwrap_or_else(|| "BENCH_sim.json".to_string());
     let smoke = flag("--smoke");
+    let par = flag("--par");
+    let out_path = value("--out").unwrap_or_else(|| {
+        if par {
+            "BENCH_parsim.json".to_string()
+        } else {
+            "BENCH_sim.json".to_string()
+        }
+    });
     let sizes: Vec<usize> = match value("--sizes") {
         Some(s) => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
         None if smoke => vec![16],
+        None if par => vec![500, 2000],
         None => vec![100, 500, 2000],
     };
     // Simultaneous joins need more stabilization time than the paper's
@@ -178,6 +402,15 @@ fn main() {
     if let Err(e) = std::fs::write(&out_path, "{}") {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(2);
+    }
+
+    if par {
+        let workers: Vec<usize> = match value("--workers") {
+            Some(s) => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+            None if smoke => vec![1, 2],
+            None => vec![1, 2, 4, 8],
+        };
+        std::process::exit(run_par_mode(&out_path, smoke, &sizes, &workers));
     }
 
     let mut toy_event_loop = Vec::new();
@@ -208,10 +441,36 @@ fn main() {
         chord_rings.push(r);
     }
 
+    // Join-time successor seeding: bring-up delta at moderate sizes (the
+    // seeded and base rings are each built once; 2000-node doubles would
+    // dominate the whole benchmark run).
+    let mut join_seed_bring_up = Vec::new();
+    let seed_sizes: Vec<usize> = {
+        let mut s: Vec<usize> = sizes.iter().copied().filter(|&n| n <= 500).collect();
+        if s.is_empty() {
+            s.push(100);
+        }
+        s
+    };
+    for &n in &seed_sizes {
+        eprintln!("join-seed bring-up: {n} nodes (base vs JS1)...");
+        let r = bench_join_seed(n, warmup_secs);
+        eprintln!(
+            "  base {:.0} virtual s -> seeded {:.0} virtual s (delta {:+.0} s, rings {:.2}/{:.2})",
+            r.base_bring_up_virtual_secs,
+            r.seeded_bring_up_virtual_secs,
+            r.delta_virtual_secs,
+            r.base_ring_correctness,
+            r.seeded_ring_correctness
+        );
+        join_seed_bring_up.push(r);
+    }
+
     let report = BenchReport {
         bench: "sim_event_loop".to_string(),
         toy_event_loop,
         chord_rings,
+        join_seed_bring_up,
     };
     let json = to_json(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {

@@ -19,12 +19,20 @@ pub struct Insert {
     table: TableRef,
     /// Number of inserts that failed (malformed tuples).
     pub errors: u64,
+    /// Reused eviction spill buffer: eviction-heavy tables hit the
+    /// size-bound path on every insert, and this keeps that path from
+    /// allocating a fresh `Vec` per tuple (`Table::insert_spill`).
+    spill: Vec<Tuple>,
 }
 
 impl Insert {
     /// Creates an insert bridge for `table`.
     pub fn new(table: TableRef) -> Insert {
-        Insert { table, errors: 0 }
+        Insert {
+            table,
+            errors: 0,
+            spill: Vec::new(),
+        }
     }
 }
 
@@ -34,15 +42,22 @@ impl Element for Insert {
     }
 
     fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
-        let result = self.table.lock().insert(tuple.clone(), ctx.now());
+        debug_assert!(self.spill.is_empty(), "spill buffer drained every call");
+        let result = self
+            .table
+            .lock()
+            .insert_spill(tuple.clone(), ctx.now(), &mut self.spill);
         match result {
-            Ok((_outcome, evicted)) => {
+            Ok(_outcome) => {
                 ctx.emit(0, tuple.clone());
-                for e in evicted {
+                for e in self.spill.drain(..) {
                     ctx.emit(1, e);
                 }
             }
-            Err(_) => self.errors += 1,
+            Err(_) => {
+                self.errors += 1;
+                self.spill.clear();
+            }
         }
     }
 }

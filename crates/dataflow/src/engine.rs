@@ -477,6 +477,16 @@ impl Engine {
     }
 }
 
+// Compile-time audit: the engine (and therefore every element behind its
+// `Box<dyn Element>`s, via the `Element: Send` supertrait) must be `Send`
+// so whole nodes can be sharded across the parallel simulator's worker
+// threads. Any element gaining `Rc`/`RefCell`-style state breaks this
+// assertion instead of breaking multi-core runs at a distance.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,7 @@
 //! Whole-overlay cluster bring-up, workload generation and measurement.
 
 use p2_baseline::{BaselineChord, BaselineConfig};
-use p2_netsim::{Host, NetworkConfig, Simulator};
+use p2_netsim::{AnySimulator, NetworkConfig, Simulator};
 use p2_overlays::{chord, P2Host};
 use p2_value::{SimTime, Tuple, TupleBuilder, Uint160, Value};
 use rand::rngs::SmallRng;
@@ -40,14 +40,11 @@ fn node_addr(i: usize) -> String {
 /// the correct clockwise ring successor among up nodes. Shared by the
 /// declarative and baseline clusters; iterates borrowed addresses, no list
 /// clone.
-fn ring_correctness_of<H: Host>(
-    sim: &Simulator<H>,
+fn ring_correctness_of<'a>(
+    up_addresses: impl Iterator<Item = &'a str>,
     successor_of: impl Fn(&str) -> Option<String>,
 ) -> f64 {
-    let mut ids: Vec<(Uint160, &str)> = sim
-        .up_addresses_iter()
-        .map(|a| (chord::node_id(a), a))
-        .collect();
+    let mut ids: Vec<(Uint160, &str)> = up_addresses.map(|a| (chord::node_id(a), a)).collect();
     if ids.len() < 2 {
         return 1.0;
     }
@@ -78,32 +75,93 @@ pub fn expected_owner(key: Uint160, nodes: &[String]) -> Option<String> {
     Some(ids[0].1.clone())
 }
 
+/// Configuration knobs for building a [`ChordCluster`]: the simulation
+/// engine (sequential or sharded multi-core) and the Chord program variant.
+#[derive(Debug, Clone)]
+pub struct ChordClusterBuilder {
+    n: usize,
+    seed: u64,
+    par_threads: Option<usize>,
+    join_seed: bool,
+}
+
+impl ChordClusterBuilder {
+    /// Runs the cluster on the sharded [`p2_netsim::ParSimulator`] with
+    /// `workers` worker threads (default: the sequential engine).
+    pub fn par_threads(mut self, workers: usize) -> ChordClusterBuilder {
+        self.par_threads = Some(workers);
+        self
+    }
+
+    /// Enables join-time successor-list seeding (the JS1 rule): joiners
+    /// request their successor's successor list the moment the join lookup
+    /// answers, instead of waiting for the first stabilization period.
+    pub fn join_seed(mut self, on: bool) -> ChordClusterBuilder {
+        self.join_seed = on;
+        self
+    }
+
+    /// Builds and boots the ring with the paper's staggered bring-up (see
+    /// [`ChordCluster::build`]).
+    pub fn build(self, warmup_secs: u64) -> ChordCluster {
+        let mut cluster = ChordCluster::new_unbooted(self);
+        cluster.boot(warmup_secs);
+        cluster
+    }
+
+    /// Builds and boots the ring with the batched doubling-wave bring-up
+    /// (see [`ChordCluster::build_fast`]).
+    pub fn build_fast(self, warmup_secs: u64) -> ChordCluster {
+        let cluster = ChordCluster::new_unbooted(self);
+        ChordCluster::boot_fast(cluster, warmup_secs)
+    }
+}
+
 /// A cluster of declarative (P2) Chord nodes running on the simulated
 /// Emulab-like topology.
 pub struct ChordCluster {
     /// The underlying simulator; exposed for stats access and advanced use.
-    pub sim: Simulator<P2Host>,
+    /// Either the sequential engine or the sharded multi-core one,
+    /// depending on [`ChordClusterBuilder::par_threads`].
+    pub sim: AnySimulator<P2Host>,
     addrs: Vec<String>,
     seed: u64,
+    join_seed: bool,
     next_event: i64,
     rng: SmallRng,
+    brought_up_at: SimTime,
 }
 
 impl ChordCluster {
+    /// Starts configuring a cluster of `n` nodes (sequential simulation,
+    /// base Chord program unless overridden).
+    pub fn builder(n: usize, seed: u64) -> ChordClusterBuilder {
+        ChordClusterBuilder {
+            n,
+            seed,
+            par_threads: None,
+            join_seed: false,
+        }
+    }
+
     /// Builds and boots an `n`-node ring: node 0 is the bootstrap landmark,
     /// every other node joins through it. Joins are staggered and re-issued
     /// until every node has learned a successor, then the ring is left to
     /// stabilize for `warmup_secs` of virtual time.
     pub fn build(n: usize, warmup_secs: u64, seed: u64) -> ChordCluster {
-        let mut cluster = ChordCluster::new_unbooted(n, seed);
-        cluster.boot(warmup_secs);
-        cluster
+        ChordCluster::builder(n, seed).build(warmup_secs)
     }
 
     /// Plans `n` Chord nodes and adds them to a fresh simulator without
     /// starting any of them (shared prelude of the bring-up paths).
-    fn new_unbooted(n: usize, seed: u64) -> ChordCluster {
-        let mut sim = Simulator::new(NetworkConfig::emulab_default(seed));
+    fn new_unbooted(config: ChordClusterBuilder) -> ChordCluster {
+        let ChordClusterBuilder {
+            n,
+            seed,
+            par_threads,
+            join_seed,
+        } = config;
+        let mut sim = AnySimulator::build(NetworkConfig::emulab_default(seed), par_threads);
         let addrs: Vec<String> = (0..n).map(node_addr).collect();
         for (i, addr) in addrs.iter().enumerate() {
             let landmark = if i == 0 {
@@ -111,23 +169,31 @@ impl ChordCluster {
             } else {
                 Some(addrs[0].as_str())
             };
-            let host = chord::build_node(addr, landmark, seed.wrapping_add(i as u64), true)
-                .expect("chord node must plan");
+            let host = chord::build_node_opts(
+                addr,
+                landmark,
+                seed.wrapping_add(i as u64),
+                true,
+                join_seed,
+            )
+            .expect("chord node must plan");
             sim.add_node(addr.clone(), host);
         }
         ChordCluster {
             sim,
             addrs,
             seed,
+            join_seed,
             next_event: 1_000_000,
             rng: SmallRng::seed_from_u64(seed ^ 0x5EED),
+            brought_up_at: SimTime::ZERO,
         }
     }
 
     /// Builds an `n`-node ring with the batched bring-up path: every node is
-    /// started at the same virtual instant ([`Simulator::start_all`]) and
-    /// joins are injected in *doubling waves*, each wave landing on a ring
-    /// already stabilized by its predecessors.
+    /// started at the same virtual instant (`start_all`) and joins are
+    /// injected in *doubling waves*, each wave landing on a ring already
+    /// stabilized by its predecessors.
     ///
     /// The original all-at-once batch funnelled every join through the
     /// single landmark's trivial one-node ring, whose lookups handed every
@@ -139,10 +205,18 @@ impl ChordCluster {
     /// waves. [`ChordCluster::build`] remains the paper's staggered
     /// bring-up.
     pub fn build_fast(n: usize, warmup_secs: u64, seed: u64) -> ChordCluster {
-        let mut cluster = ChordCluster::new_unbooted(n, seed);
+        ChordCluster::builder(n, seed).build_fast(warmup_secs)
+    }
+
+    fn boot_fast(mut cluster: ChordCluster, warmup_secs: u64) -> ChordCluster {
+        let n = cluster.addrs.len();
         cluster.sim.start_all();
-        // One stabilization period (SB1 fires every 15 s) per settle round.
-        let settle = SimTime::from_secs(15);
+        // Sample wave progress in 5 s slices (a third of the SB1
+        // stabilization period): a wave that is already ring-consistent
+        // proceeds immediately instead of idling out the full period —
+        // which is exactly where join-time seeding (JS1/JS2) shows up as a
+        // bring-up-time win.
+        let settle = SimTime::from_secs(5);
         let mut joined = 0usize;
         let max_waves = 4 * (usize::BITS - n.max(1).leading_zeros()) as usize + 16;
         for _ in 0..max_waves {
@@ -157,8 +231,9 @@ impl ChordCluster {
             cluster.sim.inject_many(joins);
             // Let the wave integrate before the next one relies on its
             // lookups: settle until the joined subset is ring-consistent
-            // again (bounded rounds — stragglers are re-issued next wave).
-            for _ in 0..8 {
+            // again (bounded at the previous 8 × 15 s budget — stragglers
+            // are re-issued next wave).
+            for _ in 0..24 {
                 cluster.sim.run_for(settle);
                 if cluster.joined_ring_correctness() >= 0.97 {
                     break;
@@ -170,10 +245,19 @@ impl ChordCluster {
                 .filter(|a| cluster.is_joined(a))
                 .count();
         }
+        cluster.brought_up_at = cluster.sim.now();
         cluster.sim.run_for(SimTime::from_secs(warmup_secs));
         cluster.clear_observations();
         cluster.sim.reset_stats();
         cluster
+    }
+
+    /// Virtual seconds the bring-up phase spent until every node had joined
+    /// and the ring settled (measured before the warm-up window). The
+    /// join-seed benchmark reports the delta of this between the base and
+    /// the JS1-seeded program.
+    pub fn bring_up_virtual_secs(&self) -> f64 {
+        self.brought_up_at.as_secs_f64()
     }
 
     /// Fraction of *joined* nodes whose best successor is their correct
@@ -236,6 +320,7 @@ impl ChordCluster {
             }
             self.sim.inject_many(rejoin);
         }
+        self.brought_up_at = self.sim.now();
         self.sim.run_for(SimTime::from_secs(warmup_secs));
         self.clear_observations();
         self.sim.reset_stats();
@@ -305,7 +390,7 @@ impl ChordCluster {
     /// Fraction of up nodes whose best successor is the correct ring
     /// successor among up nodes (a ring-consistency health metric).
     pub fn ring_correctness(&self) -> f64 {
-        ring_correctness_of(&self.sim, |a| self.best_successor(a))
+        ring_correctness_of(self.sim.up_addresses_iter(), |a| self.best_successor(a))
     }
 
     /// True when the best-successor pointers of the up nodes form one
@@ -435,7 +520,8 @@ impl ChordCluster {
         } else {
             Some(self.addrs[0].as_str())
         };
-        let host = chord::build_node(addr, landmark, self.seed, true).expect("chord node plans");
+        let host = chord::build_node_opts(addr, landmark, self.seed, true, self.join_seed)
+            .expect("chord node plans");
         self.sim.replace_node(addr, host);
         let event = self.fresh_event();
         self.sim.inject(addr, chord::join_tuple(addr, event));
@@ -536,7 +622,7 @@ impl BaselineCluster {
     /// Fraction of nodes whose first successor is the correct ring
     /// successor.
     pub fn ring_correctness(&self) -> f64 {
-        ring_correctness_of(&self.sim, |a| {
+        ring_correctness_of(self.sim.up_addresses_iter(), |a| {
             self.sim
                 .node(a)
                 .and_then(|n| n.successors().first().cloned())

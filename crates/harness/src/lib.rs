@@ -17,5 +17,7 @@ pub mod cluster;
 pub mod experiments;
 pub mod metrics;
 
-pub use cluster::{BaselineCluster, ChordCluster, LookupHandle, LookupOutcome};
+pub use cluster::{
+    BaselineCluster, ChordCluster, ChordClusterBuilder, LookupHandle, LookupOutcome,
+};
 pub use metrics::{Cdf, Histogram};

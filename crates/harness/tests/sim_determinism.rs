@@ -12,8 +12,8 @@ use p2_value::Tuple;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
-fn ring_stats(n: usize, warmup: u64, seed: u64) -> (u64, u64, u64, u64, u64) {
-    let mut cluster = ChordCluster::build(n, warmup, seed);
+/// Runs the golden measurement window on an already-built cluster.
+fn measure(mut cluster: ChordCluster) -> (u64, u64, u64, u64, u64) {
     cluster.sim.reset_stats();
     let events_before = cluster.sim.events_processed();
     cluster.run_for(60.0);
@@ -25,6 +25,27 @@ fn ring_stats(n: usize, warmup: u64, seed: u64) -> (u64, u64, u64, u64, u64) {
         s.bytes_sent,
         cluster.sim.events_processed() - events_before,
     )
+}
+
+fn ring_stats(n: usize, warmup: u64, seed: u64) -> (u64, u64, u64, u64, u64) {
+    measure(ChordCluster::build(n, warmup, seed))
+}
+
+fn ring_stats_par(n: usize, warmup: u64, seed: u64, workers: usize) -> (u64, u64, u64, u64, u64) {
+    measure(
+        ChordCluster::builder(n, seed)
+            .par_threads(workers)
+            .build(warmup),
+    )
+}
+
+/// The final ring state: every up node's best-successor pointer.
+fn ring_pointers(cluster: &ChordCluster) -> Vec<(String, Option<String>)> {
+    cluster
+        .sim
+        .up_addresses_iter()
+        .map(|a| (a.to_string(), cluster.best_successor(a)))
+        .collect()
 }
 
 #[test]
@@ -48,6 +69,93 @@ fn hundred_node_ring_matches_golden_stats() {
     );
     let b = ring_stats(100, 120, 42);
     assert_eq!(a, b, "same seed must give identical NetStats across runs");
+}
+
+/// The parallel sharded simulator must reproduce the sequential golden run
+/// bit-for-bit: same NetStats, same events-processed pin, at a worker count
+/// that actually exercises cross-shard mailboxes and the conservative
+/// window protocol.
+#[test]
+fn parallel_run_matches_the_sequential_golden_pin() {
+    let p = ring_stats_par(100, 120, 42, 2);
+    eprintln!("100-node ring stats (2 workers): {p:?}");
+    assert_eq!(
+        (p.0, p.1, p.2, p.3),
+        (29_634, 29_638, 0, 2_787_660),
+        "2-worker NetStats diverged from the sequential golden run"
+    );
+    assert_eq!(
+        p.4, 31_838,
+        "2-worker event count diverged from the sequential golden run"
+    );
+}
+
+/// Parallel-vs-sequential equivalence on a small batched-bring-up ring:
+/// every worker count yields the sequential run's NetStats, event counters,
+/// and final successor pointers (the ring state itself, not just traffic
+/// totals).
+#[test]
+fn worker_counts_agree_on_ring_state_and_stats() {
+    let build = |workers: Option<usize>| {
+        let builder = ChordCluster::builder(16, 23);
+        let builder = match workers {
+            None => builder,
+            Some(w) => builder.par_threads(w),
+        };
+        let mut cluster = builder.build_fast(120);
+        cluster.run_for(60.0);
+        cluster.sim.check_consistency();
+        let rounds = match &cluster.sim {
+            p2_netsim::AnySimulator::Par(sim) => sim.sync_rounds(),
+            p2_netsim::AnySimulator::Seq(_) => 0,
+        };
+        (
+            (
+                cluster.sim.stats().messages_sent,
+                cluster.sim.stats().bytes_sent,
+                cluster.sim.events_processed(),
+                cluster.sim.wakeups_processed(),
+                ring_pointers(&cluster),
+            ),
+            rounds,
+        )
+    };
+    let (golden, _) = build(None);
+    assert!(
+        golden.4.iter().all(|(_, succ)| succ.is_some()),
+        "sequential ring did not form"
+    );
+    let mut round_counts = Vec::new();
+    for workers in [1, 3, 4] {
+        let (got, rounds) = build(Some(workers));
+        assert_eq!(
+            got, golden,
+            "{workers}-worker Chord run diverged from the sequential engine"
+        );
+        round_counts.push(rounds);
+    }
+    // The synchronization-round structure itself is sharding-invariant: a
+    // divergence here is the earliest canary for event-timeline drift (it
+    // is exactly how the HashSet-ordered secondary index bug was caught).
+    assert!(
+        round_counts.windows(2).all(|w| w[0] == w[1]),
+        "sync round counts differ across worker counts: {round_counts:?}"
+    );
+}
+
+/// Join-time successor-list seeding (JS1) must still form a correct ring
+/// with the batched bring-up, and must not regress bring-up time.
+#[test]
+fn join_seeded_bring_up_forms_a_ring() {
+    let base = ChordCluster::builder(16, 31).build_fast(60);
+    let seeded = ChordCluster::builder(16, 31).join_seed(true).build_fast(60);
+    seeded.assert_single_cycle();
+    assert!(
+        seeded.bring_up_virtual_secs() <= base.bring_up_virtual_secs(),
+        "JS1 seeding slowed bring-up: {} s vs {} s",
+        seeded.bring_up_virtual_secs(),
+        base.bring_up_virtual_secs()
+    );
 }
 
 /// A no-op element for adjacency-compilation tests.

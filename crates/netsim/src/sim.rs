@@ -50,6 +50,42 @@ struct Slot<H> {
     up: bool,
     started: bool,
     link_busy_until: SimTime,
+    /// Number of envelopes this node has ever handed to the network. Doubles
+    /// as the per-sender emission index: loss decisions are a pure hash of
+    /// `(seed, sender, emission index)`, so a sharded simulation makes the
+    /// *same* decisions as this sequential one regardless of how node
+    /// processing interleaves (see [`loss_roll`]).
+    sends: u64,
+}
+
+/// Deterministic per-packet loss roll in `[0, 1)`.
+///
+/// A splitmix64-style hash of `(seed, sender, emission index)` rather than a
+/// draw from one global RNG stream: the value a packet rolls depends only on
+/// who sent it and how many packets that sender emitted before it, never on
+/// how sends from different nodes interleave. This is what lets
+/// [`ParSimulator`](crate::ParSimulator) shard nodes across worker threads
+/// and still drop exactly the packets the sequential simulator drops.
+pub(crate) fn loss_roll(seed: u64, src: NodeId, emission: u64) -> f64 {
+    let mut x = seed
+        ^ (src.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ emission.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Normalizes a user-provided seed (0 is reserved as "unset" by xorshift-era
+/// callers; keep the historical substitute so fixed-seed runs stay stable).
+pub(crate) fn normalize_seed(seed: u64) -> u64 {
+    if seed == 0 {
+        0xDEAD_BEEF
+    } else {
+        seed
+    }
 }
 
 /// A delivery destination: resolved to an id at dispatch for every known
@@ -104,7 +140,7 @@ pub struct Simulator<H: Host> {
     timers: TimerIndex,
     seq: u64,
     now: SimTime,
-    rng_state: u64,
+    seed: u64,
     stats: NetStats,
     deliveries_processed: u64,
     wakeups_processed: u64,
@@ -126,11 +162,7 @@ impl<H: Host> Simulator<H> {
             timers: TimerIndex::default(),
             seq: 0,
             now: SimTime::ZERO,
-            rng_state: if config.seed == 0 {
-                0xDEAD_BEEF
-            } else {
-                config.seed
-            },
+            seed: normalize_seed(config.seed),
             stats: NetStats::default(),
             deliveries_processed: 0,
             wakeups_processed: 0,
@@ -270,6 +302,7 @@ impl<H: Host> Simulator<H> {
             up: true,
             started: false,
             link_busy_until: SimTime::ZERO,
+            sends: 0,
         });
         self.timers.grow(self.slots.len());
         id
@@ -462,25 +495,25 @@ impl<H: Host> Simulator<H> {
         self.run_until(self.now + duration);
     }
 
-    fn next_rand(&mut self) -> f64 {
-        let mut x = self.rng_state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng_state = x;
-        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
-    }
-
     /// Queues envelopes produced by `src` as network transmissions. The
     /// destination address is resolved to a [`NodeId`] here, once per packet;
     /// nothing past this point touches strings.
+    ///
+    /// LOCKSTEP CONTRACT: the parallel simulator's `route_packet`
+    /// (`parsim.rs`) re-implements this sender-side path for sharded state
+    /// and must make byte-identical decisions (accounting order, loss roll,
+    /// serialization and latency arithmetic, unresolved-destination
+    /// fallback). Mirror any change there; the golden suite and the CI
+    /// `sim_bench --par` gate enforce the equivalence.
     fn dispatch(&mut self, src: NodeId, envelopes: Vec<Envelope>) {
         for env in envelopes {
             let payload = wire::encoded_size(&env.tuple) + wire::UDP_IP_HEADER;
             self.stats
                 .record_send(self.interner.addr(src), env.tuple.name(), payload);
 
-            if self.loss_rate > 0.0 && self.next_rand() < self.loss_rate {
+            let emission = self.slots[src.index()].sends;
+            self.slots[src.index()].sends += 1;
+            if self.loss_rate > 0.0 && loss_roll(self.seed, src, emission) < self.loss_rate {
                 self.stats.record_drop();
                 continue;
             }

@@ -1,0 +1,290 @@
+//! Property tests for the parallel sharded simulator: for random
+//! topologies, loss rates, and churn schedules, `ParSimulator` with one
+//! worker must be event-for-event identical to the sequential `Simulator`
+//! (same deliveries, drops, wakeups, bytes, and per-node state), and runs
+//! with more workers must produce identical `NetStats` and final node
+//! state — the determinism contract of `p2_netsim::parsim`.
+
+use p2_netsim::{Envelope, Host, NetworkConfig, ParSimulator, Simulator, Topology};
+use p2_value::{SimTime, Tuple, TupleBuilder};
+use proptest::prelude::*;
+
+/// A periodic host: sends one `ping` to its peer every period, counts
+/// deliveries and spurious wakeups.
+struct Periodic {
+    addr: String,
+    peer: String,
+    period: SimTime,
+    next: Option<SimTime>,
+    spurious_wakeups: usize,
+    delivered: usize,
+}
+
+impl Periodic {
+    fn new(addr: String, peer: String, period_ms: u64) -> Periodic {
+        Periodic {
+            addr,
+            peer,
+            period: SimTime::from_millis(period_ms),
+            next: None,
+            spurious_wakeups: 0,
+            delivered: 0,
+        }
+    }
+}
+
+impl Host for Periodic {
+    fn start(&mut self, now: SimTime) -> Vec<Envelope> {
+        self.next = Some(now + self.period);
+        Vec::new()
+    }
+
+    fn deliver(&mut self, _tuple: Tuple, _now: SimTime) -> Vec<Envelope> {
+        self.delivered += 1;
+        Vec::new()
+    }
+
+    fn advance_to(&mut self, now: SimTime) -> Vec<Envelope> {
+        match self.next {
+            Some(t) if t <= now => {
+                self.next = Some(t + self.period);
+                vec![Envelope::new(
+                    self.peer.clone(),
+                    TupleBuilder::new("ping").push(self.addr.as_str()).build(),
+                )]
+            }
+            _ => {
+                self.spurious_wakeups += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.next
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Advance virtual time by this many milliseconds.
+    Run(u64),
+    /// Inject a ping into node `i` (mod population).
+    Inject(usize),
+    /// Crash node `i`.
+    TakeDown(usize),
+    /// Crash-rejoin node `i` with a fresh host.
+    Replace(usize),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u64..30_000).prop_map(Action::Run),
+        (0usize..16).prop_map(Action::Inject),
+        (0usize..16).prop_map(Action::TakeDown),
+        (0usize..16).prop_map(Action::Replace),
+    ]
+}
+
+/// Random topology with a strictly positive minimum latency, as the
+/// conservative window protocol requires.
+#[derive(Debug, Clone)]
+struct TopoSpec {
+    domains: usize,
+    intra_ms: u64,
+    inter_ms: u64,
+    loss: f64,
+    seed: u64,
+}
+
+fn arb_topo() -> impl Strategy<Value = TopoSpec> {
+    ((1usize..6, 1u64..40, 1u64..200), (0usize..3, 1u64..1000)).prop_map(
+        |((domains, intra_ms, inter_ms), (loss_idx, seed))| TopoSpec {
+            domains,
+            intra_ms,
+            inter_ms,
+            loss: [0.0, 0.2, 0.6][loss_idx],
+            seed,
+        },
+    )
+}
+
+fn addr(i: usize) -> String {
+    format!("n{i}")
+}
+
+fn host(i: usize, n: usize) -> Periodic {
+    Periodic::new(addr(i), addr((i + 1) % n), 1000 + 137 * i as u64)
+}
+
+fn config(spec: &TopoSpec) -> NetworkConfig {
+    NetworkConfig {
+        topology: Topology::new(
+            spec.domains,
+            SimTime::from_millis(spec.intra_ms),
+            SimTime::from_millis(spec.inter_ms),
+            10e6,
+            100e6,
+        ),
+        loss_rate: spec.loss,
+        seed: spec.seed,
+    }
+}
+
+/// Everything observable about a finished run: traffic counters, event
+/// counters, and per-node final state.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    messages_sent: u64,
+    messages_delivered: u64,
+    messages_dropped: u64,
+    bytes_sent: u64,
+    events_processed: u64,
+    wakeups_processed: u64,
+    now_micros: u64,
+    per_node: Vec<(usize, usize, Option<SimTime>, bool)>,
+}
+
+trait Driver {
+    fn run_for(&mut self, d: SimTime);
+    fn inject(&mut self, addr: &str, tuple: Tuple);
+    fn take_down(&mut self, addr: &str);
+    fn replace(&mut self, addr: &str, host: Periodic);
+    fn snapshot(&self, n: usize) -> Snapshot;
+    fn verify(&self);
+}
+
+impl Driver for Simulator<Periodic> {
+    fn run_for(&mut self, d: SimTime) {
+        Simulator::run_for(self, d);
+    }
+    fn inject(&mut self, addr: &str, tuple: Tuple) {
+        Simulator::inject(self, addr, tuple);
+    }
+    fn take_down(&mut self, addr: &str) {
+        Simulator::take_down(self, addr);
+    }
+    fn replace(&mut self, addr: &str, host: Periodic) {
+        Simulator::replace_node(self, addr, host);
+    }
+    fn snapshot(&self, n: usize) -> Snapshot {
+        let s = self.stats();
+        Snapshot {
+            messages_sent: s.messages_sent,
+            messages_delivered: s.messages_delivered,
+            messages_dropped: s.messages_dropped,
+            bytes_sent: s.bytes_sent,
+            events_processed: self.events_processed(),
+            wakeups_processed: self.wakeups_processed(),
+            now_micros: self.now().as_micros(),
+            per_node: (0..n)
+                .map(|i| {
+                    let h = self.node(&addr(i)).expect("node exists");
+                    (
+                        h.delivered,
+                        h.spurious_wakeups,
+                        h.next_deadline(),
+                        self.is_up(&addr(i)),
+                    )
+                })
+                .collect(),
+        }
+    }
+    fn verify(&self) {
+        self.check_consistency();
+    }
+}
+
+impl Driver for ParSimulator<Periodic> {
+    fn run_for(&mut self, d: SimTime) {
+        ParSimulator::run_for(self, d);
+    }
+    fn inject(&mut self, addr: &str, tuple: Tuple) {
+        ParSimulator::inject(self, addr, tuple);
+    }
+    fn take_down(&mut self, addr: &str) {
+        ParSimulator::take_down(self, addr);
+    }
+    fn replace(&mut self, addr: &str, host: Periodic) {
+        ParSimulator::replace_node(self, addr, host);
+    }
+    fn snapshot(&self, n: usize) -> Snapshot {
+        let s = self.stats();
+        Snapshot {
+            messages_sent: s.messages_sent,
+            messages_delivered: s.messages_delivered,
+            messages_dropped: s.messages_dropped,
+            bytes_sent: s.bytes_sent,
+            events_processed: self.events_processed(),
+            wakeups_processed: self.wakeups_processed(),
+            now_micros: self.now().as_micros(),
+            per_node: (0..n)
+                .map(|i| {
+                    let h = self.node(&addr(i)).expect("node exists");
+                    (
+                        h.delivered,
+                        h.spurious_wakeups,
+                        h.next_deadline(),
+                        self.is_up(&addr(i)),
+                    )
+                })
+                .collect(),
+        }
+    }
+    fn verify(&self) {
+        self.check_consistency();
+    }
+}
+
+fn drive(sim: &mut dyn Driver, n: usize, actions: &[Action]) {
+    for action in actions {
+        match action {
+            Action::Run(ms) => sim.run_for(SimTime::from_millis(*ms)),
+            Action::Inject(i) => {
+                let a = addr(i % n);
+                sim.inject(&a, TupleBuilder::new("ping").push(a.as_str()).build());
+            }
+            Action::TakeDown(i) => sim.take_down(&addr(i % n)),
+            Action::Replace(i) => sim.replace(&addr(i % n), host(i % n, n)),
+        }
+    }
+    sim.run_for(SimTime::from_secs(30));
+    sim.verify();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_runs_match_the_sequential_simulator(
+        spec in arb_topo(),
+        n in 2usize..12,
+        actions in proptest::collection::vec(arb_action(), 1..40),
+    ) {
+        // Golden: the sequential simulator.
+        let mut seq: Simulator<Periodic> = Simulator::new(config(&spec));
+        for i in 0..n {
+            seq.add_node(addr(i), host(i, n));
+        }
+        seq.start_all();
+        drive(&mut seq, n, &actions);
+        let golden = seq.snapshot(n);
+
+        // One worker must be event-for-event identical; more workers must
+        // reproduce the same NetStats and final node state.
+        for workers in [1usize, 2, 3, 7] {
+            let mut par: ParSimulator<Periodic> = ParSimulator::new(config(&spec), workers);
+            for i in 0..n {
+                par.add_node(addr(i), host(i, n));
+            }
+            par.start_all();
+            drive(&mut par, n, &actions);
+            let got = par.snapshot(n);
+            prop_assert_eq!(
+                &got, &golden,
+                "{}-worker run diverged (loss {}, domains {})",
+                workers, spec.loss, spec.domains
+            );
+        }
+    }
+}

@@ -11,6 +11,11 @@ use crate::host::P2Host;
 /// The OverLog source text of the Chord specification.
 pub const CHORD_OLG: &str = include_str!("../programs/chord.olg");
 
+/// The optional join-time successor-seeding extension (rule JS1): a joiner
+/// immediately requests its new successor's successor list through the
+/// SB5/SB6 machinery instead of waiting for the first stabilization period.
+pub const CHORD_JOIN_SEED_OLG: &str = include_str!("../programs/chord_join_seed.olg");
+
 /// Parses and validates the Chord program (cached after the first call).
 pub fn program() -> &'static Program {
     static PROGRAM: OnceLock<Program> = OnceLock::new();
@@ -19,20 +24,47 @@ pub fn program() -> &'static Program {
     })
 }
 
+/// The Chord program extended with join-time successor-list seeding
+/// ([`CHORD_JOIN_SEED_OLG`]). Kept separate from [`program`] so the base
+/// specification stays at the paper's 45 rules and the golden determinism
+/// pins stay valid; rings built with seeding opt in explicitly.
+pub fn program_with_join_seed() -> &'static Program {
+    static PROGRAM: OnceLock<Program> = OnceLock::new();
+    PROGRAM.get_or_init(|| {
+        compile_checked(&format!("{CHORD_OLG}\n{CHORD_JOIN_SEED_OLG}"))
+            .expect("the join-seeded Chord program must parse and validate")
+    })
+}
+
 /// The shared, node-independent plan of the Chord program with the standard
 /// harness watches (`lookupResults`, `lookup`), compiled once per process
 /// and per jitter mode. A thousand-node ring instantiates its engines from
 /// this instead of re-planning the 45 rules per node.
 pub fn shared_plan(jitter: bool) -> &'static PlannedProgram {
-    static JITTERED: OnceLock<PlannedProgram> = OnceLock::new();
-    static DETERMINISTIC: OnceLock<PlannedProgram> = OnceLock::new();
-    let cell = if jitter { &JITTERED } else { &DETERMINISTIC };
+    shared_plan_opts(jitter, false)
+}
+
+/// Like [`shared_plan`], additionally selecting the join-seeded program
+/// variant. One cached plan per (jitter, join_seed) combination.
+pub fn shared_plan_opts(jitter: bool, join_seed: bool) -> &'static PlannedProgram {
+    static PLANS: [OnceLock<PlannedProgram>; 4] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    let cell = &PLANS[usize::from(jitter) | (usize::from(join_seed) << 1)];
     cell.get_or_init(|| {
         let mut config = PlanConfig::new().watch("lookupResults").watch("lookup");
         if !jitter {
             config = config.without_jitter();
         }
-        PlannedProgram::compile(program(), &config).expect("the shipped Chord program must plan")
+        let program = if join_seed {
+            program_with_join_seed()
+        } else {
+            program()
+        };
+        PlannedProgram::compile(program, &config).expect("the shipped Chord program must plan")
     })
 }
 
@@ -102,7 +134,24 @@ pub fn build_node(
     seed: u64,
     jitter: bool,
 ) -> Result<P2Host, PlanError> {
-    let node = P2Node::from_plan(shared_plan(jitter), addr, seed, base_facts(addr, landmark));
+    build_node_opts(addr, landmark, seed, jitter, false)
+}
+
+/// Like [`build_node`], additionally selecting join-time successor-list
+/// seeding (the JS1 rule).
+pub fn build_node_opts(
+    addr: &str,
+    landmark: Option<&str>,
+    seed: u64,
+    jitter: bool,
+    join_seed: bool,
+) -> Result<P2Host, PlanError> {
+    let node = P2Node::from_plan(
+        shared_plan_opts(jitter, join_seed),
+        addr,
+        seed,
+        base_facts(addr, landmark),
+    );
     Ok(P2Host::new(node))
 }
 
@@ -142,6 +191,30 @@ mod tests {
         assert!(host.node().table("landmark").unwrap().lock().len() == 1);
         assert!(host.node().table("nextFingerFix").unwrap().lock().len() == 1);
         assert!(host.node().table("pred").unwrap().lock().len() == 1);
+    }
+
+    #[test]
+    fn join_seed_variant_plans_and_keeps_the_base_program_intact() {
+        // The seeded program carries exactly two extra rules; the base
+        // program (and the paper's compactness count) is untouched.
+        let seeded = program_with_join_seed();
+        assert_eq!(seeded.rule_count(), rule_count() + 2);
+        assert!(seeded.rule("JS1").is_some());
+        assert!(seeded.rule("JS2").is_some());
+        assert!(program().rule("JS1").is_none());
+
+        let host = build_node_opts("n0:10000", None, 1, false, true).unwrap();
+        let desc = host.node().graph_description();
+        assert!(desc.contains("JS1:head"));
+        // The two variants plan to distinct shared plans, cached per mode.
+        assert!(!std::ptr::eq(
+            shared_plan_opts(false, false),
+            shared_plan_opts(false, true)
+        ));
+        assert!(std::ptr::eq(
+            shared_plan(false),
+            shared_plan_opts(false, false)
+        ));
     }
 
     #[test]

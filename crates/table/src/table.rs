@@ -118,7 +118,14 @@ struct Row {
 type PrimaryBucket = Vec<u32>;
 
 /// One secondary index: hash of the indexed column values → matching rows.
-type SecondaryIndex = HashMap<u64, HashSet<u32>>;
+///
+/// The bucket is a `BTreeSet`, not a `HashSet`, so an indexed probe yields
+/// matches in ascending `RowId` order. `HashSet` iteration order depends on
+/// the process-random hasher state, which made the *emission order* of
+/// multi-row joins (e.g. Chord's per-successor ping fan-out) differ from
+/// run to run — invisible in aggregate statistics, but a violation of the
+/// simulator's determinism contract (`p2_netsim::parsim`).
+type SecondaryIndex = HashMap<u64, BTreeSet<u32>>;
 
 /// A node-local, in-memory, soft-state table.
 ///
@@ -385,14 +392,34 @@ impl Table {
     /// Inserts a tuple, returning the outcome and any rows evicted to honour
     /// the size bound.
     ///
-    /// Within the size bound this is O(log n); eviction picks the stalest
-    /// row from the front of the staleness queue in O(log n) rather than
-    /// scanning the table.
+    /// Allocates a fresh eviction vector per call; hot callers that insert
+    /// in a loop should reuse one buffer through [`Table::insert_spill`].
     pub fn insert(
         &mut self,
         tuple: Tuple,
         now: SimTime,
     ) -> Result<(InsertOutcome, Vec<Tuple>), ValueError> {
+        let mut evicted = Vec::new();
+        let outcome = self.insert_spill(tuple, now, &mut evicted)?;
+        Ok((outcome, evicted))
+    }
+
+    /// Inserts a tuple, appending any rows evicted to honour the size bound
+    /// to the caller-provided `spill` buffer (which is *not* cleared — the
+    /// caller owns its lifecycle and can drain it between inserts).
+    ///
+    /// Within the size bound this is O(log n); eviction picks the stalest
+    /// row from the front of the staleness queue in O(log n) rather than
+    /// scanning the table. Eviction-heavy workloads (bounded soft-state
+    /// tables under refresh storms) hit this path once per insert, so the
+    /// dataflow `Insert` element reuses one spill buffer across all calls
+    /// instead of allocating a `Vec` per tuple.
+    pub fn insert_spill(
+        &mut self,
+        tuple: Tuple,
+        now: SimTime,
+        spill: &mut Vec<Tuple>,
+    ) -> Result<InsertOutcome, ValueError> {
         let hash = self.primary_hash_of(&tuple)?;
         let existing = self.find_by_key_of(hash, &tuple);
         let (outcome, kept) = match existing {
@@ -432,7 +459,6 @@ impl Table {
             }
         };
 
-        let mut evicted = Vec::new();
         if let Some(max) = self.spec.max_size {
             while self.live > max {
                 // The stalest row (FIFO on refresh-adjusted time) is at the
@@ -447,13 +473,13 @@ impl Table {
                     Some(id) => {
                         let row = self.remove_row(id);
                         self.stats.evicted.set(self.stats.evicted.get() + 1);
-                        evicted.push(row.tuple);
+                        spill.push(row.tuple);
                     }
                     None => break,
                 }
             }
         }
-        Ok((outcome, evicted))
+        Ok(outcome)
     }
 
     /// Removes rows whose primary key matches `tuple`'s and whose remaining
@@ -841,7 +867,7 @@ impl Table {
 enum LookupSource<'a> {
     Empty,
     Primary(std::slice::Iter<'a, u32>),
-    Indexed(std::collections::hash_set::Iter<'a, u32>),
+    Indexed(std::collections::btree_set::Iter<'a, u32>),
     /// Fallback scan cursor (next slot index to examine).
     Scan(usize),
 }
@@ -974,6 +1000,32 @@ mod tests {
         assert_eq!(evicted[0].field(1), &Value::Int(20));
         assert_eq!(t.len(), 4);
         assert_eq!(t.stats().evicted, 1);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn insert_spill_reuses_the_caller_buffer() {
+        let mut t = Table::new(succ_spec());
+        let mut spill = Vec::new();
+        // Fill to the size bound (4), then keep inserting through the
+        // spilling path: each insert appends exactly its victim, the buffer
+        // is drained by the caller, and no per-call Vec is created.
+        for (i, s) in [10i64, 20, 30, 40].iter().enumerate() {
+            let o = t
+                .insert_spill(succ(*s, "x"), SimTime::from_secs(i as u64), &mut spill)
+                .unwrap();
+            assert_eq!(o, InsertOutcome::New);
+            assert!(spill.is_empty());
+        }
+        for (i, s) in [50i64, 60, 70].iter().enumerate() {
+            t.insert_spill(succ(*s, "x"), SimTime::from_secs(10 + i as u64), &mut spill)
+                .unwrap();
+            assert_eq!(spill.len(), 1, "one victim per over-bound insert");
+            let victim = spill.pop().unwrap();
+            assert_eq!(victim.field(1), &Value::Int(10 + 10 * i as i64));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.stats().evicted, 3);
         t.check_consistency().unwrap();
     }
 
