@@ -15,16 +15,26 @@
 //! * `plan_sharing` — wall time and resident memory to bring up many Chord
 //!   nodes by re-planning per node (the pre-PR-3 path) versus instantiating
 //!   from one shared `PlannedProgram`.
+//! * `delta_agg` — the incremental `TableAgg`: per-mutation cost of the
+//!   delta-driven aggregate maintenance versus the recompute-per-poke
+//!   element it replaced (a from-scratch `Table::aggregate` per change).
+//!
+//! The binary also smoke-asserts the strand path: the shared Chord plan
+//! must contain fused strands, and the `chord_deliver` section exercises
+//! them end-to-end (every lookup runs through fused rule strands).
 //!
 //! Usage: `cargo run --release --bin engine_bench [-- --smoke] [--out PATH]`
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use p2_bench::to_json;
 use p2_core::{P2Node, PlanConfig, PlannedProgram};
+use p2_dataflow::elements::{Insert, TableAgg};
 use p2_dataflow::{Element, ElementCtx, Engine, Graph, Route};
 use p2_overlays::chord;
-use p2_value::{SimTime, Tuple, TupleBuilder, Uint160};
+use p2_table::{AggFunc, Table, TableRef, TableSpec};
+use p2_value::{SimTime, Tuple, TupleBuilder, Uint160, Value};
 use serde::Serialize;
 
 /// Forwards every tuple on all connected output ports.
@@ -279,12 +289,135 @@ fn bench_plan_sharing(nodes: usize) -> PlanSharingResult {
     }
 }
 
+/// The recompute-per-poke materialized aggregate this PR replaced, kept
+/// here as the benchmark baseline: every poke recomputes
+/// `Table::aggregate` over the whole table and diffs against a memo.
+struct RecomputeAgg {
+    table: TableRef,
+    func: AggFunc,
+    agg_col: Option<usize>,
+    group_cols: Vec<usize>,
+    out_name: String,
+    last: HashMap<Vec<Value>, Value>,
+}
+
+impl Element for RecomputeAgg {
+    fn class(&self) -> &'static str {
+        "RecomputeAgg"
+    }
+
+    fn push(&mut self, _port: usize, _tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let groups = match self
+            .table
+            .lock()
+            .aggregate(self.func, self.agg_col, &self.group_cols)
+        {
+            Ok(g) => g,
+            Err(_) => return,
+        };
+        for (key, agg) in groups {
+            if self.last.get(&key) != Some(&agg) {
+                self.last.insert(key.clone(), agg.clone());
+                let mut values = key;
+                values.push(agg);
+                ctx.emit(0, Tuple::new(&self.out_name, values));
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct DeltaAggResult {
+    rows: usize,
+    groups: i64,
+    mutations: u64,
+    incremental_wall_secs: f64,
+    incremental_ns_per_mutation: f64,
+    recompute_wall_secs: f64,
+    recompute_ns_per_mutation: f64,
+    speedup: f64,
+}
+
+/// Measures aggregate maintenance under a replacement churn: `rows` live
+/// rows in `groups` groups, every mutation replaces one row's payload
+/// (Delete+Insert deltas) and pokes the sum aggregate.
+fn bench_delta_agg(rows: usize, groups: i64, mutations: u64) -> DeltaAggResult {
+    let run = |incremental: bool| -> f64 {
+        let table: TableRef = std::sync::Arc::new(parking_lot::Mutex::new(Table::new(
+            TableSpec::new("t", vec![1]),
+        )));
+        let agg: Box<dyn Element> = if incremental {
+            Box::new(TableAgg::new(
+                table.clone(),
+                AggFunc::Sum,
+                Some(2),
+                vec![0],
+                "out",
+            ))
+        } else {
+            Box::new(RecomputeAgg {
+                table: table.clone(),
+                func: AggFunc::Sum,
+                agg_col: Some(2),
+                group_cols: vec![0],
+                out_name: "out".into(),
+                last: HashMap::new(),
+            })
+        };
+        let mut g = Graph::new();
+        let ins = g.add("insert", Box::new(Insert::new(table)));
+        let agg = g.add("agg", agg);
+        let sink = g.add("sink", Box::new(Count { seen: 0 }));
+        g.connect(ins, 0, agg, 0);
+        g.connect(agg, 0, sink, 0);
+        let mut engine = Engine::new(g, "n1", 1);
+        engine.set_entry(Route {
+            element: ins,
+            port: 0,
+        });
+        engine.start(SimTime::ZERO);
+        let mk = |key: usize, payload: i64| {
+            Tuple::new(
+                "t",
+                vec![
+                    Value::Int(key as i64 % groups),
+                    Value::Int(key as i64),
+                    Value::Int(payload),
+                ],
+            )
+        };
+        for key in 0..rows {
+            engine.deliver(mk(key, 0), SimTime::from_secs(1));
+        }
+        let start = Instant::now();
+        for i in 0..mutations {
+            let key = (i as usize) % rows;
+            engine.deliver(mk(key, i as i64 + 1), SimTime::from_secs(2));
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let incremental_wall_secs = run(true);
+    let recompute_wall_secs = run(false);
+    DeltaAggResult {
+        rows,
+        groups,
+        mutations,
+        incremental_wall_secs,
+        incremental_ns_per_mutation: incremental_wall_secs * 1e9 / mutations.max(1) as f64,
+        recompute_wall_secs,
+        recompute_ns_per_mutation: recompute_wall_secs * 1e9 / mutations.max(1) as f64,
+        speedup: recompute_wall_secs / incremental_wall_secs.max(1e-12),
+    }
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
     pipeline: Vec<PipelineResult>,
     chord_deliver: Vec<ChordDeliverResult>,
     plan_sharing: PlanSharingResult,
+    delta_agg: Vec<DeltaAggResult>,
+    fused_strand_count: usize,
 }
 
 fn main() {
@@ -334,6 +467,16 @@ fn main() {
         pipeline.push(r);
     }
 
+    // CI smoke-run of the strand path: the default shared plan must fuse
+    // the dominant Chord rule shapes, and the lookup benchmark below then
+    // drives them end-to-end.
+    let fused_strand_count = chord::shared_plan(false).fused_strand_count();
+    assert!(
+        fused_strand_count >= 20,
+        "strand fusion regressed: only {fused_strand_count} fused strands in the Chord plan"
+    );
+    eprintln!("chord shared plan: {fused_strand_count} fused rule strands");
+
     let mut chord_deliver = Vec::new();
     for batch in [1usize, 64] {
         eprintln!("chord lookups: batch {batch}...");
@@ -345,11 +488,29 @@ fn main() {
         chord_deliver.push(r);
     }
 
+    let mut delta_agg = Vec::new();
+    let (rows, groups, mutations) = if smoke {
+        (500usize, 4i64, 50_000u64)
+    } else {
+        (1000, 4, 200_000)
+    };
+    for rows in [rows / 10, rows] {
+        eprintln!("delta agg: {rows} rows, {groups} groups, {mutations} mutations...");
+        let r = bench_delta_agg(rows, groups, mutations);
+        eprintln!(
+            "  incremental {:>7.0} ns/mutation vs recompute {:>8.0} ns/mutation: {:.1}x",
+            r.incremental_ns_per_mutation, r.recompute_ns_per_mutation, r.speedup
+        );
+        delta_agg.push(r);
+    }
+
     let report = BenchReport {
         bench: "dataflow_engine".to_string(),
         pipeline,
         chord_deliver,
         plan_sharing,
+        delta_agg,
+        fused_strand_count,
     };
     let json = to_json(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {

@@ -16,6 +16,11 @@
 //! * `join_seed_bring_up` — virtual bring-up time of the batched path with
 //!   and without the JS1 join-time successor-seeding rule (ROADMAP
 //!   bottleneck 2: seeding collapses idle stabilization waits).
+//! * `strand_gate` — the rule-strand equivalence gate: the same ring
+//!   planned with fused strands (the default) and with the generic element
+//!   chains must produce identical NetStats and event counts, and the
+//!   binary **exits non-zero on divergence** (CI runs this in smoke mode,
+//!   like the `--par` golden gate).
 //!
 //! With `--par` the binary instead benchmarks the **parallel sharded
 //! simulator**: steady-state Chord-ring throughput at 1/2/4/8 workers per
@@ -96,6 +101,14 @@ struct ChordResult {
     wall_secs: f64,
     events_per_sec: f64,
     messages_per_virtual_sec: f64,
+    /// Throughput of the same ring planned with the generic element
+    /// chains, measured in interleaved windows within the same process so
+    /// machine noise hits both variants equally.
+    generic_events_per_sec: f64,
+    /// `events_per_sec / generic_events_per_sec`: the isolated win of
+    /// strand fusion (plus the identical event streams make the windows
+    /// directly comparable).
+    fused_speedup: f64,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -112,11 +125,21 @@ struct JoinSeedResult {
 }
 
 #[derive(Debug, Clone, Serialize)]
+struct StrandGate {
+    nodes: usize,
+    fused_strand_count: usize,
+    fused: GoldenPin,
+    generic: GoldenPin,
+    matches: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
     toy_event_loop: Vec<ToyResult>,
     chord_rings: Vec<ChordResult>,
     join_seed_bring_up: Vec<JoinSeedResult>,
+    strand_gate: StrandGate,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -195,26 +218,51 @@ fn bench_toy(nodes: usize, virtual_secs: u64) -> ToyResult {
 
 fn bench_chord(nodes: usize, warmup_secs: u64, virtual_secs: u64) -> ChordResult {
     let start = Instant::now();
-    let mut cluster = ChordCluster::build_fast(nodes, warmup_secs, 42);
+    let mut cluster = ChordCluster::builder(nodes, 42).build_fast(warmup_secs);
     let build_wall_secs = start.elapsed().as_secs_f64();
     let ring_correctness = cluster.ring_correctness();
+    let mut generic = ChordCluster::builder(nodes, 42)
+        .fuse_strands(false)
+        .build_fast(warmup_secs);
 
-    let before_events = cluster.sim.events_processed();
+    // Interleaved measurement windows: the fused and the generic ring
+    // simulate the same deterministic event stream, so alternating short
+    // windows makes the comparison robust against machine-load drift
+    // within one run (single absolute numbers on a shared box are not).
+    let windows = 3u64;
+    let slice = (virtual_secs / windows).max(1);
     cluster.sim.reset_stats();
-    let start = Instant::now();
-    cluster.run_for(virtual_secs as f64);
-    let wall = start.elapsed().as_secs_f64();
+    let before_events = cluster.sim.events_processed();
+    let generic_before = generic.sim.events_processed();
+    let (mut wall, mut generic_wall) = (0.0f64, 0.0f64);
+    for _ in 0..windows {
+        let t = Instant::now();
+        cluster.run_for(slice as f64);
+        wall += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        generic.run_for(slice as f64);
+        generic_wall += t.elapsed().as_secs_f64();
+    }
     let events = cluster.sim.events_processed() - before_events;
+    let generic_events = generic.sim.events_processed() - generic_before;
+    assert_eq!(
+        events, generic_events,
+        "fused and generic rings must process identical event streams"
+    );
     let sent = cluster.sim.stats().messages_sent;
+    let events_per_sec = events as f64 / wall.max(1e-12);
+    let generic_events_per_sec = generic_events as f64 / generic_wall.max(1e-12);
     ChordResult {
         nodes,
         build_wall_secs,
         ring_correctness,
-        virtual_secs,
+        virtual_secs: slice * windows,
         events,
         wall_secs: wall,
-        events_per_sec: events as f64 / wall.max(1e-12),
-        messages_per_virtual_sec: sent as f64 / virtual_secs.max(1) as f64,
+        events_per_sec,
+        messages_per_virtual_sec: sent as f64 / (slice * windows).max(1) as f64,
+        generic_events_per_sec,
+        fused_speedup: events_per_sec / generic_events_per_sec.max(1e-12),
     }
 }
 
@@ -231,6 +279,39 @@ fn bench_join_seed(nodes: usize, warmup_secs: u64) -> JoinSeedResult {
         delta_virtual_secs: base.bring_up_virtual_secs() - seeded.bring_up_virtual_secs(),
         base_ring_correctness: base.ring_correctness(),
         seeded_ring_correctness: seeded.ring_correctness(),
+    }
+}
+
+/// Runs the strand-equivalence gate: the same staggered-bring-up ring
+/// planned with fused strands and with the generic element chains must
+/// produce identical NetStats and event counts. The fused plan's padded
+/// strands are designed to preserve the engine's breadth-first emission
+/// schedule exactly; this gate is the end-to-end proof.
+fn strand_gate(nodes: usize, warmup_secs: u64) -> StrandGate {
+    let run = |fuse: bool| {
+        let mut cluster = ChordCluster::builder(nodes, 42)
+            .fuse_strands(fuse)
+            .build(warmup_secs);
+        cluster.sim.reset_stats();
+        let before = cluster.sim.events_processed();
+        cluster.run_for(60.0);
+        let s = cluster.sim.stats();
+        GoldenPin {
+            messages_sent: s.messages_sent,
+            messages_delivered: s.messages_delivered,
+            messages_dropped: s.messages_dropped,
+            bytes_sent: s.bytes_sent,
+            events_processed: cluster.sim.events_processed() - before,
+        }
+    };
+    let fused = run(true);
+    let generic = run(false);
+    StrandGate {
+        nodes,
+        fused_strand_count: p2_overlays::chord::shared_plan(true).fused_strand_count(),
+        fused,
+        generic,
+        matches: fused == generic,
     }
 }
 
@@ -430,13 +511,15 @@ fn main() {
         let r = bench_chord(n, warmup_secs, measure_secs);
         eprintln!(
             "  bring-up {:.2} s wall, ring {:.2}, {} events in {:.3} s -> {:>12.0} events/s \
-             ({:>8.0} msgs/virtual-s)",
+             ({:>8.0} msgs/virtual-s; generic plan {:>12.0} events/s, fused {:.2}x)",
             r.build_wall_secs,
             r.ring_correctness,
             r.events,
             r.wall_secs,
             r.events_per_sec,
-            r.messages_per_virtual_sec
+            r.messages_per_virtual_sec,
+            r.generic_events_per_sec,
+            r.fused_speedup
         );
         chord_rings.push(r);
     }
@@ -466,11 +549,24 @@ fn main() {
         join_seed_bring_up.push(r);
     }
 
+    let gate_nodes = if smoke { 16 } else { 64 };
+    eprintln!("strand gate: {gate_nodes}-node ring, fused vs generic plans...");
+    let gate = strand_gate(gate_nodes, if smoke { 60 } else { 120 });
+    eprintln!(
+        "  {} fused strands; fused {:?} vs generic {:?} -> {}",
+        gate.fused_strand_count,
+        gate.fused,
+        gate.generic,
+        if gate.matches { "MATCH" } else { "DIVERGED" }
+    );
+    let matches = gate.matches;
+
     let report = BenchReport {
         bench: "sim_event_loop".to_string(),
         toy_event_loop,
         chord_rings,
         join_seed_bring_up,
+        strand_gate: gate,
     };
     let json = to_json(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -479,4 +575,8 @@ fn main() {
     }
     println!("{json}");
     eprintln!("wrote {out_path}");
+    if !matches {
+        eprintln!("error: strand-compiled run diverged from the generic-plan run");
+        std::process::exit(1);
+    }
 }

@@ -26,6 +26,10 @@ pub struct NodeConfig {
     /// Whether periodic timers start at a random phase (recommended for
     /// multi-node simulations).
     pub jitter_periodics: bool,
+    /// Whether eligible rule chains are compiled into fused strand
+    /// elements (on by default; disable to debug against the generic
+    /// element graph).
+    pub fuse_strands: bool,
 }
 
 impl NodeConfig {
@@ -36,6 +40,7 @@ impl NodeConfig {
             seed,
             watches: Vec::new(),
             jitter_periodics: true,
+            fuse_strands: true,
         }
     }
 
@@ -48,6 +53,13 @@ impl NodeConfig {
     /// Disables periodic phase jitter (deterministic timer schedule).
     pub fn without_jitter(mut self) -> NodeConfig {
         self.jitter_periodics = false;
+        self
+    }
+
+    /// Disables rule-strand fusion (every rule uses the generic element
+    /// chain).
+    pub fn without_fusion(mut self) -> NodeConfig {
+        self.fuse_strands = false;
         self
     }
 }
@@ -92,6 +104,7 @@ impl P2Node {
         let plan_config = PlanConfig {
             watches: config.watches.clone(),
             jitter_periodics: config.jitter_periodics,
+            fuse_strands: config.fuse_strands,
         };
         let shared = PlannedProgram::compile(program, &plan_config)?;
         Ok(P2Node::from_plan(

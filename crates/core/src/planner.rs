@@ -39,8 +39,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use p2_dataflow::elements::{
-    AggProbe, AntiJoin, Collector, CollectorHandle, Delete, Demux, Insert, Join, NetOut, Periodic,
-    Project, Select, TableAgg,
+    AggProbe, AntiJoin, Collector, CollectorHandle, Delete, Demux, FusedStrand, Insert, Join,
+    NetOut, Pad, Periodic, Project, Select, StrandOp, TableAgg,
 };
 use p2_dataflow::{Element, Engine, Graph, Route};
 use p2_overlog::{AggSpec, BodyTerm, Expr as OExpr, HeadArg, Predicate, Program, Rule, SizeBound};
@@ -65,6 +65,9 @@ pub struct PlanOptions {
     /// period (recommended for simulations; disable for deterministic unit
     /// tests).
     pub jitter_periodics: bool,
+    /// Whether eligible rule chains are compiled into fused strand
+    /// elements (see [`PlanConfig::fuse_strands`]).
+    pub fuse_strands: bool,
 }
 
 impl PlanOptions {
@@ -75,6 +78,7 @@ impl PlanOptions {
             seed,
             watches: Vec::new(),
             jitter_periodics: true,
+            fuse_strands: true,
         }
     }
 
@@ -89,24 +93,50 @@ impl PlanOptions {
         self.jitter_periodics = false;
         self
     }
+
+    /// Disables rule-strand fusion (every rule uses the generic element
+    /// chain).
+    pub fn without_fusion(mut self) -> PlanOptions {
+        self.fuse_strands = false;
+        self
+    }
 }
 
 /// Node-independent planning configuration: everything [`PlanOptions`]
 /// carries except the per-node address and seed.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PlanConfig {
     /// Tuple names to attach observation taps to.
     pub watches: Vec<String>,
     /// Whether `periodic` sources start at a random phase.
     pub jitter_periodics: bool,
+    /// Whether eligible rule chains (at most one table join, no
+    /// aggregation probe, no RNG builtins) are fused into a single
+    /// [`FusedStrand`] element followed by schedule-preserving pads,
+    /// instead of the generic element chain. On by default; the generic
+    /// graph remains the fallback for every other shape, and
+    /// [`PlanConfig::without_fusion`] forces it everywhere (used by the
+    /// strand-equivalence gates).
+    pub fuse_strands: bool,
+}
+
+impl Default for PlanConfig {
+    fn default() -> PlanConfig {
+        PlanConfig {
+            watches: Vec::new(),
+            jitter_periodics: false,
+            fuse_strands: true,
+        }
+    }
 }
 
 impl PlanConfig {
-    /// Creates a config with jitter enabled and no watches.
+    /// Creates a config with jitter and strand fusion enabled, no watches.
     pub fn new() -> PlanConfig {
         PlanConfig {
             watches: Vec::new(),
             jitter_periodics: true,
+            fuse_strands: true,
         }
     }
 
@@ -119,6 +149,12 @@ impl PlanConfig {
     /// Disables periodic phase jitter.
     pub fn without_jitter(mut self) -> PlanConfig {
         self.jitter_periodics = false;
+        self
+    }
+
+    /// Disables rule-strand fusion.
+    pub fn without_fusion(mut self) -> PlanConfig {
+        self.fuse_strands = false;
         self
     }
 }
@@ -140,6 +176,7 @@ pub fn plan(program: &Program, opts: &PlanOptions) -> Result<Planned, PlanError>
     let config = PlanConfig {
         watches: opts.watches.clone(),
         jitter_periodics: opts.jitter_periodics,
+        fuse_strands: opts.fuse_strands,
     };
     let planned = PlannedProgram::compile(program, &config)?;
     Ok(planned.instantiate(opts.local_addr.clone(), opts.seed))
@@ -189,6 +226,18 @@ enum ElementSpec {
         group_cols: Vec<usize>,
         out_name: Arc<str>,
     },
+    /// A whole fused rule strand: trigger filters, join probes, anti-joins,
+    /// assignments, conditions, and the head projection in one element (see
+    /// `p2_dataflow::elements::FusedStrand`).
+    Strand {
+        pre_filters: Vec<PelProgram>,
+        ops: Vec<StrandOpSpec>,
+        head_fields: Vec<PelProgram>,
+        out_name: Arc<str>,
+    },
+    /// Schedule-preserving forwarder keeping a fused strand's outputs at
+    /// the BFS level of the generic chain it replaced.
+    Pad,
     /// `periodic` timer source.
     Periodic {
         period: f64,
@@ -200,6 +249,20 @@ enum ElementSpec {
     NetOut { dest_field: usize },
     /// Observation tap for a watched tuple name.
     Collector { watch: String },
+}
+
+/// One operation of a planned fused strand, in chain order.
+enum StrandOpSpec {
+    Filter(PelProgram),
+    Probe {
+        table: usize,
+        key: Vec<(usize, usize)>,
+    },
+    AntiJoin {
+        table: usize,
+        key: Vec<(usize, usize)>,
+    },
+    Assign(PelProgram),
 }
 
 /// One field of a program fact, resolved at compile time.
@@ -237,6 +300,7 @@ pub struct PlannedProgram {
     tables: Vec<TablePlan>,
     facts: Vec<FactTemplate>,
     jitter_periodics: bool,
+    fused_strands: usize,
 }
 
 // Compile-time audit: the shared plan is handed out as `&'static` from
@@ -265,6 +329,12 @@ impl PlannedProgram {
     /// Number of edges in the planned graph.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Number of rule strands compiled into fused single-call elements
+    /// (zero when fusion is disabled or no rule shape qualified).
+    pub fn fused_strand_count(&self) -> usize {
+        self.fused_strands
     }
 
     /// The resolved program facts, as tuples for a node at `addr`.
@@ -359,6 +429,29 @@ impl PlannedProgram {
                     group_cols.clone(),
                     out_name.to_string(),
                 )),
+                ElementSpec::Strand {
+                    pre_filters,
+                    ops,
+                    head_fields,
+                    out_name,
+                } => Box::new(FusedStrand::new(
+                    pre_filters.clone(),
+                    ops.iter()
+                        .map(|op| match op {
+                            StrandOpSpec::Filter(p) => StrandOp::Filter(p.clone()),
+                            StrandOpSpec::Probe { table, key } => {
+                                FusedStrand::probe_op(refs[*table].clone(), key.clone())
+                            }
+                            StrandOpSpec::AntiJoin { table, key } => {
+                                FusedStrand::anti_op(refs[*table].clone(), key.clone())
+                            }
+                            StrandOpSpec::Assign(p) => StrandOp::Assign(p.clone()),
+                        })
+                        .collect(),
+                    head_fields.clone(),
+                    out_name.to_string(),
+                )),
+                ElementSpec::Pad => Box::new(Pad),
                 ElementSpec::Periodic {
                     period,
                     count,
@@ -412,6 +505,47 @@ struct AggPlan<'a> {
     table: Option<&'a Predicate>,
 }
 
+/// One analysed step of a rule strand, before lowering. The stage list is
+/// the single source of truth for both translations: the generic element
+/// chain (one element per stage) and the fused strand (one element total,
+/// padded back to the same chain length so the engine's breadth-first
+/// emission schedule — and with it the simulator's golden event stream —
+/// is preserved bit-for-bit).
+enum Stage {
+    /// PEL selection (trigger checks, join checks, or rule conditions).
+    Select { label: String, filter: PelProgram },
+    /// Stream × table equijoin.
+    Join {
+        label: String,
+        table: usize,
+        key: Vec<(usize, usize)>,
+        out_name: Arc<str>,
+    },
+    /// Stream × table anti-join.
+    AntiJoin {
+        label: String,
+        table: usize,
+        key: Vec<(usize, usize)>,
+    },
+    /// Assignment appending one computed field (the generic lowering is a
+    /// whole-tuple projection of `prior_len` copies plus the expression).
+    Assign {
+        label: String,
+        out_name: Arc<str>,
+        expr: PelProgram,
+        prior_len: usize,
+    },
+    /// Head projection (always the last stage).
+    Head {
+        label: String,
+        out_name: Arc<str>,
+        fields: Vec<PelProgram>,
+    },
+    /// A stage with no fused form (currently only `AggProbe`); its
+    /// presence forces the generic lowering.
+    Other { label: String, spec: ElementSpec },
+}
+
 struct Builder<'a> {
     program: &'a Program,
     config: &'a PlanConfig,
@@ -428,6 +562,8 @@ struct Builder<'a> {
     table_aggs: HashMap<String, Vec<usize>>,
     /// Delete elements per table name (their output also pokes TableAggs).
     delete_ids: HashMap<String, Vec<usize>>,
+    /// Number of rule strands compiled into fused elements.
+    fused_strands: usize,
 }
 
 impl<'a> Builder<'a> {
@@ -480,6 +616,7 @@ impl<'a> Builder<'a> {
             insert_ids: HashMap::new(),
             table_aggs: HashMap::new(),
             delete_ids: HashMap::new(),
+            fused_strands: 0,
         };
         builder.demux_id = builder.add("demux", ElementSpec::Demux);
 
@@ -618,6 +755,7 @@ impl<'a> Builder<'a> {
             tables: self.tables,
             facts,
             jitter_periodics: self.config.jitter_periodics,
+            fused_strands: self.fused_strands,
         })
     }
 
@@ -696,8 +834,153 @@ impl<'a> Builder<'a> {
         }
     }
 
+    /// Whether a stage list has a fused form: a bounded number of join
+    /// probes over pairwise-distinct tables, no fuse-less stages
+    /// (aggregation probes), no anti-join over a probed table (which would
+    /// dead-lock on that table's guard), and no RNG builtins (fusion
+    /// changes the cross-strand evaluation order, which an RNG-drawing
+    /// program would observe — same-seed runs would diverge).
+    fn stages_fusable(stages: &[Stage]) -> bool {
+        if stages.len() < 2 {
+            // A bare head projection gains nothing from fusion.
+            return false;
+        }
+        let mut probed: Vec<usize> = Vec::new();
+        for stage in stages {
+            match stage {
+                Stage::Join { table, .. } => {
+                    if probed.contains(table) {
+                        return false; // self-join: probing under its own guard
+                    }
+                    probed.push(*table);
+                }
+                Stage::Other { .. } => return false,
+                _ => {}
+            }
+        }
+        if probed.len() > p2_dataflow::elements::MAX_STRAND_PROBES {
+            return false;
+        }
+        for stage in stages {
+            let unfusable = match stage {
+                Stage::Select { filter, .. } => filter.uses_random(),
+                Stage::Assign { expr, .. } => expr.uses_random(),
+                Stage::Head { fields, .. } => fields.iter().any(PelProgram::uses_random),
+                Stage::AntiJoin { table, .. } => probed.contains(table),
+                Stage::Join { .. } | Stage::Other { .. } => false,
+            };
+            if unfusable {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Lowers a stage list to graph elements, returning the chain in
+    /// execution order. Generic lowering emits one element per stage; the
+    /// fused lowering emits a single [`FusedStrand`] followed by
+    /// `stages.len() - 1` pads, so head tuples surface at exactly the BFS
+    /// level the generic chain would have emitted them at.
+    fn lower_stages(&mut self, rule: &Rule, stages: Vec<Stage>) -> Vec<usize> {
+        if self.config.fuse_strands && Self::stages_fusable(&stages) {
+            return self.lower_fused(rule, stages);
+        }
+        stages
+            .into_iter()
+            .map(|stage| match stage {
+                Stage::Select { label, filter } => self.add(label, ElementSpec::Select { filter }),
+                Stage::Join {
+                    label,
+                    table,
+                    key,
+                    out_name,
+                } => self.add(
+                    label,
+                    ElementSpec::Join {
+                        table,
+                        key,
+                        out_name,
+                    },
+                ),
+                Stage::AntiJoin { label, table, key } => {
+                    self.add(label, ElementSpec::AntiJoin { table, key })
+                }
+                Stage::Assign {
+                    label,
+                    out_name,
+                    expr,
+                    prior_len,
+                } => {
+                    let mut fields: Vec<PelProgram> = (0..prior_len)
+                        .map(|i| PelProgram::compile(&PExpr::Field(i)))
+                        .collect();
+                    fields.push(expr);
+                    self.add(label, ElementSpec::Project { out_name, fields })
+                }
+                Stage::Head {
+                    label,
+                    out_name,
+                    fields,
+                } => self.add(label, ElementSpec::Project { out_name, fields }),
+                Stage::Other { label, spec } => self.add(label, spec),
+            })
+            .collect()
+    }
+
+    /// The fused lowering (callers checked [`Builder::stages_fusable`]).
+    fn lower_fused(&mut self, rule: &Rule, stages: Vec<Stage>) -> Vec<usize> {
+        let pad_count = stages.len() - 1;
+        let mut pre_filters = Vec::new();
+        let mut ops: Vec<StrandOpSpec> = Vec::new();
+        let mut head = None;
+        for stage in stages {
+            match stage {
+                Stage::Select { filter, .. } => {
+                    if ops.is_empty() {
+                        // Leading selections run on the bare trigger tuple,
+                        // exactly like the generic trigger-select.
+                        pre_filters.push(filter);
+                    } else {
+                        ops.push(StrandOpSpec::Filter(filter));
+                    }
+                }
+                Stage::Join { table, key, .. } => ops.push(StrandOpSpec::Probe { table, key }),
+                Stage::AntiJoin { table, key, .. } => {
+                    ops.push(StrandOpSpec::AntiJoin { table, key })
+                }
+                Stage::Assign { expr, .. } => ops.push(StrandOpSpec::Assign(expr)),
+                Stage::Head {
+                    out_name, fields, ..
+                } => head = Some((out_name, fields)),
+                Stage::Other { .. } => unreachable!("stages_fusable rejects Other"),
+            }
+        }
+        let (out_name, head_fields) = head.expect("every strand ends in its head projection");
+        let strand = self.add(
+            format!("{}:strand", rule.id),
+            ElementSpec::Strand {
+                pre_filters,
+                ops,
+                head_fields,
+                out_name,
+            },
+        );
+        self.fused_strands += 1;
+        let mut chain = vec![strand];
+        for i in 0..pad_count {
+            chain.push(self.add(format!("{}:pad{i}", rule.id), ElementSpec::Pad));
+        }
+        chain
+    }
+
     /// Builds one strand: trigger → joins → filters → (aggregate) →
     /// projection → routing.
+    ///
+    /// The rule body is first analysed into a [`Stage`] list, then lowered
+    /// either to the generic element chain or — for the dominant
+    /// single-join / select-project shapes — to one [`FusedStrand`]
+    /// element followed by schedule-preserving pads
+    /// ([`Builder::lower_stages`]).
     fn build_strand(
         &mut self,
         rule: &Rule,
@@ -706,7 +989,7 @@ impl<'a> Builder<'a> {
         other_tables: &[&Predicate],
     ) -> Result<(), PlanError> {
         let mut layout = Layout::new();
-        let mut chain: Vec<usize> = Vec::new();
+        let mut stages: Vec<Stage> = Vec::new();
 
         // --- Trigger.
         let trigger_binding = layout
@@ -725,11 +1008,10 @@ impl<'a> Builder<'a> {
         }
         if !trigger_checks.is_empty() && !matches!(source, TriggerSource::Periodic(_)) {
             let filter = PelProgram::compile(&and_all(trigger_checks));
-            let id = self.add(
-                format!("{}:trigger-select", rule.id),
-                ElementSpec::Select { filter },
-            );
-            chain.push(id);
+            stages.push(Stage::Select {
+                label: format!("{}:trigger-select", rule.id),
+                filter,
+            });
         }
 
         // --- Aggregate analysis.
@@ -764,15 +1046,12 @@ impl<'a> Builder<'a> {
                 .map_err(|e| PlanError::in_rule(&rule.id, e.message))?;
             let table = self.table_id(rule, &pred.name)?;
             self.declare_probe_index(table, &binding.join_keys);
-            let id = self.add(
-                format!("{}:join:{}", rule.id, pred.name),
-                ElementSpec::Join {
-                    table,
-                    key: binding.join_keys.clone(),
-                    out_name: format!("{}#{}", rule.id, pred.name).into(),
-                },
-            );
-            chain.push(id);
+            stages.push(Stage::Join {
+                label: format!("{}:join:{}", rule.id, pred.name),
+                table,
+                key: binding.join_keys.clone(),
+                out_name: format!("{}#{}", rule.id, pred.name).into(),
+            });
 
             let mut checks: Vec<PExpr> = Vec::new();
             for (col, value) in &binding.const_checks {
@@ -791,11 +1070,10 @@ impl<'a> Builder<'a> {
             }
             if !checks.is_empty() {
                 let filter = PelProgram::compile(&and_all(checks));
-                let id = self.add(
-                    format!("{}:join-select:{}", rule.id, pred.name),
-                    ElementSpec::Select { filter },
-                );
-                chain.push(id);
+                stages.push(Stage::Select {
+                    label: format!("{}:join-select:{}", rule.id, pred.name),
+                    filter,
+                });
             }
         }
 
@@ -815,14 +1093,11 @@ impl<'a> Builder<'a> {
             }
             let table = self.table_id(rule, &pred.name)?;
             self.declare_probe_index(table, &binding.join_keys);
-            let id = self.add(
-                format!("{}:antijoin:{}", rule.id, pred.name),
-                ElementSpec::AntiJoin {
-                    table,
-                    key: binding.join_keys,
-                },
-            );
-            chain.push(id);
+            stages.push(Stage::AntiJoin {
+                label: format!("{}:antijoin:{}", rule.id, pred.name),
+                table,
+                key: binding.join_keys,
+            });
         }
 
         // --- Assignments (dependency order), excluding the aggregate
@@ -848,19 +1123,12 @@ impl<'a> Builder<'a> {
             for (var, expr) in pending {
                 match layout.compile_expr(expr) {
                     Ok(compiled) => {
-                        let len = layout.len();
-                        let mut fields: Vec<PelProgram> = (0..len)
-                            .map(|i| PelProgram::compile(&PExpr::Field(i)))
-                            .collect();
-                        fields.push(PelProgram::compile(&compiled));
-                        let id = self.add(
-                            format!("{}:assign:{}", rule.id, var),
-                            ElementSpec::Project {
-                                out_name: format!("{}#assign:{}", rule.id, var).into(),
-                                fields,
-                            },
-                        );
-                        chain.push(id);
+                        stages.push(Stage::Assign {
+                            label: format!("{}:assign:{}", rule.id, var),
+                            out_name: format!("{}#assign:{}", rule.id, var).into(),
+                            expr: PelProgram::compile(&compiled),
+                            prior_len: layout.len(),
+                        });
                         layout.push_var(var.clone());
                         progress = true;
                     }
@@ -900,11 +1168,10 @@ impl<'a> Builder<'a> {
         }
         if !pre_conditions.is_empty() {
             let filter = PelProgram::compile(&and_all(pre_conditions));
-            let id = self.add(
-                format!("{}:select", rule.id),
-                ElementSpec::Select { filter },
-            );
-            chain.push(id);
+            stages.push(Stage::Select {
+                label: format!("{}:select", rule.id),
+                filter,
+            });
         }
 
         // --- Aggregation.
@@ -982,9 +1249,9 @@ impl<'a> Builder<'a> {
                 }
             };
             let table = self.table_id(rule, &pred.name)?;
-            let id = self.add(
-                format!("{}:agg:{}", rule.id, pred.name),
-                ElementSpec::AggProbe {
+            stages.push(Stage::Other {
+                label: format!("{}:agg:{}", rule.id, pred.name),
+                spec: ElementSpec::AggProbe {
                     table,
                     table_arity: pred.args.len(),
                     func: aggp.spec.func,
@@ -996,8 +1263,7 @@ impl<'a> Builder<'a> {
                     agg_expr: PelProgram::compile(&agg_expr),
                     out_name: format!("{}#agg", rule.id).into(),
                 },
-            );
-            chain.push(id);
+            });
             layout = agg_layout;
             agg_field = Some(layout.push_anonymous());
         }
@@ -1023,16 +1289,15 @@ impl<'a> Builder<'a> {
                 }
             }
         }
-        let id = self.add(
-            format!("{}:head", rule.id),
-            ElementSpec::Project {
-                out_name: rule.head.name.as_str().into(),
-                fields,
-            },
-        );
-        chain.push(id);
+        stages.push(Stage::Head {
+            label: format!("{}:head", rule.id),
+            out_name: rule.head.name.as_str().into(),
+            fields,
+        });
 
-        // --- Routing.
+        // --- Lower the stage list to elements (generic chain or fused
+        // strand + pads), then attach the routing.
+        let mut chain = self.lower_stages(rule, stages);
         self.route_head(rule, &mut chain)?;
 
         // --- Wire the chain and its trigger source.
@@ -1399,10 +1664,100 @@ mod tests {
         let planned = plan_src(src).unwrap();
         let desc = planned.engine.describe();
         assert!(desc.contains("Periodic"));
-        assert!(desc.contains("R2:join:sequence"));
+        // R2 is a single-join rule: it compiles to a fused strand (with a
+        // schedule-preserving pad chain), not a generic join element.
+        assert!(desc.contains("R2:strand"), "{desc}");
+        assert!(desc.contains("R2:pad"), "{desc}");
+        assert!(!desc.contains("R2:join:sequence"));
+        // Aggregation-probe rules keep the generic chain.
         assert!(desc.contains("P0:agg:member"));
         assert!(desc.contains("S1:tableagg:member"));
         assert!(planned.catalog.is_table("member"));
+    }
+
+    #[test]
+    fn fusion_can_be_disabled_and_counts_strands() {
+        let src = r#"
+            materialize(sequence, infinity, 1, keys(1)).
+            R1 refreshSeq@X(X, NewSeq) :- refreshEvent@X(X), sequence@X(X, Seq), NewSeq := Seq + 1.
+        "#;
+        let program = compile_checked(src).unwrap();
+        let fused = PlannedProgram::compile(&program, &PlanConfig::new().without_jitter()).unwrap();
+        assert_eq!(fused.fused_strand_count(), 1);
+        assert!(fused
+            .instantiate("n1", 1)
+            .engine
+            .describe()
+            .contains("R1:strand"));
+
+        let generic = PlannedProgram::compile(
+            &program,
+            &PlanConfig::new().without_jitter().without_fusion(),
+        )
+        .unwrap();
+        assert_eq!(generic.fused_strand_count(), 0);
+        let desc = generic.instantiate("n1", 1).engine.describe();
+        assert!(desc.contains("R1:join:sequence"), "{desc}");
+        assert!(!desc.contains("R1:strand"));
+    }
+
+    #[test]
+    fn rng_rules_are_never_fused() {
+        // The assignment draws on the node RNG: fusing would change the
+        // cross-strand evaluation order the RNG stream observes.
+        let src = r#"
+            materialize(member, 120, infinity, keys(2)).
+            R1 pick@X(X, R) :- ev@X(X), member@X(X, A, S), R := f_rand().
+        "#;
+        let program = compile_checked(src).unwrap();
+        let planned =
+            PlannedProgram::compile(&program, &PlanConfig::new().without_jitter()).unwrap();
+        assert_eq!(planned.fused_strand_count(), 0);
+        assert!(planned
+            .instantiate("n1", 1)
+            .engine
+            .describe()
+            .contains("R1:join:member"));
+    }
+
+    #[test]
+    fn fused_strand_matches_generic_chain_end_to_end() {
+        // One rule in both translations, same inputs: identical outputs.
+        let src = r#"
+            materialize(member, 120, infinity, keys(2)).
+            R1 out@Y(Y, X, D) :- ev@X(X, Y), member@X(X, Y, S), S > 1, D := S + 10.
+        "#;
+        let program = compile_checked(src).unwrap();
+        let run = |fuse: bool| {
+            let opts = if fuse {
+                PlanOptions::new("n1", 7).without_jitter()
+            } else {
+                PlanOptions::new("n1", 7).without_jitter().without_fusion()
+            };
+            let mut planned = plan(&program, &opts).unwrap();
+            planned.engine.set_entry(Route {
+                element: 0,
+                port: 0,
+            });
+            planned.engine.start(p2_value::SimTime::ZERO);
+            for (y, s) in [("n7", 5i64), ("n8", 1), ("n9", 3)] {
+                let member = p2_value::Tuple::new(
+                    "member",
+                    vec![Value::str("n1"), Value::str(y), Value::Int(s)],
+                );
+                planned
+                    .engine
+                    .deliver(member, p2_value::SimTime::from_secs(1));
+            }
+            let ev = p2_value::Tuple::new("ev", vec![Value::str("n1"), Value::str("n7")]);
+            planned.engine.deliver(ev, p2_value::SimTime::from_secs(2))
+        };
+        let fused = run(true);
+        let generic = run(false);
+        assert_eq!(fused, generic);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(&*fused[0].dst, "n7");
+        assert_eq!(fused[0].tuple.values()[2], Value::Int(15));
     }
 
     #[test]

@@ -10,10 +10,12 @@ mod glue;
 mod net;
 mod relational;
 mod source;
+mod strand;
 mod table_ops;
 
 pub use glue::{Collector, CollectorHandle, Demux, Queue};
 pub use net::NetOut;
-pub use relational::{AntiJoin, Join, Project, Select};
+pub use relational::{AntiJoin, Join, ProbeKey, Project, Select};
 pub use source::Periodic;
+pub use strand::{FusedStrand, Pad, StrandOp, MAX_STRAND_PROBES};
 pub use table_ops::{AggProbe, Delete, Insert, TableAgg};

@@ -8,9 +8,9 @@ use crate::element::{Element, ElementCtx};
 
 /// Upper bound on join-key arity probed without heap allocation; OverLog
 /// rules rarely unify more than two or three columns per table.
-const INLINE_PROBE: usize = 8;
+pub(crate) const INLINE_PROBE: usize = 8;
 
-const NULL_VALUE: Value = Value::Null;
+pub(crate) const NULL_VALUE: Value = Value::Null;
 
 /// Join-key pairs normalized at construction: table columns sorted
 /// ascending and deduplicated (the order [`p2_table::Table::lookup_iter`]
@@ -21,19 +21,19 @@ const NULL_VALUE: Value = Value::Null;
 /// stream-side equality checks (`tuple[s1] == tuple[s2]`): the constraints
 /// can only both hold when those stream values agree.
 #[derive(Debug, Clone, Default)]
-struct ProbeKey {
+pub struct ProbeKey {
     /// `(stream field, table column)` with unique table columns, sorted by
     /// table column.
-    pairs: Vec<(usize, usize)>,
+    pub(crate) pairs: Vec<(usize, usize)>,
     /// The table columns alone, in the same (sorted) order.
-    table_cols: Vec<usize>,
+    pub(crate) table_cols: Vec<usize>,
     /// Stream-field pairs that must be equal (folded duplicate-column
     /// constraints).
-    stream_checks: Vec<(usize, usize)>,
+    pub(crate) stream_checks: Vec<(usize, usize)>,
 }
 
 impl ProbeKey {
-    fn new(mut key: Vec<(usize, usize)>) -> ProbeKey {
+    pub(crate) fn new(mut key: Vec<(usize, usize)>) -> ProbeKey {
         key.sort_by_key(|(_, t)| *t);
         let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(key.len());
         let mut stream_checks = Vec::new();
@@ -55,7 +55,7 @@ impl ProbeKey {
         }
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.pairs.is_empty()
     }
 
@@ -63,7 +63,7 @@ impl ProbeKey {
     /// constraints: `Some(true)` if all hold (vacuously with none declared),
     /// `Some(false)` if some pair is present but unequal, `None` when the
     /// tuple is too short to evaluate a check (malformed).
-    fn stream_checks_hold(&self, tuple: &Tuple) -> Option<bool> {
+    pub(crate) fn stream_checks_hold(&self, tuple: &Tuple) -> Option<bool> {
         for &(a, b) in &self.stream_checks {
             match (tuple.get(a), tuple.get(b)) {
                 (Ok(x), Ok(y)) if x == y => {}
@@ -79,7 +79,11 @@ impl ProbeKey {
     /// the tuple is too short to probe. Callers must consult
     /// [`ProbeKey::stream_checks_hold`] first — a failed check means no row
     /// can match, which a join and an anti-join interpret oppositely.
-    fn with_probe<R>(&self, tuple: &Tuple, body: impl FnOnce(&[&Value]) -> R) -> Option<R> {
+    pub(crate) fn with_probe<R>(
+        &self,
+        tuple: &Tuple,
+        body: impl FnOnce(&[&Value]) -> R,
+    ) -> Option<R> {
         let n = self.pairs.len();
         let mut stack: [&Value; INLINE_PROBE] = [&NULL_VALUE; INLINE_PROBE];
         let mut heap: Vec<&Value>;

@@ -1,10 +1,32 @@
 //! Elements bridging the dataflow graph and stored tables: insert, delete,
 //! per-event aggregation probes, and materialized table aggregates.
+//!
+//! # Incremental aggregation
+//!
+//! [`TableAgg`] is the delta protocol's canonical consumer (see the
+//! `p2_table` module docs): instead of recomputing `Table::aggregate` over
+//! the whole table on every poke, it subscribes to the table's exact
+//! `Insert`/`Delete`/`Expire`/`Evict` delta stream and maintains per-group
+//! state incrementally — O(1) per delta for `count`/`sum`/`avg`, with
+//! `min`/`max` falling back to a single batched group rescan only when the
+//! current extremum is retracted. Emission timing and values match the
+//! recompute-per-poke semantics (including the PR 3 vanished-group
+//! retraction contract), which is what keeps the 100-node golden event
+//! pins bit-for-bit; a property test pins the equivalence against a
+//! from-scratch recompute model under arbitrary
+//! insert/delete/expire/evict interleavings. Two deliberate deviations:
+//! when several groups change in one sync they now emit in one sorted
+//! pass (the old element emitted changed groups in process-random
+//! `HashMap` order — a latent determinism hazard; single-group tables,
+//! which all shipped programs use, are unaffected), and `sum`/`avg` over
+//! *floating-point* contributions maintain a running total whose
+//! retractions can drift in the last ulp relative to a from-scratch fold
+//! (integer contributions — every shipped aggregate — are exact).
 
 use std::collections::{HashMap, HashSet};
 
 use p2_pel::Program;
-use p2_table::{AggFunc, TableRef};
+use p2_table::{AggFunc, AggState, DeltaSubscription, TableDelta, TableRef};
 use p2_value::{Tuple, Value};
 
 use crate::element::{Element, ElementCtx};
@@ -70,12 +92,20 @@ pub struct Delete {
     table: TableRef,
     /// Number of deletes that failed (malformed tuples).
     pub errors: u64,
+    /// Reused removal spill buffer, mirroring `Insert`'s eviction buffer:
+    /// the delete hot path (`Table::delete_matching_spill`) appends removed
+    /// rows here instead of allocating a fresh `Vec` per tuple.
+    spill: Vec<Tuple>,
 }
 
 impl Delete {
     /// Creates a delete bridge for `table`.
     pub fn new(table: TableRef) -> Delete {
-        Delete { table, errors: 0 }
+        Delete {
+            table,
+            errors: 0,
+            spill: Vec::new(),
+        }
     }
 }
 
@@ -85,14 +115,21 @@ impl Element for Delete {
     }
 
     fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
-        let result = self.table.lock().delete_matching(tuple);
+        debug_assert!(self.spill.is_empty(), "spill buffer drained every call");
+        let result = self
+            .table
+            .lock()
+            .delete_matching_spill(tuple, &mut self.spill);
         match result {
-            Ok(removed) => {
-                for r in removed {
+            Ok(_removed) => {
+                for r in self.spill.drain(..) {
                     ctx.emit(0, r);
                 }
             }
-            Err(_) => self.errors += 1,
+            Err(_) => {
+                self.errors += 1;
+                self.spill.clear();
+            }
         }
     }
 }
@@ -157,7 +194,12 @@ impl Element for AggProbe {
         // `event ++ row` (`Program::eval_joined`): no per-row joined-tuple
         // materialization; only the winning witness row is cloned.
         let guard = self.table.lock();
-        let mut contributions: Vec<Value> = Vec::new();
+        // Contributions stream straight into the shared accumulator — no
+        // per-event contribution vector, no second fold over it. A value
+        // the accumulator rejects (non-numeric sum/avg) aborts the whole
+        // probe without emitting, exactly like `AggFunc::apply` erroring
+        // over the collected vector used to.
+        let mut state = AggState::new(self.func);
         let mut witness: Option<(Value, Tuple)> = None;
         for row in guard.scan_iter() {
             if let Some(filter) = &self.filter {
@@ -178,18 +220,16 @@ impl Element for AggProbe {
             if better {
                 witness = Some((v.clone(), row.clone()));
             }
-            contributions.push(v);
+            if state.accumulate(&v).is_err() {
+                return;
+            }
         }
         drop(guard);
-        let aggregate = match self.func.apply(&contributions) {
-            Ok(Some(v)) => v,
-            _ => return,
-        };
-        // min/max/avg over an empty contribution set produce no tuple at all;
-        // count/sum legitimately produce 0.
-        if contributions.is_empty() && !matches!(self.func, AggFunc::Count | AggFunc::Sum) {
+        // min/max/avg over an empty contribution set finish to `None` and
+        // produce no tuple at all; count/sum legitimately produce 0.
+        let Some(aggregate) = state.finish() else {
             return;
-        }
+        };
         let row_part: Vec<Value> = match (self.func, witness) {
             (AggFunc::Min | AggFunc::Max, Some((_, row))) => row.values().to_vec(),
             _ => vec![Value::Null; self.table_arity],
@@ -200,24 +240,192 @@ impl Element for AggProbe {
     }
 }
 
+/// Incrementally maintained per-group aggregate state.
+///
+/// `contribs` counts the rows currently contributing (valid group key
+/// *and* valid aggregate value, matching `Table::aggregate`'s filtering);
+/// the group vanishes when it reaches zero.
+#[derive(Debug)]
+struct GroupState {
+    contribs: usize,
+    acc: Accum,
+}
+
+#[derive(Debug)]
+enum Accum {
+    /// `count<*>`: the value is `contribs` itself.
+    Count,
+    /// Running sum; `non_int` counts non-integer contributions so the
+    /// all-int result collapse survives retractions.
+    Sum { acc: f64, non_int: usize },
+    /// Running sum for the mean (`contribs` is the divisor).
+    Avg { acc: f64 },
+    /// Current extremum. Retracting a value that is not strictly worse
+    /// than `best` (or is incomparable) marks the group `dirty`; dirty
+    /// groups are rebuilt in one batched table rescan at the end of the
+    /// sync, not per delta.
+    MinMax { best: Option<Value>, dirty: bool },
+}
+
+impl GroupState {
+    fn new(func: AggFunc) -> GroupState {
+        GroupState {
+            contribs: 0,
+            acc: match func {
+                AggFunc::Count => Accum::Count,
+                AggFunc::Sum => Accum::Sum {
+                    acc: 0.0,
+                    non_int: 0,
+                },
+                AggFunc::Avg => Accum::Avg { acc: 0.0 },
+                AggFunc::Min | AggFunc::Max => Accum::MinMax {
+                    best: None,
+                    dirty: false,
+                },
+            },
+        }
+    }
+
+    /// Folds one contribution in. `Err` means the value cannot feed this
+    /// aggregate (non-numeric sum/avg) — the caller falls back to a full
+    /// rebuild, which reproduces `Table::aggregate`'s error behaviour.
+    fn insert(&mut self, func: AggFunc, v: &Value) -> Result<(), p2_value::ValueError> {
+        match &mut self.acc {
+            Accum::Count => {}
+            Accum::Sum { acc, non_int } => {
+                let d = v.to_double()?;
+                if !matches!(v, Value::Int(_)) {
+                    *non_int += 1;
+                }
+                *acc += d;
+            }
+            Accum::Avg { acc } => *acc += v.to_double()?,
+            Accum::MinMax { best, dirty } => {
+                if !*dirty {
+                    let better = match (func, best.as_ref()) {
+                        (_, None) => true,
+                        (AggFunc::Min, Some(b)) => v < b,
+                        (AggFunc::Max, Some(b)) => v > b,
+                        _ => unreachable!("MinMax accum only for min/max"),
+                    };
+                    if better {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+        }
+        self.contribs += 1;
+        Ok(())
+    }
+
+    /// Retracts one contribution. Returns `Err` on numeric failure and
+    /// `Ok(false)` when the state cannot absorb the retraction coherently
+    /// (caller rebuilds).
+    fn remove(&mut self, func: AggFunc, v: &Value) -> Result<bool, p2_value::ValueError> {
+        if self.contribs == 0 {
+            return Ok(false);
+        }
+        match &mut self.acc {
+            Accum::Count => {}
+            Accum::Sum { acc, non_int } => {
+                let d = v.to_double()?;
+                if !matches!(v, Value::Int(_)) {
+                    if *non_int == 0 {
+                        return Ok(false);
+                    }
+                    *non_int -= 1;
+                }
+                *acc -= d;
+            }
+            Accum::Avg { acc } => *acc -= v.to_double()?,
+            Accum::MinMax { best, dirty } => {
+                if !*dirty {
+                    // Removing anything not strictly worse than the current
+                    // extremum (or incomparable to it) invalidates it.
+                    let safe = match (func, best.as_ref()) {
+                        (_, None) => false,
+                        (AggFunc::Min, Some(b)) => {
+                            matches!(v.partial_cmp(b), Some(std::cmp::Ordering::Greater))
+                        }
+                        (AggFunc::Max, Some(b)) => {
+                            matches!(v.partial_cmp(b), Some(std::cmp::Ordering::Less))
+                        }
+                        _ => unreachable!("MinMax accum only for min/max"),
+                    };
+                    if !safe {
+                        *dirty = true;
+                    }
+                }
+            }
+        }
+        self.contribs -= 1;
+        Ok(true)
+    }
+
+    /// The group's current aggregate value (`None` only transiently, for a
+    /// dirty min/max before its rescan).
+    fn value(&self, func: AggFunc) -> Option<Value> {
+        match &self.acc {
+            Accum::Count => Some(Value::Int(self.contribs as i64)),
+            Accum::Sum { acc, non_int } => Some(if *non_int == 0 {
+                Value::Int(*acc as i64)
+            } else {
+                Value::Double(*acc)
+            }),
+            Accum::Avg { acc } => {
+                if self.contribs == 0 {
+                    None
+                } else {
+                    Some(Value::Double(*acc / self.contribs as f64))
+                }
+            }
+            Accum::MinMax { best, .. } => best.clone(),
+        }
+        .filter(|_| self.contribs > 0 || matches!(func, AggFunc::Count | AggFunc::Sum))
+    }
+
+    fn is_dirty(&self) -> bool {
+        matches!(self.acc, Accum::MinMax { dirty: true, .. })
+    }
+}
+
 /// Materialized aggregate over a table, re-emitted whenever it changes.
 ///
 /// Implements rules whose body consists solely of a table and whose head
-/// carries an aggregate (`succCount(NI, count<*>) :- succ(NI, S, SI)`):
-/// whenever the underlying table changes (the planner routes that table's
-/// insert and delete deltas here), the aggregate is recomputed per group and
-/// groups whose value changed are emitted as `out_name(group..., agg)`.
+/// carries an aggregate (`succCount(NI, count<*>) :- succ(NI, S, SI)`).
+/// The element subscribes to the table's [`TableDelta`] stream and, on
+/// every poke (the planner routes the table's insert and delete deltas
+/// here), drains the deltas accumulated since the last poke — including
+/// expiry and eviction, which the recompute-era element only observed
+/// indirectly — updates its per-group state in O(1) per delta, and emits
+/// `out_name(group..., agg)` for groups whose value changed. Groups whose
+/// last row vanished retract exactly as before: `count`/`sum` emit their
+/// empty value (0) and the memo entry is dropped; `min`/`max`/`avg` are
+/// silently forgotten so a re-appearance re-emits.
 pub struct TableAgg {
     table: TableRef,
+    sub: DeltaSubscription,
     func: AggFunc,
     agg_col: Option<usize>,
     group_cols: Vec<usize>,
     out_name: String,
+    /// Incremental per-group state.
+    groups: HashMap<Vec<Value>, GroupState>,
+    /// Last emitted value per group (the change-detection memo).
     last: HashMap<Vec<Value>, Value>,
+    /// Set when the incremental state must be rebuilt from a table scan
+    /// (initial start, delta-queue overflow, or a numeric failure that the
+    /// recompute semantics surface as "emit nothing until fixed").
+    needs_rebuild: bool,
+    /// Reused delta drain buffer.
+    scratch: Vec<TableDelta>,
+    /// Reused touched-group collection buffer.
+    touched: Vec<Vec<Value>>,
 }
 
 impl TableAgg {
-    /// Creates a materialized table aggregate.
+    /// Creates a materialized table aggregate (subscribing to the table's
+    /// delta stream).
     pub fn new(
         table: TableRef,
         func: AggFunc,
@@ -225,60 +433,215 @@ impl TableAgg {
         group_cols: Vec<usize>,
         out_name: impl Into<String>,
     ) -> TableAgg {
+        let sub = table.lock().subscribe_deltas();
         TableAgg {
             table,
+            sub,
             func,
             agg_col,
             group_cols,
             out_name: out_name.into(),
+            groups: HashMap::new(),
             last: HashMap::new(),
+            needs_rebuild: true,
+            scratch: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
-    fn recompute(&mut self, ctx: &mut ElementCtx<'_>) {
-        let groups = match self
-            .table
-            .lock()
-            .aggregate(self.func, self.agg_col, &self.group_cols)
-        {
-            Ok(g) => g,
-            Err(_) => return,
+    /// The maintained `(group, aggregate)` pairs, sorted by group key.
+    /// Exposed for the equivalence property tests and diagnostics; matches
+    /// `Table::aggregate` output exactly.
+    pub fn current(&self) -> Vec<(Vec<Value>, Value)> {
+        let mut out: Vec<(Vec<Value>, Value)> = self
+            .groups
+            .iter()
+            .filter_map(|(k, s)| s.value(self.func).map(|v| (k.clone(), v)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Splits a delta tuple into its group key and contribution, exactly
+    /// like one `Table::aggregate` fold step; `None` when the row does not
+    /// participate in this aggregate at all.
+    fn classify<'t>(&self, tuple: &'t Tuple) -> Option<(Vec<Value>, &'t Value)> {
+        let key = extract(tuple, &self.group_cols)?;
+        let contribution = match self.agg_col {
+            Some(c) => tuple.get(c).ok()?,
+            None => &Value::Int(1),
         };
-        // Groups whose key no longer appears must retract: a deleted or
-        // expired last row means downstream should see the empty-group
-        // value (count/sum emit 0; min/max/avg have none, so the entry is
-        // just forgotten and a later re-appearance re-emits).
-        if !self.last.is_empty() {
-            let live: HashSet<&Vec<Value>> = groups.iter().map(|(k, _)| k).collect();
-            let mut vanished: Vec<Vec<Value>> = self
-                .last
-                .keys()
-                .filter(|k| !live.contains(k))
-                .cloned()
-                .collect();
-            // HashMap iteration order is nondeterministic; retractions must
-            // come out in a stable order or same-seed runs diverge.
-            vanished.sort();
-            let empty_value = self.func.apply(&[]).ok().flatten();
-            for key in vanished {
-                self.last.remove(&key);
-                if let Some(v) = &empty_value {
-                    let mut values = key;
-                    values.push(v.clone());
-                    ctx.emit(0, Tuple::new(&self.out_name, values));
+        Some((key, contribution))
+    }
+
+    /// Rebuilds the incremental state from a full table scan, replicating
+    /// `Table::aggregate`'s row filtering and error behaviour.
+    fn build_states(
+        &self,
+        table: &p2_table::Table,
+    ) -> Result<HashMap<Vec<Value>, GroupState>, p2_value::ValueError> {
+        let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        for tuple in table.scan_iter() {
+            let Some((key, contribution)) = self.classify(tuple) else {
+                continue;
+            };
+            groups
+                .entry(key)
+                .or_insert_with(|| GroupState::new(self.func))
+                .insert(self.func, contribution)?;
+        }
+        Ok(groups)
+    }
+
+    /// Applies drained deltas to the incremental state; `false` means the
+    /// state is no longer coherent and must be rebuilt.
+    fn apply_deltas(&mut self) -> bool {
+        for i in 0..self.scratch.len() {
+            let delta = &self.scratch[i];
+            let Some((key, contribution)) = self.classify(&delta.tuple) else {
+                continue;
+            };
+            if delta.kind.is_removal() {
+                let Some(state) = self.groups.get_mut(&key) else {
+                    return false; // retraction for an unknown group
+                };
+                match state.remove(self.func, contribution) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => return false,
+                }
+                if state.contribs == 0 {
+                    self.groups.remove(&key);
+                }
+            } else {
+                let state = self
+                    .groups
+                    .entry(key.clone())
+                    .or_insert_with(|| GroupState::new(self.func));
+                if state.insert(self.func, contribution).is_err() {
+                    return false;
+                }
+            }
+            self.touched.push(key);
+        }
+        true
+    }
+
+    /// Rebuilds the extremum of every dirty min/max group in one batched
+    /// table rescan (the recompute-on-retraction fallback).
+    fn rescan_dirty(&mut self, table: &p2_table::Table) {
+        let dirty: HashSet<Vec<Value>> = self
+            .groups
+            .iter()
+            .filter(|(_, s)| s.is_dirty())
+            .map(|(k, _)| k.clone())
+            .collect();
+        if dirty.is_empty() {
+            return;
+        }
+        let mut fresh: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        for tuple in table.scan_iter() {
+            let Some((key, contribution)) = self.classify(tuple) else {
+                continue;
+            };
+            if !dirty.contains(&key) {
+                continue;
+            }
+            // Min/max contributions never fail to accumulate (comparison
+            // only), so the error arm is unreachable in practice.
+            let _ = fresh
+                .entry(key)
+                .or_insert_with(|| GroupState::new(self.func))
+                .insert(self.func, contribution);
+        }
+        for key in dirty {
+            match fresh.remove(&key) {
+                Some(state) => {
+                    self.groups.insert(key, state);
+                }
+                None => {
+                    self.groups.remove(&key);
                 }
             }
         }
-        for (key, agg) in groups {
-            let changed = self.last.get(&key) != Some(&agg);
-            if changed {
-                self.last.insert(key.clone(), agg.clone());
-                let mut values = key;
-                values.push(agg);
-                ctx.emit(0, Tuple::new(&self.out_name, values));
+    }
+
+    /// Catches up on the table's delta stream and emits every group whose
+    /// aggregate changed. The emission contract matches the recompute-era
+    /// element: per sync, vanished and changed groups come out in one
+    /// deterministic (sorted) pass.
+    fn sync(&mut self, ctx: &mut ElementCtx<'_>) {
+        self.touched.clear();
+        {
+            // The guard borrows a local clone of the `Arc`, not `self`, so
+            // the state-maintenance methods below can borrow `self` freely
+            // while the table stays locked.
+            let table = self.table.clone();
+            let mut guard = table.lock();
+            if guard.drain_deltas(self.sub, &mut self.scratch) {
+                self.needs_rebuild = true;
+                self.scratch.clear();
+            }
+            if !self.needs_rebuild && !self.apply_deltas() {
+                self.needs_rebuild = true;
+            }
+            self.scratch.clear();
+            if self.needs_rebuild {
+                match self.build_states(&guard) {
+                    Ok(groups) => {
+                        self.groups = groups;
+                        self.needs_rebuild = false;
+                        // Every known or previously emitted group must be
+                        // re-examined after a rebuild.
+                        self.touched.clear();
+                        self.touched.extend(self.groups.keys().cloned());
+                        self.touched.extend(self.last.keys().cloned());
+                    }
+                    Err(_) => {
+                        // Matches `recompute`'s behaviour on aggregation
+                        // errors: emit nothing, retry at the next poke.
+                        return;
+                    }
+                }
+            } else {
+                self.rescan_dirty(&guard);
+            }
+        }
+
+        // One deterministic pass over the touched groups.
+        self.touched.sort();
+        self.touched.dedup();
+        let empty_value = self.func.apply(&[]).ok().flatten();
+        for key in std::mem::take(&mut self.touched) {
+            match self.groups.get(&key).and_then(|s| s.value(self.func)) {
+                Some(agg) => {
+                    if self.last.get(&key) != Some(&agg) {
+                        self.last.insert(key.clone(), agg.clone());
+                        let mut values = key;
+                        values.push(agg);
+                        ctx.emit(0, Tuple::new(&self.out_name, values));
+                    }
+                }
+                None => {
+                    // Vanished: retract if the group had ever been emitted.
+                    if self.last.remove(&key).is_some() {
+                        if let Some(v) = &empty_value {
+                            let mut values = key;
+                            values.push(v.clone());
+                            ctx.emit(0, Tuple::new(&self.out_name, values));
+                        }
+                    }
+                }
             }
         }
     }
+}
+
+/// Extracts the values at `cols`, or `None` if any column is out of range
+/// (mirrors `Table::aggregate`'s row filtering).
+fn extract(tuple: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
+    cols.iter()
+        .map(|&c| tuple.get(c).ok().cloned())
+        .collect::<Option<Vec<Value>>>()
 }
 
 impl Element for TableAgg {
@@ -287,11 +650,11 @@ impl Element for TableAgg {
     }
 
     fn push(&mut self, _port: usize, _tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
-        self.recompute(ctx);
+        self.sync(ctx);
     }
 
     fn on_start(&mut self, ctx: &mut ElementCtx<'_>) {
-        self.recompute(ctx);
+        self.sync(ctx);
     }
 }
 

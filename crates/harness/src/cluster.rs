@@ -83,6 +83,7 @@ pub struct ChordClusterBuilder {
     seed: u64,
     par_threads: Option<usize>,
     join_seed: bool,
+    fuse_strands: bool,
 }
 
 impl ChordClusterBuilder {
@@ -98,6 +99,14 @@ impl ChordClusterBuilder {
     /// answers, instead of waiting for the first stabilization period.
     pub fn join_seed(mut self, on: bool) -> ChordClusterBuilder {
         self.join_seed = on;
+        self
+    }
+
+    /// Selects rule-strand fusion (default on). The generic element graph
+    /// is kept available for the strand-equivalence gates, which assert
+    /// that both translations produce bit-identical event streams.
+    pub fn fuse_strands(mut self, on: bool) -> ChordClusterBuilder {
+        self.fuse_strands = on;
         self
     }
 
@@ -127,6 +136,7 @@ pub struct ChordCluster {
     addrs: Vec<String>,
     seed: u64,
     join_seed: bool,
+    fuse_strands: bool,
     next_event: i64,
     rng: SmallRng,
     brought_up_at: SimTime,
@@ -141,6 +151,7 @@ impl ChordCluster {
             seed,
             par_threads: None,
             join_seed: false,
+            fuse_strands: true,
         }
     }
 
@@ -160,6 +171,7 @@ impl ChordCluster {
             seed,
             par_threads,
             join_seed,
+            fuse_strands,
         } = config;
         let mut sim = AnySimulator::build(NetworkConfig::emulab_default(seed), par_threads);
         let addrs: Vec<String> = (0..n).map(node_addr).collect();
@@ -169,12 +181,15 @@ impl ChordCluster {
             } else {
                 Some(addrs[0].as_str())
             };
-            let host = chord::build_node_opts(
+            let host = chord::build_node_for(
                 addr,
                 landmark,
                 seed.wrapping_add(i as u64),
-                true,
-                join_seed,
+                chord::ChordOpts {
+                    jitter: true,
+                    join_seed,
+                    fuse_strands,
+                },
             )
             .expect("chord node must plan");
             sim.add_node(addr.clone(), host);
@@ -184,6 +199,7 @@ impl ChordCluster {
             addrs,
             seed,
             join_seed,
+            fuse_strands,
             next_event: 1_000_000,
             rng: SmallRng::seed_from_u64(seed ^ 0x5EED),
             brought_up_at: SimTime::ZERO,
@@ -211,12 +227,20 @@ impl ChordCluster {
     fn boot_fast(mut cluster: ChordCluster, warmup_secs: u64) -> ChordCluster {
         let n = cluster.addrs.len();
         cluster.sim.start_all();
-        // Sample wave progress in 5 s slices (a third of the SB1
-        // stabilization period): a wave that is already ring-consistent
-        // proceeds immediately instead of idling out the full period —
-        // which is exactly where join-time seeding (JS1/JS2) shows up as a
-        // bring-up-time win.
-        let settle = SimTime::from_secs(5);
+        // Sample wave progress in short slices: a wave that is already
+        // ring-consistent proceeds immediately instead of idling out the
+        // full SB1 stabilization period. With join-time seeding (JS1/JS2)
+        // joiners learn their successor lists from the join lookup itself
+        // rather than from the next stabilization round, so the seeded
+        // wave policy samples in 2 s slices (vs 5 s unseeded, a third of
+        // the SB1 period) — the finer sampling is what converts seeding's
+        // faster convergence into shorter settle rounds; the total settle
+        // budget per wave (120 virtual s) is unchanged.
+        let (settle, slices) = if cluster.join_seed {
+            (SimTime::from_secs(2), 60)
+        } else {
+            (SimTime::from_secs(5), 24)
+        };
         let mut joined = 0usize;
         let max_waves = 4 * (usize::BITS - n.max(1).leading_zeros()) as usize + 16;
         for _ in 0..max_waves {
@@ -233,7 +257,7 @@ impl ChordCluster {
             // lookups: settle until the joined subset is ring-consistent
             // again (bounded at the previous 8 × 15 s budget — stragglers
             // are re-issued next wave).
-            for _ in 0..24 {
+            for _ in 0..slices {
                 cluster.sim.run_for(settle);
                 if cluster.joined_ring_correctness() >= 0.97 {
                     break;
@@ -520,8 +544,17 @@ impl ChordCluster {
         } else {
             Some(self.addrs[0].as_str())
         };
-        let host = chord::build_node_opts(addr, landmark, self.seed, true, self.join_seed)
-            .expect("chord node plans");
+        let host = chord::build_node_for(
+            addr,
+            landmark,
+            self.seed,
+            chord::ChordOpts {
+                jitter: true,
+                join_seed: self.join_seed,
+                fuse_strands: self.fuse_strands,
+            },
+        )
+        .expect("chord node plans");
         self.sim.replace_node(addr, host);
         let event = self.fresh_event();
         self.sim.inject(addr, chord::join_tuple(addr, event));

@@ -36,6 +36,37 @@ pub fn program_with_join_seed() -> &'static Program {
     })
 }
 
+/// Plan-variant selection for a Chord node: periodic jitter, the JS1
+/// join-seeding program extension, and rule-strand fusion (on by default;
+/// the generic element graph is kept for the strand-equivalence gates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChordOpts {
+    /// Whether periodic sources start at a random phase.
+    pub jitter: bool,
+    /// Whether the JS1/JS2 join-time successor-seeding rules are included.
+    pub join_seed: bool,
+    /// Whether eligible rule strands are compiled into fused elements.
+    pub fuse_strands: bool,
+}
+
+impl Default for ChordOpts {
+    fn default() -> ChordOpts {
+        ChordOpts {
+            jitter: true,
+            join_seed: false,
+            fuse_strands: true,
+        }
+    }
+}
+
+impl ChordOpts {
+    fn cache_index(self) -> usize {
+        usize::from(self.jitter)
+            | (usize::from(self.join_seed) << 1)
+            | (usize::from(self.fuse_strands) << 2)
+    }
+}
+
 /// The shared, node-independent plan of the Chord program with the standard
 /// harness watches (`lookupResults`, `lookup`), compiled once per process
 /// and per jitter mode. A thousand-node ring instantiates its engines from
@@ -45,21 +76,38 @@ pub fn shared_plan(jitter: bool) -> &'static PlannedProgram {
 }
 
 /// Like [`shared_plan`], additionally selecting the join-seeded program
-/// variant. One cached plan per (jitter, join_seed) combination.
+/// variant.
 pub fn shared_plan_opts(jitter: bool, join_seed: bool) -> &'static PlannedProgram {
-    static PLANS: [OnceLock<PlannedProgram>; 4] = [
+    shared_plan_for(ChordOpts {
+        jitter,
+        join_seed,
+        ..ChordOpts::default()
+    })
+}
+
+/// The fully variant-selected shared plan: one cached compilation per
+/// (jitter, join_seed, fuse_strands) combination.
+pub fn shared_plan_for(opts: ChordOpts) -> &'static PlannedProgram {
+    static PLANS: [OnceLock<PlannedProgram>; 8] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
         OnceLock::new(),
         OnceLock::new(),
         OnceLock::new(),
         OnceLock::new(),
     ];
-    let cell = &PLANS[usize::from(jitter) | (usize::from(join_seed) << 1)];
+    let cell = &PLANS[opts.cache_index()];
     cell.get_or_init(|| {
         let mut config = PlanConfig::new().watch("lookupResults").watch("lookup");
-        if !jitter {
+        if !opts.jitter {
             config = config.without_jitter();
         }
-        let program = if join_seed {
+        if !opts.fuse_strands {
+            config = config.without_fusion();
+        }
+        let program = if opts.join_seed {
             program_with_join_seed()
         } else {
             program()
@@ -146,8 +194,27 @@ pub fn build_node_opts(
     jitter: bool,
     join_seed: bool,
 ) -> Result<P2Host, PlanError> {
+    build_node_for(
+        addr,
+        landmark,
+        seed,
+        ChordOpts {
+            jitter,
+            join_seed,
+            ..ChordOpts::default()
+        },
+    )
+}
+
+/// Builds a Chord node from the fully variant-selected shared plan.
+pub fn build_node_for(
+    addr: &str,
+    landmark: Option<&str>,
+    seed: u64,
+    opts: ChordOpts,
+) -> Result<P2Host, PlanError> {
     let node = P2Node::from_plan(
-        shared_plan_opts(jitter, join_seed),
+        shared_plan_for(opts),
         addr,
         seed,
         base_facts(addr, landmark),
@@ -183,7 +250,9 @@ mod tests {
     fn node_plans_successfully() {
         let host = build_node("n0:10000", None, 1, false).unwrap();
         let desc = host.node().graph_description();
-        assert!(desc.contains("L1:head"));
+        // L1 (a two-table join) compiles to a fused strand; aggregation
+        // probes keep the generic chain.
+        assert!(desc.contains("L1:strand"));
         assert!(desc.contains("L2:agg:finger"));
         assert!(desc.contains("S1:tableagg:succ"));
         assert!(desc.contains("F1:periodic"));
@@ -205,7 +274,8 @@ mod tests {
 
         let host = build_node_opts("n0:10000", None, 1, false, true).unwrap();
         let desc = host.node().graph_description();
-        assert!(desc.contains("JS1:head"));
+        // JS1 is a single-join rule, so it compiles to a fused strand.
+        assert!(desc.contains("JS1:strand"), "{desc}");
         // The two variants plan to distinct shared plans, cached per mode.
         assert!(!std::ptr::eq(
             shared_plan_opts(false, false),
@@ -215,6 +285,34 @@ mod tests {
             shared_plan(false),
             shared_plan_opts(false, false)
         ));
+    }
+
+    #[test]
+    fn strand_fusion_covers_the_dominant_chord_shapes() {
+        let fused = shared_plan(false);
+        // The join / select-project shapes dominate the 45-rule program;
+        // only the aggregation-probe rules keep the generic chain, so the
+        // fused plan must cover most strands (34 at last count: the
+        // single-join/select-project shapes plus the two-join rules L1,
+        // SU2, SB4, SB8, SB9, J2, J3, and S4).
+        assert!(
+            fused.fused_strand_count() >= 28,
+            "only {} strands fused",
+            fused.fused_strand_count()
+        );
+        let generic = shared_plan_for(ChordOpts {
+            jitter: false,
+            fuse_strands: false,
+            ..ChordOpts::default()
+        });
+        assert_eq!(generic.fused_strand_count(), 0);
+        assert!(!std::ptr::eq(fused, generic));
+        // Aggregate rules (L2/L3, SU1, S3) keep the generic chain; the hot
+        // ping-refresh rule CM8 fuses.
+        let desc = fused.instantiate("n1", 1).engine.describe();
+        assert!(desc.contains("L2:agg:finger"), "{desc}");
+        assert!(desc.contains("CM8:strand"), "{desc}");
+        assert!(desc.contains("SB5:strand"), "{desc}");
     }
 
     #[test]

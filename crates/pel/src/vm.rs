@@ -78,6 +78,47 @@ impl Program {
         Ok(self.eval_joined(left, right, ctx)?.truthy())
     }
 
+    /// Evaluates the program against the *virtual concatenation* of several
+    /// field segments: `Field(i)` resolves into the first segment while
+    /// `i` is in range, then falls through to the next. The fused
+    /// rule-strand element uses this to run a whole
+    /// `trigger ++ joined-row ++ assigned-values` chain without
+    /// materializing any intermediate tuple.
+    pub fn eval_concat(
+        &self,
+        parts: &[&[Value]],
+        ctx: &mut EvalContext,
+    ) -> Result<Value, ValueError> {
+        self.eval_with(ctx, |i| {
+            concat_get(parts, i).ok_or_else(|| ValueError::FieldOutOfRange {
+                index: i,
+                len: parts.iter().map(|p| p.len()).sum(),
+            })
+        })
+    }
+
+    /// Like [`Program::eval_concat`], interpreting the result as a boolean.
+    pub fn eval_bool_concat(
+        &self,
+        parts: &[&[Value]],
+        ctx: &mut EvalContext,
+    ) -> Result<bool, ValueError> {
+        Ok(self.eval_concat(parts, ctx)?.truthy())
+    }
+
+    /// True if evaluating this program draws on the node's RNG (`f_rand`,
+    /// `f_coinFlip`). Such programs are order-sensitive beyond their
+    /// inputs: the planner must not re-schedule them (e.g. into a fused
+    /// strand) relative to other RNG users, or same-seed runs diverge.
+    pub fn uses_random(&self) -> bool {
+        self.ops.iter().any(|op| {
+            matches!(
+                op,
+                Op::Call(crate::expr::Builtin::Rand) | Op::Call(crate::expr::Builtin::CoinFlip)
+            )
+        })
+    }
+
     /// Evaluates the program over an explicit field slice.
     pub fn eval_fields(
         &self,
@@ -155,6 +196,23 @@ impl Program {
     pub fn eval_bool(&self, tuple: &Tuple, ctx: &mut EvalContext) -> Result<bool, ValueError> {
         Ok(self.eval(tuple, ctx)?.truthy())
     }
+}
+
+/// Resolves field `i` of the virtual concatenation of `parts` (`None` when
+/// out of range). The single source of truth for segmented field
+/// resolution: [`Program::eval_concat`] and the fused rule strand's probe
+/// machinery both use it, so probe-key lookup and PEL evaluation can never
+/// disagree about what a field index means.
+pub fn concat_get<'a>(parts: &[&'a [Value]], i: usize) -> Option<&'a Value> {
+    let mut rest = i;
+    for part in parts {
+        match part.get(rest) {
+            Some(v) => return Some(v),
+            // `get` returned None, so `rest >= part.len()`.
+            None => rest -= part.len(),
+        }
+    }
+    None
 }
 
 fn pop(stack: &mut Vec<Value>) -> Result<Value, ValueError> {
@@ -303,5 +361,30 @@ mod tests {
     fn field_out_of_range_propagates() {
         let p = Program::compile(&Expr::Field(9));
         assert!(p.eval(&tup(), &mut ctx()).is_err());
+    }
+
+    #[test]
+    fn eval_concat_matches_materialized_concatenation() {
+        let a = [Value::Int(3), Value::Int(4)];
+        let b: [Value; 0] = [];
+        let c = [Value::Int(10), Value::str("x")];
+        let flat: Vec<Value> = a.iter().chain(b.iter()).chain(c.iter()).cloned().collect();
+        for i in 0..=flat.len() {
+            let p = Program::compile(&Expr::Field(i));
+            let via_parts = p.eval_concat(&[&a, &b, &c], &mut ctx());
+            let via_flat = p.eval_fields(&flat, &mut ctx());
+            assert_eq!(via_parts, via_flat, "field {i}");
+        }
+        // Booleans and empty-part-first layouts work too.
+        let p = Program::compile(&Expr::bin(BinOp::Lt, Expr::Field(0), Expr::Field(2)));
+        assert!(p.eval_bool_concat(&[&b, &a, &c], &mut ctx()).unwrap());
+    }
+
+    #[test]
+    fn uses_random_detects_rng_builtins() {
+        assert!(Program::compile(&Expr::Call(Builtin::Rand, vec![])).uses_random());
+        assert!(Program::compile(&Expr::Call(Builtin::CoinFlip, vec![Expr::int(1)])).uses_random());
+        assert!(!Program::compile(&Expr::Call(Builtin::Now, vec![])).uses_random());
+        assert!(!Program::compile(&Expr::Field(0)).uses_random());
     }
 }

@@ -54,12 +54,14 @@ impl AggFunc {
     }
 }
 
-/// Streaming accumulator behind both [`AggFunc::apply`] and the table's
-/// grouped [`crate::table::Table::aggregate`]: one source of truth for the
-/// aggregate semantics (all-int sums collapse to `Int`, min/max keep the
-/// first extremum, avg over nothing yields no value).
+/// Streaming accumulator behind [`AggFunc::apply`], the table's grouped
+/// [`crate::table::Table::aggregate`], and the dataflow layer's
+/// per-event aggregation probe: one source of truth for the aggregate
+/// semantics (all-int sums collapse to `Int`, min/max keep the first
+/// extremum, avg over nothing yields no value). Streaming callers fold
+/// values in one pass instead of materializing a contribution vector.
 #[derive(Debug)]
-pub(crate) enum AggState {
+pub enum AggState {
     Count(i64),
     Sum { acc: f64, all_int: bool },
     Avg { acc: f64, n: usize },
@@ -68,7 +70,7 @@ pub(crate) enum AggState {
 }
 
 impl AggState {
-    pub(crate) fn new(func: AggFunc) -> AggState {
+    pub fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum {
@@ -82,7 +84,7 @@ impl AggState {
     }
 
     /// Folds one contributing value into the accumulator.
-    pub(crate) fn accumulate(&mut self, v: &Value) -> Result<(), ValueError> {
+    pub fn accumulate(&mut self, v: &Value) -> Result<(), ValueError> {
         match self {
             AggState::Count(n) => *n += 1,
             AggState::Sum { acc, all_int } => {
@@ -111,7 +113,7 @@ impl AggState {
 
     /// Produces the final aggregate, or `None` when min/max/avg saw no
     /// contributions.
-    pub(crate) fn finish(self) -> Option<Value> {
+    pub fn finish(self) -> Option<Value> {
         match self {
             AggState::Count(n) => Some(Value::Int(n)),
             AggState::Sum { acc, all_int } => Some(if all_int {

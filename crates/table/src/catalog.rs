@@ -4,6 +4,18 @@
 //! between different queries and/or dataflow elements" (§3.2). The catalog
 //! owns one shared handle per declared table; dataflow elements clone the
 //! handle they need.
+//!
+//! # Delta plumbing
+//!
+//! Every mutation that reaches a table through the catalog — dataflow
+//! inserts and deletes, and the periodic [`Catalog::expire_all`] sweep —
+//! feeds the table's [delta protocol](crate::table): a consumer that called
+//! [`Catalog::subscribe_deltas`] (or `Table::subscribe_deltas` on the
+//! shared handle) sees the exact `Insert`/`Delete`/`Expire`/`Evict` stream
+//! instead of re-probing table state. The incremental `TableAgg` element in
+//! `p2-dataflow` is the canonical consumer; expiry and eviction — which
+//! previously changed state without any dataflow-visible signal — are
+//! observable through the same stream.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,6 +37,10 @@ pub type TableRef = Arc<Mutex<Table>>;
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, TableRef>,
+    /// The tables with a finite lifetime, in declaration order: the
+    /// periodic expiry sweep only visits these (infinite-lifetime tables
+    /// can never expire, so locking them per delivery is pure overhead).
+    expiring: Vec<TableRef>,
 }
 
 impl Catalog {
@@ -37,10 +53,16 @@ impl Catalog {
     /// mirroring P2's idempotent handling of repeated materialize statements
     /// when several overlays share definitions).
     pub fn declare(&mut self, spec: TableSpec) -> TableRef {
-        self.tables
-            .entry(spec.name.clone())
-            .or_insert_with(|| Arc::new(Mutex::new(Table::new(spec))))
-            .clone()
+        if let Some(existing) = self.tables.get(&spec.name) {
+            return existing.clone();
+        }
+        let expires = spec.lifetime.is_some();
+        let table: TableRef = Arc::new(Mutex::new(Table::new(spec.clone())));
+        self.tables.insert(spec.name, table.clone());
+        if expires {
+            self.expiring.push(table.clone());
+        }
+        table
     }
 
     /// Returns the table with the given name, if declared.
@@ -73,12 +95,26 @@ impl Catalog {
     ///
     /// Uses [`Table::expire_count`], so the periodic sweep neither collects
     /// the expired tuples nor scans live rows — each table pays O(log n) for
-    /// the staleness-queue peek plus O(log n) per row actually expired.
+    /// the staleness-queue peek plus O(log n) per row actually expired —
+    /// and only finite-lifetime tables are visited at all. Expiry feeds the
+    /// tables' delta streams, so subscribed aggregates observe it exactly.
     pub fn expire_all(&self, now: p2_value::SimTime) -> usize {
-        self.tables
-            .values()
+        self.expiring
+            .iter()
             .map(|t| t.lock().expire_count(now))
             .sum()
+    }
+
+    /// Subscribes to the delta stream of the named table, returning the
+    /// shared handle plus the subscription to drain through it. `None` if
+    /// the table is not declared.
+    pub fn subscribe_deltas(
+        &self,
+        name: &str,
+    ) -> Option<(TableRef, crate::table::DeltaSubscription)> {
+        let table = self.get(name)?;
+        let sub = table.lock().subscribe_deltas();
+        Some((table, sub))
     }
 
     /// Per-table operation counters, sorted by table name (storage

@@ -36,7 +36,10 @@ pub mod catalog;
 pub mod spec;
 pub mod table;
 
-pub use aggregate::AggFunc;
+pub use aggregate::{AggFunc, AggState};
 pub use catalog::{Catalog, TableRef};
 pub use spec::TableSpec;
-pub use table::{InsertOutcome, LookupIter, ProbeValue, RowId, Table, TableStats};
+pub use table::{
+    DeltaSubscription, InsertOutcome, LookupIter, ProbeValue, RowId, Table, TableDelta,
+    TableDeltaKind, TableStats, DELTA_LOG_CAP,
+};

@@ -29,6 +29,50 @@
 //! [`Table::get_ref`]) let dataflow elements probe without materializing
 //! `Vec<Tuple>` results; the owning `scan`/`lookup`/`get` APIs are preserved
 //! unchanged for existing callers.
+//!
+//! # Delta protocol
+//!
+//! Every mutation path — insert, replace, explicit delete, soft-state
+//! expiry, and size-bound eviction — emits a [`TableDelta`] describing
+//! exactly what changed. Consumers (the dataflow layer's incremental
+//! `TableAgg` is the canonical one) call [`Table::subscribe_deltas`] once
+//! and then [`Table::drain_deltas`] whenever they want to catch up; each
+//! subscription has its own queue, so independent consumers never steal
+//! each other's deltas. The contract:
+//!
+//! * a **refresh** (re-insert of an identical tuple) changes no visible
+//!   state and emits no delta;
+//! * a **replace** emits `Delete` of the displaced tuple followed by
+//!   `Insert` of the new one, so aggregate maintainers see an exact
+//!   retraction;
+//! * **expiry** and **eviction** emit `Expire` / `Evict` deltas — state
+//!   that previously vanished silently is now observable;
+//! * deltas are queued in mutation order, which is deterministic under the
+//!   simulator's determinism contract (`p2_netsim::parsim`): mutation order
+//!   is driven entirely by the deterministic event stream, so the delta
+//!   stream is bit-identical across runs and worker counts;
+//! * replaying a subscription's delta stream against an empty keyed map
+//!   reconstructs the live row set exactly (property-tested).
+//!
+//! A subscription queue that is never drained is bounded: past
+//! [`DELTA_LOG_CAP`] entries it is discarded and flagged, and the next
+//! [`Table::drain_deltas`] reports the overflow so the consumer can fall
+//! back to a from-scratch rebuild.
+//!
+//! # Batched refresh
+//!
+//! Soft-state refresh storms (Chord's `pingResp`-driven re-inserts touch
+//! every successor row once per ping period) used to pay a
+//! `BTreeSet` remove + insert per refreshed row. Refreshes that move a
+//! row's timestamp *forward* are now recorded in a small pending map and
+//! applied lazily — the staleness queue is only updated when the row
+//! actually reaches the front of an expiry sweep or eviction scan, so any
+//! number of refreshes between sweeps collapse into **one** queue update
+//! (and rows that stay hot never pay it at all). Backward refreshes (clock
+//! replays in tests) are applied eagerly so the queue order stays exact.
+//! The pending time is always strictly later than the queued time, which
+//! keeps the front-of-queue normalization loop sound: once the front entry
+//! has no pending refresh, it is the true minimum over effective times.
 
 use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -52,6 +96,56 @@ impl RowId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+}
+
+/// The kind of state change a [`TableDelta`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableDeltaKind {
+    /// A row was added (or the new half of a replacement).
+    Insert,
+    /// A row was removed by an explicit delete (or the retracted half of a
+    /// replacement).
+    Delete,
+    /// A row was removed because its soft-state lifetime elapsed.
+    Expire,
+    /// A row was removed to honour the size bound.
+    Evict,
+}
+
+impl TableDeltaKind {
+    /// True for the kinds that remove a row (everything but `Insert`).
+    pub fn is_removal(self) -> bool {
+        !matches!(self, TableDeltaKind::Insert)
+    }
+}
+
+/// One exact state change of a table, emitted uniformly by every mutation
+/// path (see the module-level *Delta protocol* section).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDelta {
+    /// What happened.
+    pub kind: TableDeltaKind,
+    /// The slab address the row occupied (or occupies). Valid only until
+    /// the next mutation; carried for diagnostics and dedup, not for
+    /// dereferencing.
+    pub row: RowId,
+    /// The affected tuple (the removed tuple for removals).
+    pub tuple: Tuple,
+}
+
+/// Handle identifying one delta subscription of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaSubscription(usize);
+
+/// Bound on an undrained subscription queue; beyond this the queue is
+/// discarded and the subscriber is told to rebuild from a table scan.
+pub const DELTA_LOG_CAP: usize = 8192;
+
+/// One subscriber's pending delta queue.
+#[derive(Debug, Default)]
+struct SubQueue {
+    log: Vec<TableDelta>,
+    overflowed: bool,
 }
 
 /// Result of inserting a tuple into a table.
@@ -146,6 +240,12 @@ pub struct Table {
     secondary: HashMap<Vec<usize>, SecondaryIndex>,
     /// Rows ordered by refresh-adjusted insertion time.
     staleness: BTreeSet<(SimTime, u32)>,
+    /// Lazily applied forward refreshes: `id -> effective time`, always
+    /// strictly later than the row's queued `inserted_at` (see the
+    /// module-level *Batched refresh* section).
+    pending_refresh: HashMap<u32, SimTime>,
+    /// Per-subscription delta queues (usually empty or a single entry).
+    subs: Vec<SubQueue>,
     stats: StatCells,
 }
 
@@ -191,6 +291,8 @@ impl Table {
             primary: HashMap::new(),
             secondary: HashMap::new(),
             staleness: BTreeSet::new(),
+            pending_refresh: HashMap::new(),
+            subs: Vec::new(),
             stats: StatCells::default(),
         }
     }
@@ -223,6 +325,55 @@ impl Table {
             full_scans: self.stats.full_scans.get(),
             expired: self.stats.expired.get(),
             evicted: self.stats.evicted.get(),
+        }
+    }
+
+    // ----- delta subscriptions ----------------------------------------
+
+    /// Registers a new delta subscriber; every subsequent mutation appends
+    /// a [`TableDelta`] to the subscription's private queue.
+    pub fn subscribe_deltas(&mut self) -> DeltaSubscription {
+        self.subs.push(SubQueue::default());
+        DeltaSubscription(self.subs.len() - 1)
+    }
+
+    /// True if anyone subscribed to this table's deltas.
+    pub fn has_delta_subscribers(&self) -> bool {
+        !self.subs.is_empty()
+    }
+
+    /// Moves the subscription's pending deltas into `out` (appending, in
+    /// mutation order). Returns `true` if the queue overflowed since the
+    /// last drain — the deltas are gone and the subscriber must rebuild
+    /// from a table scan instead.
+    pub fn drain_deltas(&mut self, sub: DeltaSubscription, out: &mut Vec<TableDelta>) -> bool {
+        let q = &mut self.subs[sub.0];
+        let overflowed = q.overflowed;
+        q.overflowed = false;
+        if overflowed {
+            q.log.clear();
+        } else {
+            out.append(&mut q.log);
+        }
+        overflowed
+    }
+
+    /// Appends a delta to every subscription queue (no-op with none).
+    fn log_delta(&mut self, kind: TableDeltaKind, id: u32, tuple: &Tuple) {
+        for q in &mut self.subs {
+            if q.overflowed {
+                continue;
+            }
+            if q.log.len() >= DELTA_LOG_CAP {
+                q.log.clear();
+                q.overflowed = true;
+                continue;
+            }
+            q.log.push(TableDelta {
+                kind,
+                row: RowId(id),
+                tuple: tuple.clone(),
+            });
         }
     }
 
@@ -336,12 +487,39 @@ impl Table {
         }
     }
 
+    /// Moves the row's staleness-queue entry to `to` and clears any pending
+    /// lazy refresh (the one queue update a batch of refreshes collapses
+    /// into).
+    fn reposition(&mut self, id: u32, to: SimTime) {
+        let slot = self.slots[id as usize].as_mut().expect("live RowId");
+        let from = slot.inserted_at;
+        if from != to {
+            slot.inserted_at = to;
+            self.staleness.remove(&(from, id));
+            self.staleness.insert((to, id));
+        }
+        self.pending_refresh.remove(&id);
+    }
+
+    /// Applies the row's pending lazy refresh, if any; returns whether one
+    /// was applied (callers re-examine the staleness front afterwards).
+    fn apply_pending_refresh(&mut self, id: u32) -> bool {
+        match self.pending_refresh.get(&id).copied() {
+            Some(eff) => {
+                self.reposition(id, eff);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Unlinks and returns the row at `id`, fixing up every index and the
     /// staleness queue. O(log n + indices).
     fn remove_row(&mut self, id: u32) -> Row {
         let row = self.slots[id as usize].take().expect("live RowId");
         self.live -= 1;
         self.free.push(id);
+        self.pending_refresh.remove(&id);
         self.staleness.remove(&(row.inserted_at, id));
         let hash = self
             .primary_hash_of(&row.tuple)
@@ -427,12 +605,16 @@ impl Table {
                 let row = self.slots[id as usize].as_ref().expect("live RowId");
                 let old_at = row.inserted_at;
                 if row.tuple.values() == tuple.values() {
-                    self.staleness.remove(&(old_at, id));
-                    self.staleness.insert((now, id));
-                    self.slots[id as usize]
-                        .as_mut()
-                        .expect("live RowId")
-                        .inserted_at = now;
+                    // Refresh: no visible state change, no delta. Forward
+                    // refreshes are recorded lazily (one staleness-queue
+                    // update per sweep instead of one per refresh);
+                    // backward refreshes reposition eagerly so the queue
+                    // order stays exact.
+                    if now > old_at {
+                        self.pending_refresh.insert(id, now);
+                    } else {
+                        self.reposition(id, now);
+                    }
                     (InsertOutcome::Refreshed, id)
                 } else {
                     let old = row.tuple.clone();
@@ -440,9 +622,13 @@ impl Table {
                     self.secondary_insert(id, &tuple);
                     self.staleness.remove(&(old_at, id));
                     self.staleness.insert((now, id));
+                    self.pending_refresh.remove(&id);
                     let slot = self.slots[id as usize].as_mut().expect("live RowId");
-                    slot.tuple = tuple;
+                    slot.tuple = tuple.clone();
                     slot.inserted_at = now;
+                    // A replacement is an exact retraction plus assertion.
+                    self.log_delta(TableDeltaKind::Delete, id, &old);
+                    self.log_delta(TableDeltaKind::Insert, id, &tuple);
                     (InsertOutcome::Replaced(old), id)
                 }
             }
@@ -455,6 +641,7 @@ impl Table {
                 self.primary.entry(hash).or_default().push(id);
                 self.secondary_insert(id, &tuple);
                 self.staleness.insert((now, id));
+                self.log_delta(TableDeltaKind::Insert, id, &tuple);
                 (InsertOutcome::New, id)
             }
         };
@@ -463,7 +650,8 @@ impl Table {
             while self.live > max {
                 // The stalest row (FIFO on refresh-adjusted time) is at the
                 // front of the staleness queue; never evict the row we just
-                // inserted.
+                // inserted. Rows with a pending lazy refresh are repositioned
+                // before being trusted as victims.
                 let victim = self
                     .staleness
                     .iter()
@@ -471,8 +659,12 @@ impl Table {
                     .find(|&id| id != kept);
                 match victim {
                     Some(id) => {
+                        if self.apply_pending_refresh(id) {
+                            continue;
+                        }
                         let row = self.remove_row(id);
                         self.stats.evicted.set(self.stats.evicted.get() + 1);
+                        self.log_delta(TableDeltaKind::Evict, id, &row.tuple);
                         spill.push(row.tuple);
                     }
                     None => break,
@@ -488,17 +680,37 @@ impl Table {
     ///
     /// This backs OverLog `delete` rules, which name the full tuple to
     /// remove.
+    ///
+    /// Allocates a fresh result vector per call; hot callers (the dataflow
+    /// `Delete` element) should reuse one buffer through
+    /// [`Table::delete_matching_spill`].
     pub fn delete_matching(&mut self, tuple: &Tuple) -> Result<Vec<Tuple>, ValueError> {
-        let hash = self.primary_hash_of(tuple)?;
         let mut removed = Vec::new();
+        self.delete_matching_spill(tuple, &mut removed)?;
+        Ok(removed)
+    }
+
+    /// Like [`Table::delete_matching`] but appends the removed tuples to the
+    /// caller-provided `spill` buffer (not cleared — the caller owns its
+    /// lifecycle), returning how many rows were removed. Keeps the delete
+    /// hot path allocation-free, mirroring [`Table::insert_spill`].
+    pub fn delete_matching_spill(
+        &mut self,
+        tuple: &Tuple,
+        spill: &mut Vec<Tuple>,
+    ) -> Result<usize, ValueError> {
+        let hash = self.primary_hash_of(tuple)?;
         if let Some(id) = self.find_by_key_of(hash, tuple) {
             // Exact equality is subsumed by the loose match: a pattern with
             // no nulls matches only a field-identical row.
             if row_matches_loosely(&self.row(id).tuple, tuple) {
-                removed.push(self.remove_row(id).tuple);
+                let row = self.remove_row(id);
+                self.log_delta(TableDeltaKind::Delete, id, &row.tuple);
+                spill.push(row.tuple);
+                return Ok(1);
             }
         }
-        Ok(removed)
+        Ok(0)
     }
 
     /// Removes the row with the given primary key, if present.
@@ -510,7 +722,9 @@ impl Table {
             .iter()
             .copied()
             .find(|&id| self.row_key_matches(&self.row(id).tuple, key))?;
-        Some(self.remove_row(id).tuple)
+        let row = self.remove_row(id);
+        self.log_delta(TableDeltaKind::Delete, id, &row.tuple);
+        Some(row.tuple)
     }
 
     /// Removes and returns every row older than the table's lifetime.
@@ -537,12 +751,19 @@ impl Table {
             return;
         };
         while let Some(&(at, id)) = self.staleness.first() {
+            // A lazily refreshed row is repositioned (its one coalesced
+            // queue update) before the front is trusted.
+            if self.apply_pending_refresh(id) {
+                continue;
+            }
             if now.saturating_sub(at) > lifetime {
                 let row = self.remove_row(id);
                 self.stats.expired.set(self.stats.expired.get() + 1);
+                self.log_delta(TableDeltaKind::Expire, id, &row.tuple);
                 sink(row.tuple);
             } else {
-                // Entries are time-ordered: the first non-expired row ends
+                // Entries are time-ordered and pending refreshes only move
+                // rows later: the first non-expired, non-pending row ends
                 // the sweep.
                 break;
             }
@@ -794,6 +1015,22 @@ impl Table {
                     ))
                 }
                 None => return Err(format!("staleness entry ({at}, {id}) dangles")),
+            }
+        }
+
+        // Pending lazy refreshes name live rows and are strictly later than
+        // the queued time (backward refreshes apply eagerly), which is what
+        // keeps the front-normalization loops of expiry/eviction sound.
+        for (&id, &eff) in &self.pending_refresh {
+            match self.slots.get(id as usize).and_then(Option::as_ref) {
+                Some(row) if eff > row.inserted_at => {}
+                Some(row) => {
+                    return Err(format!(
+                        "pending refresh ({id}, {eff}) not later than queued time {}",
+                        row.inserted_at
+                    ))
+                }
+                None => return Err(format!("pending refresh names dead row {id}")),
             }
         }
 
@@ -1311,6 +1548,174 @@ mod tests {
         t.check_consistency().unwrap();
         let stats = t.stats();
         assert!(stats.evicted > 0 && stats.expired > 0);
+    }
+
+    #[test]
+    fn deltas_cover_every_mutation_path() {
+        let mut t = Table::new(succ_spec()); // lifetime 10 s, max 4 rows
+        let sub = t.subscribe_deltas();
+        let mut log = Vec::new();
+
+        // New insert.
+        t.insert(succ(5, "n5"), SimTime::from_secs(1)).unwrap();
+        // Refresh: no delta.
+        t.insert(succ(5, "n5"), SimTime::from_secs(2)).unwrap();
+        // Replace: Delete(old) + Insert(new).
+        t.insert(succ(5, "n5b"), SimTime::from_secs(3)).unwrap();
+        // Explicit delete.
+        t.delete_key(&[Value::Int(5)]);
+        assert!(!t.drain_deltas(sub, &mut log));
+        let kinds: Vec<TableDeltaKind> = log.iter().map(|d| d.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TableDeltaKind::Insert,
+                TableDeltaKind::Delete,
+                TableDeltaKind::Insert,
+                TableDeltaKind::Delete,
+            ]
+        );
+        assert_eq!(log[1].tuple.field(2), &Value::str("n5"));
+        assert_eq!(log[2].tuple.field(2), &Value::str("n5b"));
+        log.clear();
+
+        // Eviction: fill past the bound.
+        for (i, s) in [10i64, 20, 30, 40, 50].iter().enumerate() {
+            t.insert(succ(*s, "x"), SimTime::from_secs(10 + i as u64))
+                .unwrap();
+        }
+        t.drain_deltas(sub, &mut log);
+        assert_eq!(
+            log.iter()
+                .filter(|d| d.kind == TableDeltaKind::Evict)
+                .count(),
+            1
+        );
+        assert_eq!(log.last().unwrap().kind, TableDeltaKind::Evict);
+        assert_eq!(log.last().unwrap().tuple.field(1), &Value::Int(10));
+        log.clear();
+
+        // Expiry.
+        t.expire(SimTime::from_secs(40));
+        t.drain_deltas(sub, &mut log);
+        assert_eq!(log.len(), 4);
+        assert!(log.iter().all(|d| d.kind == TableDeltaKind::Expire));
+        assert!(TableDeltaKind::Expire.is_removal());
+        assert!(!TableDeltaKind::Insert.is_removal());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn delta_overflow_reports_once_and_recovers() {
+        let mut t = Table::new(TableSpec::new("t", vec![1]));
+        let sub = t.subscribe_deltas();
+        for i in 0..(DELTA_LOG_CAP as i64 + 10) {
+            t.insert(succ(i, "x"), SimTime::ZERO).unwrap();
+        }
+        let mut log = Vec::new();
+        assert!(
+            t.drain_deltas(sub, &mut log),
+            "queue should have overflowed"
+        );
+        assert!(log.is_empty(), "overflow discards the partial log");
+        // After the rebuild signal, the stream resumes normally.
+        t.insert(succ(-1, "x"), SimTime::ZERO).unwrap();
+        assert!(!t.drain_deltas(sub, &mut log));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn independent_subscriptions_see_the_same_stream() {
+        let mut t = Table::new(TableSpec::new("t", vec![1]));
+        let a = t.subscribe_deltas();
+        t.insert(succ(1, "x"), SimTime::ZERO).unwrap();
+        let b = t.subscribe_deltas();
+        t.insert(succ(2, "y"), SimTime::ZERO).unwrap();
+        let (mut la, mut lb) = (Vec::new(), Vec::new());
+        t.drain_deltas(a, &mut la);
+        t.drain_deltas(b, &mut lb);
+        assert_eq!(la.len(), 2, "first subscriber sees both inserts");
+        assert_eq!(lb.len(), 1, "late subscriber sees only later mutations");
+        assert_eq!(la[1], lb[0]);
+    }
+
+    #[test]
+    fn lazy_refresh_coalesces_and_preserves_expiry_eviction_order() {
+        let mut t = Table::new(succ_spec()); // lifetime 10 s, max 4
+        for (i, s) in [1i64, 2, 3, 4].iter().enumerate() {
+            t.insert(succ(*s, "x"), SimTime::from_secs(i as u64))
+                .unwrap();
+        }
+        // Refresh row 1 repeatedly: the staleness queue must not be
+        // touched until a sweep forces the single coalesced update.
+        for at in [20u64, 21, 22] {
+            let (o, _) = t.insert(succ(1, "x"), SimTime::from_secs(at)).unwrap();
+            assert_eq!(o, InsertOutcome::Refreshed);
+        }
+        t.check_consistency().unwrap();
+        // An expiry sweep at t=13 must expire rows 2 and 3 (inserted at 1
+        // and 2, lifetime 10; row 4 at t=3 is exactly at the bound) but
+        // keep the refreshed row 1 (effective time 22, queued time 0).
+        let gone = t.expire(SimTime::from_secs(13));
+        assert_eq!(gone.len(), 2);
+        assert!(t.get(&[Value::Int(1)]).is_some());
+        assert!(t.get(&[Value::Int(4)]).is_some());
+        t.check_consistency().unwrap();
+
+        // Eviction must also respect the lazy refresh: refill and confirm
+        // the refreshed row is not picked as the stale victim. Inserting
+        // keys 5..7 overflows once: the victim must be the unrefreshed row
+        // 4 (queued at t=3), not row 1 (queued at t=0 but effective t=22).
+        let mut spill = Vec::new();
+        for (i, s) in [5i64, 6, 7].iter().enumerate() {
+            t.insert_spill(succ(*s, "y"), SimTime::from_secs(23 + i as u64), &mut spill)
+                .unwrap();
+        }
+        assert_eq!(spill.len(), 1);
+        assert_eq!(spill[0].field(1), &Value::Int(4));
+        assert!(t.get(&[Value::Int(1)]).is_some());
+
+        t.insert(succ(1, "x"), SimTime::from_secs(40)).unwrap(); // lazy refresh again
+        let (_, evicted) = t.insert(succ(8, "z"), SimTime::from_secs(41)).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(
+            evicted[0].field(1),
+            &Value::Int(5),
+            "the stalest unrefreshed row is the victim"
+        );
+        assert!(t.get(&[Value::Int(1)]).is_some());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn backward_refresh_applies_eagerly() {
+        let mut t = Table::new(succ_spec());
+        t.insert(succ(1, "x"), SimTime::from_secs(30)).unwrap();
+        t.insert(succ(2, "y"), SimTime::from_secs(5)).unwrap();
+        // Re-insert row 1 at an *earlier* time: must reposition eagerly so
+        // the queue order reflects effective times exactly.
+        let (o, _) = t.insert(succ(1, "x"), SimTime::from_secs(2)).unwrap();
+        assert_eq!(o, InsertOutcome::Refreshed);
+        t.check_consistency().unwrap();
+        let gone = t.expire(SimTime::from_secs(13));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].field(1), &Value::Int(1));
+    }
+
+    #[test]
+    fn delete_matching_spill_reuses_the_caller_buffer() {
+        let mut t = Table::new(TableSpec::new("neighbor", vec![1]));
+        let n = |y: &str| TupleBuilder::new("neighbor").push("n1").push(y).build();
+        t.insert(n("n2"), SimTime::ZERO).unwrap();
+        t.insert(n("n3"), SimTime::ZERO).unwrap();
+        let mut spill = Vec::new();
+        assert_eq!(t.delete_matching_spill(&n("n2"), &mut spill).unwrap(), 1);
+        assert_eq!(spill.len(), 1);
+        assert_eq!(t.delete_matching_spill(&n("n9"), &mut spill).unwrap(), 0);
+        assert_eq!(spill.len(), 1, "misses append nothing");
+        spill.clear();
+        assert_eq!(t.delete_matching_spill(&n("n3"), &mut spill).unwrap(), 1);
+        assert!(t.is_empty());
     }
 
     #[test]
