@@ -21,6 +21,15 @@
 //!   chains must produce identical NetStats and event counts, and the
 //!   binary **exits non-zero on divergence** (CI runs this in smoke mode,
 //!   like the `--par` golden gate).
+//! * `view_gate` — the incrementalization equivalence gate: the same ring
+//!   planned with materialized views and delta-fed aggregate probes (the
+//!   default) and with the rescanning translation must produce identical
+//!   NetStats and event counts, and the binary **exits non-zero on
+//!   divergence**. `--view-gate` runs only this gate (the CI smoke step).
+//!
+//! The `chord_rings` section reports an interleaved in-process A/B of the
+//! incremental plan against both the generic element chains and the
+//! rescanning (views-off) plan, plus per-event full-scan rates for each.
 //!
 //! With `--par` the binary instead benchmarks the **parallel sharded
 //! simulator**: steady-state Chord-ring throughput at 1/2/4/8 workers per
@@ -30,7 +39,7 @@
 //! this in smoke mode).
 //!
 //! Usage: `cargo run --release --bin sim_bench [-- --smoke] [--par]
-//! [--sizes N,N,..] [--workers N,N,..] [--out PATH]`
+//! [--view-gate] [--sizes N,N,..] [--workers N,N,..] [--out PATH]`
 
 use std::time::Instant;
 
@@ -109,6 +118,18 @@ struct ChordResult {
     /// strand fusion (plus the identical event streams make the windows
     /// directly comparable).
     fused_speedup: f64,
+    /// Throughput of the same ring with view materialization and delta-fed
+    /// aggregate probes disabled (the rescanning translation), interleaved
+    /// in the same windows.
+    views_off_events_per_sec: f64,
+    /// `events_per_sec / views_off_events_per_sec`: the isolated win of
+    /// incrementalization.
+    views_speedup: f64,
+    /// Full table scans per processed event in the measurement windows,
+    /// incremental plan (the ISSUE-7 success metric: ~0).
+    full_scans_per_event: f64,
+    /// Full table scans per processed event, rescanning plan.
+    views_off_full_scans_per_event: f64,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -134,12 +155,27 @@ struct StrandGate {
 }
 
 #[derive(Debug, Clone, Serialize)]
+struct ViewGate {
+    nodes: usize,
+    /// Rules lowered to materialized views in the shipped plan.
+    mat_view_count: usize,
+    views_on: GoldenPin,
+    views_off: GoldenPin,
+    /// Full table scans over the gate window, incremental plan.
+    views_on_full_scans: u64,
+    /// Full table scans over the gate window, rescanning plan.
+    views_off_full_scans: u64,
+    matches: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
     toy_event_loop: Vec<ToyResult>,
     chord_rings: Vec<ChordResult>,
     join_seed_bring_up: Vec<JoinSeedResult>,
     strand_gate: StrandGate,
+    view_gate: ViewGate,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -224,34 +260,68 @@ fn bench_chord(nodes: usize, warmup_secs: u64, virtual_secs: u64) -> ChordResult
     let mut generic = ChordCluster::builder(nodes, 42)
         .fuse_strands(false)
         .build_fast(warmup_secs);
+    let mut rescan = ChordCluster::builder(nodes, 42)
+        .materialize_views(false)
+        .build_fast(warmup_secs);
 
-    // Interleaved measurement windows: the fused and the generic ring
-    // simulate the same deterministic event stream, so alternating short
-    // windows makes the comparison robust against machine-load drift
-    // within one run (single absolute numbers on a shared box are not).
-    let windows = 3u64;
+    // Interleaved measurement windows: all three rings simulate the same
+    // deterministic event stream, so alternating short windows makes the
+    // comparison robust against machine-load drift within one run (single
+    // absolute numbers on a shared box are not). The within-window run
+    // order alternates each window (even count) because position in the
+    // window is itself worth several percent on a busy single-core box —
+    // measured by swapping the order of two identical-workload rings.
+    let windows = 4u64;
     let slice = (virtual_secs / windows).max(1);
     cluster.sim.reset_stats();
     let before_events = cluster.sim.events_processed();
     let generic_before = generic.sim.events_processed();
-    let (mut wall, mut generic_wall) = (0.0f64, 0.0f64);
-    for _ in 0..windows {
-        let t = Instant::now();
-        cluster.run_for(slice as f64);
-        wall += t.elapsed().as_secs_f64();
+    let rescan_before = rescan.sim.events_processed();
+    let scans_before = cluster.storage_ops().full_scans;
+    let rescan_scans_before = rescan.storage_ops().full_scans;
+    let (mut wall, mut generic_wall, mut rescan_wall) = (0.0f64, 0.0f64, 0.0f64);
+    for w in 0..windows {
+        let mut run_main = |wall: &mut f64| {
+            let t = Instant::now();
+            cluster.run_for(slice as f64);
+            *wall += t.elapsed().as_secs_f64();
+        };
+        let mut run_rescan = |wall: &mut f64| {
+            let t = Instant::now();
+            rescan.run_for(slice as f64);
+            *wall += t.elapsed().as_secs_f64();
+        };
+        if w % 2 == 0 {
+            run_main(&mut wall);
+        } else {
+            run_rescan(&mut rescan_wall);
+        }
         let t = Instant::now();
         generic.run_for(slice as f64);
         generic_wall += t.elapsed().as_secs_f64();
+        if w % 2 == 0 {
+            run_rescan(&mut rescan_wall);
+        } else {
+            run_main(&mut wall);
+        }
     }
     let events = cluster.sim.events_processed() - before_events;
     let generic_events = generic.sim.events_processed() - generic_before;
+    let rescan_events = rescan.sim.events_processed() - rescan_before;
     assert_eq!(
         events, generic_events,
         "fused and generic rings must process identical event streams"
     );
+    assert_eq!(
+        events, rescan_events,
+        "incremental and rescanning rings must process identical event streams"
+    );
+    let full_scans = cluster.storage_ops().full_scans - scans_before;
+    let rescan_full_scans = rescan.storage_ops().full_scans - rescan_scans_before;
     let sent = cluster.sim.stats().messages_sent;
     let events_per_sec = events as f64 / wall.max(1e-12);
     let generic_events_per_sec = generic_events as f64 / generic_wall.max(1e-12);
+    let views_off_events_per_sec = rescan_events as f64 / rescan_wall.max(1e-12);
     ChordResult {
         nodes,
         build_wall_secs,
@@ -263,6 +333,10 @@ fn bench_chord(nodes: usize, warmup_secs: u64, virtual_secs: u64) -> ChordResult
         messages_per_virtual_sec: sent as f64 / (slice * windows).max(1) as f64,
         generic_events_per_sec,
         fused_speedup: events_per_sec / generic_events_per_sec.max(1e-12),
+        views_off_events_per_sec,
+        views_speedup: events_per_sec / views_off_events_per_sec.max(1e-12),
+        full_scans_per_event: full_scans as f64 / events.max(1) as f64,
+        views_off_full_scans_per_event: rescan_full_scans as f64 / events.max(1) as f64,
     }
 }
 
@@ -312,6 +386,44 @@ fn strand_gate(nodes: usize, warmup_secs: u64) -> StrandGate {
         fused,
         generic,
         matches: fused == generic,
+    }
+}
+
+/// Runs the incrementalization equivalence gate: the same staggered
+/// bring-up ring planned with materialized views and delta-fed aggregate
+/// probes, and with the rescanning translation, must produce identical
+/// NetStats and event counts. Views keep emission poke-driven through the
+/// shared strand executor precisely so this holds bit-for-bit; the gate is
+/// the end-to-end proof, and the full-scan counters show the work saved.
+fn view_gate(nodes: usize, warmup_secs: u64) -> ViewGate {
+    let run = |views: bool| {
+        let mut cluster = ChordCluster::builder(nodes, 42)
+            .materialize_views(views)
+            .build(warmup_secs);
+        cluster.sim.reset_stats();
+        let before = cluster.sim.events_processed();
+        let scans_before = cluster.storage_ops().full_scans;
+        cluster.run_for(60.0);
+        let s = cluster.sim.stats();
+        let pin = GoldenPin {
+            messages_sent: s.messages_sent,
+            messages_delivered: s.messages_delivered,
+            messages_dropped: s.messages_dropped,
+            bytes_sent: s.bytes_sent,
+            events_processed: cluster.sim.events_processed() - before,
+        };
+        (pin, cluster.storage_ops().full_scans - scans_before)
+    };
+    let (views_on, views_on_full_scans) = run(true);
+    let (views_off, views_off_full_scans) = run(false);
+    ViewGate {
+        nodes,
+        mat_view_count: p2_overlays::chord::shared_plan(true).mat_view_count(),
+        views_on,
+        views_off,
+        views_on_full_scans,
+        views_off_full_scans,
+        matches: views_on == views_off,
     }
 }
 
@@ -461,6 +573,7 @@ fn main() {
 
     let smoke = flag("--smoke");
     let par = flag("--par");
+    let view_gate_only = flag("--view-gate");
     let out_path = value("--out").unwrap_or_else(|| {
         if par {
             "BENCH_parsim.json".to_string()
@@ -477,6 +590,28 @@ fn main() {
     // Simultaneous joins need more stabilization time than the paper's
     // staggered bring-up: ~300 virtual seconds forms a fully correct ring.
     let (warmup_secs, measure_secs) = if smoke { (60, 10) } else { (300, 30) };
+
+    // Gate-only mode (the CI smoke step): run the incrementalization
+    // equivalence gate and exit, writing no report.
+    if view_gate_only {
+        let gate_nodes = if smoke { 16 } else { 64 };
+        eprintln!("view gate: {gate_nodes}-node ring, incremental vs rescanning plans...");
+        let gate = view_gate(gate_nodes, if smoke { 60 } else { 120 });
+        eprintln!(
+            "  {} materialized views; on {:?} ({} full scans) vs off {:?} ({} full scans) -> {}",
+            gate.mat_view_count,
+            gate.views_on,
+            gate.views_on_full_scans,
+            gate.views_off,
+            gate.views_off_full_scans,
+            if gate.matches { "MATCH" } else { "DIVERGED" }
+        );
+        if !gate.matches {
+            eprintln!("error: view-materialized run diverged from the rescanning run");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
 
     // Fail on an unwritable output path up front, not after minutes of
     // measurement.
@@ -511,7 +646,9 @@ fn main() {
         let r = bench_chord(n, warmup_secs, measure_secs);
         eprintln!(
             "  bring-up {:.2} s wall, ring {:.2}, {} events in {:.3} s -> {:>12.0} events/s \
-             ({:>8.0} msgs/virtual-s; generic plan {:>12.0} events/s, fused {:.2}x)",
+             ({:>8.0} msgs/virtual-s; generic plan {:>12.0} events/s, fused {:.2}x; \
+             rescanning plan {:>12.0} events/s, views {:.2}x, \
+             full scans/event {:.4} vs {:.4})",
             r.build_wall_secs,
             r.ring_correctness,
             r.events,
@@ -519,7 +656,11 @@ fn main() {
             r.events_per_sec,
             r.messages_per_virtual_sec,
             r.generic_events_per_sec,
-            r.fused_speedup
+            r.fused_speedup,
+            r.views_off_events_per_sec,
+            r.views_speedup,
+            r.full_scans_per_event,
+            r.views_off_full_scans_per_event
         );
         chord_rings.push(r);
     }
@@ -559,7 +700,20 @@ fn main() {
         gate.generic,
         if gate.matches { "MATCH" } else { "DIVERGED" }
     );
-    let matches = gate.matches;
+    let strands_match = gate.matches;
+
+    eprintln!("view gate: {gate_nodes}-node ring, incremental vs rescanning plans...");
+    let vgate = view_gate(gate_nodes, if smoke { 60 } else { 120 });
+    eprintln!(
+        "  {} materialized views; on {:?} ({} full scans) vs off {:?} ({} full scans) -> {}",
+        vgate.mat_view_count,
+        vgate.views_on,
+        vgate.views_on_full_scans,
+        vgate.views_off,
+        vgate.views_off_full_scans,
+        if vgate.matches { "MATCH" } else { "DIVERGED" }
+    );
+    let views_match = vgate.matches;
 
     let report = BenchReport {
         bench: "sim_event_loop".to_string(),
@@ -567,6 +721,7 @@ fn main() {
         chord_rings,
         join_seed_bring_up,
         strand_gate: gate,
+        view_gate: vgate,
     };
     let json = to_json(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -575,8 +730,12 @@ fn main() {
     }
     println!("{json}");
     eprintln!("wrote {out_path}");
-    if !matches {
+    if !strands_match {
         eprintln!("error: strand-compiled run diverged from the generic-plan run");
+        std::process::exit(1);
+    }
+    if !views_match {
+        eprintln!("error: view-materialized run diverged from the rescanning run");
         std::process::exit(1);
     }
 }

@@ -30,6 +30,10 @@ pub struct NodeConfig {
     /// elements (on by default; disable to debug against the generic
     /// element graph).
     pub fuse_strands: bool,
+    /// Whether pure-join table rules become incrementally maintained view
+    /// elements and eligible aggregation probes run delta-fed (on by
+    /// default; disable to force the recompute-everything lowering).
+    pub materialize_views: bool,
 }
 
 impl NodeConfig {
@@ -41,6 +45,7 @@ impl NodeConfig {
             watches: Vec::new(),
             jitter_periodics: true,
             fuse_strands: true,
+            materialize_views: true,
         }
     }
 
@@ -60,6 +65,12 @@ impl NodeConfig {
     /// chain).
     pub fn without_fusion(mut self) -> NodeConfig {
         self.fuse_strands = false;
+        self
+    }
+
+    /// Disables materialized views and delta-fed aggregation probes.
+    pub fn without_views(mut self) -> NodeConfig {
+        self.materialize_views = false;
         self
     }
 }
@@ -105,6 +116,7 @@ impl P2Node {
             watches: config.watches.clone(),
             jitter_periodics: config.jitter_periodics,
             fuse_strands: config.fuse_strands,
+            materialize_views: config.materialize_views,
         };
         let shared = PlannedProgram::compile(program, &plan_config)?;
         Ok(P2Node::from_plan(

@@ -15,6 +15,30 @@
 //! materialized table. Rules whose body consists solely of a table and whose
 //! head aggregates over it become materialized [`TableAgg`] watchers instead.
 //!
+//! # Incremental lowering
+//!
+//! With [`PlanConfig::materialize_views`] (the default), two further shapes
+//! leave the rescanning translation:
+//!
+//! * A non-delete rule whose every body predicate is a stored table, with
+//!   pure programs and no probe or anti-join of a trigger table, lowers to
+//!   **one [`MatView`] element** instead of per-trigger strands: port `k`
+//!   carries the insert pokes of trigger table `k` (emission stays
+//!   poke-driven and bit-identical to the strands it replaces, including on
+//!   soft-state refreshes), while the view maintains provenance counts of
+//!   the derivable head rows from the tables' delta streams and emits exact
+//!   retractions on the port past the triggers (left unwired in the shipped
+//!   plan).
+//! * An in-strand [`AggProbe`] whose filter and aggregate programs are pure
+//!   becomes **delta-fed**: per-event-class contribution state maintained
+//!   from the table's delta stream replaces the counted full scan per
+//!   event, with a scan-identical rebuild fallback on delta-log overflow.
+//!
+//! Both consume pooled per-table [`DeltaSubscription`]s created in
+//! [`PlannedProgram::instantiate`]. [`PlanConfig::without_views`] is the
+//! escape hatch back to the rescanning translation; the `view_gate` in
+//! `sim_bench` pins both translations to identical event streams.
+//!
 //! # Shared plans
 //!
 //! Planning is split in two:
@@ -40,12 +64,12 @@ use std::sync::Arc;
 
 use p2_dataflow::elements::{
     AggProbe, AntiJoin, Collector, CollectorHandle, Delete, Demux, FusedStrand, Insert, Join,
-    NetOut, Pad, Periodic, Project, Select, StrandOp, TableAgg,
+    MatView, NetOut, Pad, Periodic, Project, Select, StrandOp, TableAgg, ViewInput,
 };
 use p2_dataflow::{Element, Engine, Graph, Route};
 use p2_overlog::{AggSpec, BodyTerm, Expr as OExpr, HeadArg, Predicate, Program, Rule, SizeBound};
 use p2_pel::{BinOp, Expr as PExpr, Program as PelProgram};
-use p2_table::{AggFunc, Catalog, TableSpec};
+use p2_table::{AggFunc, Catalog, DeltaSubscription, TableSpec};
 use p2_value::Value;
 
 use crate::binding::Layout;
@@ -68,6 +92,10 @@ pub struct PlanOptions {
     /// Whether eligible rule chains are compiled into fused strand
     /// elements (see [`PlanConfig::fuse_strands`]).
     pub fuse_strands: bool,
+    /// Whether pure-join table rules are lowered to incrementally
+    /// maintained view elements and aggregation probes run delta-fed
+    /// (see [`PlanConfig::materialize_views`]).
+    pub materialize_views: bool,
 }
 
 impl PlanOptions {
@@ -79,6 +107,7 @@ impl PlanOptions {
             watches: Vec::new(),
             jitter_periodics: true,
             fuse_strands: true,
+            materialize_views: true,
         }
     }
 
@@ -100,6 +129,13 @@ impl PlanOptions {
         self.fuse_strands = false;
         self
     }
+
+    /// Disables materialized views and delta-fed aggregation probes
+    /// (everything recomputes by scanning, the pre-incremental behaviour).
+    pub fn without_views(mut self) -> PlanOptions {
+        self.materialize_views = false;
+        self
+    }
 }
 
 /// Node-independent planning configuration: everything [`PlanOptions`]
@@ -118,6 +154,14 @@ pub struct PlanConfig {
     /// [`PlanConfig::without_fusion`] forces it everywhere (used by the
     /// strand-equivalence gates).
     pub fuse_strands: bool,
+    /// Whether the plan is lowered incrementally: pure-join table rules
+    /// become [`MatView`] elements maintained from their trigger tables'
+    /// delta streams, and eligible aggregation probes run delta-fed
+    /// ([`AggProbe::with_subscription`]) instead of rescanning per event.
+    /// On by default; [`PlanConfig::without_views`] restores the
+    /// recompute-everything lowering (used by the view-equivalence gate
+    /// and as the escape hatch if a maintenance bug surfaces).
+    pub materialize_views: bool,
 }
 
 impl Default for PlanConfig {
@@ -126,17 +170,20 @@ impl Default for PlanConfig {
             watches: Vec::new(),
             jitter_periodics: false,
             fuse_strands: true,
+            materialize_views: true,
         }
     }
 }
 
 impl PlanConfig {
-    /// Creates a config with jitter and strand fusion enabled, no watches.
+    /// Creates a config with jitter, strand fusion, and view
+    /// materialization enabled, no watches.
     pub fn new() -> PlanConfig {
         PlanConfig {
             watches: Vec::new(),
             jitter_periodics: true,
             fuse_strands: true,
+            materialize_views: true,
         }
     }
 
@@ -155,6 +202,12 @@ impl PlanConfig {
     /// Disables rule-strand fusion.
     pub fn without_fusion(mut self) -> PlanConfig {
         self.fuse_strands = false;
+        self
+    }
+
+    /// Disables materialized views and delta-fed aggregation probes.
+    pub fn without_views(mut self) -> PlanConfig {
+        self.materialize_views = false;
         self
     }
 }
@@ -177,6 +230,7 @@ pub fn plan(program: &Program, opts: &PlanOptions) -> Result<Planned, PlanError>
         watches: opts.watches.clone(),
         jitter_periodics: opts.jitter_periodics,
         fuse_strands: opts.fuse_strands,
+        materialize_views: opts.materialize_views,
     };
     let planned = PlannedProgram::compile(program, &config)?;
     Ok(planned.instantiate(opts.local_addr.clone(), opts.seed))
@@ -209,7 +263,11 @@ enum ElementSpec {
         out_name: Arc<str>,
         fields: Vec<PelProgram>,
     },
-    /// Per-event aggregation probe over a table.
+    /// Per-event aggregation probe over a table. `incremental` probes are
+    /// fed from a pooled delta subscription and keep per-group aggregate
+    /// state alive across events instead of rescanning; it is set only
+    /// when the plan materializes views and the programs are pure
+    /// (`AggProbe::can_increment`).
     AggProbe {
         table: usize,
         table_arity: usize,
@@ -217,6 +275,7 @@ enum ElementSpec {
         filter: Option<PelProgram>,
         agg_expr: PelProgram,
         out_name: Arc<str>,
+        incremental: bool,
     },
     /// Materialized aggregate watcher over a table.
     TableAgg {
@@ -235,9 +294,18 @@ enum ElementSpec {
         head_fields: Vec<PelProgram>,
         out_name: Arc<str>,
     },
-    /// Schedule-preserving forwarder keeping a fused strand's outputs at
-    /// the BFS level of the generic chain it replaced.
+    /// Schedule-preserving forwarder keeping a fused strand's (or view's)
+    /// outputs at the BFS level of the generic chain it replaced.
     Pad,
+    /// A materialized join view: one input per trigger table of a
+    /// pure-join rule, poked on port `k` by inserts into `inputs[k]`'s
+    /// table, maintained incrementally from every input's delta stream
+    /// (see `p2_dataflow::elements::MatView`). The retraction port
+    /// (`inputs.len()`) is deliberately left unwired.
+    MatView {
+        inputs: Vec<ViewInputSpec>,
+        out_name: Arc<str>,
+    },
     /// `periodic` timer source.
     Periodic {
         period: f64,
@@ -249,6 +317,15 @@ enum ElementSpec {
     NetOut { dest_field: usize },
     /// Observation tap for a watched tuple name.
     Collector { watch: String },
+}
+
+/// One trigger input of a planned materialized view: the strand that
+/// derives head rows from that trigger's bindings, in spec form.
+struct ViewInputSpec {
+    table: usize,
+    pre_filters: Vec<PelProgram>,
+    ops: Vec<StrandOpSpec>,
+    head_fields: Vec<PelProgram>,
 }
 
 /// One operation of a planned fused strand, in chain order.
@@ -301,6 +378,7 @@ pub struct PlannedProgram {
     facts: Vec<FactTemplate>,
     jitter_periodics: bool,
     fused_strands: usize,
+    mat_views: usize,
 }
 
 // Compile-time audit: the shared plan is handed out as `&'static` from
@@ -335,6 +413,12 @@ impl PlannedProgram {
     /// (zero when fusion is disabled or no rule shape qualified).
     pub fn fused_strand_count(&self) -> usize {
         self.fused_strands
+    }
+
+    /// Number of rules lowered to incrementally maintained view elements
+    /// (zero when view materialization is disabled or no rule qualified).
+    pub fn mat_view_count(&self) -> usize {
+        self.mat_views
     }
 
     /// The resolved program facts, as tuples for a node at `addr`.
@@ -375,6 +459,55 @@ impl PlannedProgram {
             refs.push(table);
         }
 
+        // Delta-subscription pooling: count the subscriptions every
+        // delta-fed consumer (TableAgg, incremental AggProbe, MatView
+        // input) needs per table, then create them table-by-table under a
+        // single lock each instead of re-locking per element.
+        let mut sub_counts = vec![0usize; self.tables.len()];
+        for spec in &self.specs {
+            match spec {
+                ElementSpec::TableAgg { table, .. } => sub_counts[*table] += 1,
+                ElementSpec::AggProbe {
+                    table,
+                    incremental: true,
+                    ..
+                } => sub_counts[*table] += 1,
+                ElementSpec::MatView { inputs, .. } => {
+                    for input in inputs {
+                        sub_counts[input.table] += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut sub_pools: Vec<std::collections::VecDeque<DeltaSubscription>> = sub_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                if n == 0 {
+                    return std::collections::VecDeque::new();
+                }
+                let mut guard = refs[i].lock();
+                (0..n).map(|_| guard.subscribe_deltas()).collect()
+            })
+            .collect();
+        let mut take_sub = |table: usize| {
+            sub_pools[table]
+                .pop_front()
+                .expect("pool sized by the counting pass above")
+        };
+
+        let lower_op = |op: &StrandOpSpec| match op {
+            StrandOpSpec::Filter(p) => StrandOp::Filter(p.clone()),
+            StrandOpSpec::Probe { table, key } => {
+                FusedStrand::probe_op(refs[*table].clone(), key.clone())
+            }
+            StrandOpSpec::AntiJoin { table, key } => {
+                FusedStrand::anti_op(refs[*table].clone(), key.clone())
+            }
+            StrandOpSpec::Assign(p) => StrandOp::Assign(p.clone()),
+        };
+
         let mut collectors = HashMap::new();
         let mut graph = Graph::new();
         for (spec, name) in self.specs.iter().zip(&self.names) {
@@ -408,26 +541,42 @@ impl PlannedProgram {
                     filter,
                     agg_expr,
                     out_name,
-                } => Box::new(AggProbe::new(
-                    refs[*table].clone(),
-                    *table_arity,
-                    *func,
-                    filter.clone(),
-                    agg_expr.clone(),
-                    out_name.to_string(),
-                )),
+                    incremental,
+                } => {
+                    if *incremental {
+                        Box::new(AggProbe::with_subscription(
+                            refs[*table].clone(),
+                            *table_arity,
+                            *func,
+                            filter.clone(),
+                            agg_expr.clone(),
+                            out_name.to_string(),
+                            take_sub(*table),
+                        ))
+                    } else {
+                        Box::new(AggProbe::new(
+                            refs[*table].clone(),
+                            *table_arity,
+                            *func,
+                            filter.clone(),
+                            agg_expr.clone(),
+                            out_name.to_string(),
+                        ))
+                    }
+                }
                 ElementSpec::TableAgg {
                     table,
                     func,
                     agg_col,
                     group_cols,
                     out_name,
-                } => Box::new(TableAgg::new(
+                } => Box::new(TableAgg::with_subscription(
                     refs[*table].clone(),
                     *func,
                     *agg_col,
                     group_cols.clone(),
                     out_name.to_string(),
+                    take_sub(*table),
                 )),
                 ElementSpec::Strand {
                     pre_filters,
@@ -436,22 +585,24 @@ impl PlannedProgram {
                     out_name,
                 } => Box::new(FusedStrand::new(
                     pre_filters.clone(),
-                    ops.iter()
-                        .map(|op| match op {
-                            StrandOpSpec::Filter(p) => StrandOp::Filter(p.clone()),
-                            StrandOpSpec::Probe { table, key } => {
-                                FusedStrand::probe_op(refs[*table].clone(), key.clone())
-                            }
-                            StrandOpSpec::AntiJoin { table, key } => {
-                                FusedStrand::anti_op(refs[*table].clone(), key.clone())
-                            }
-                            StrandOpSpec::Assign(p) => StrandOp::Assign(p.clone()),
-                        })
-                        .collect(),
+                    ops.iter().map(lower_op).collect(),
                     head_fields.clone(),
                     out_name.to_string(),
                 )),
                 ElementSpec::Pad => Box::new(Pad),
+                ElementSpec::MatView { inputs, out_name } => Box::new(MatView::new(
+                    inputs
+                        .iter()
+                        .map(|input| ViewInput {
+                            table: refs[input.table].clone(),
+                            sub: take_sub(input.table),
+                            pre_filters: input.pre_filters.clone(),
+                            ops: input.ops.iter().map(lower_op).collect(),
+                            head_fields: input.head_fields.clone(),
+                        })
+                        .collect(),
+                    out_name.to_string(),
+                )),
                 ElementSpec::Periodic {
                     period,
                     count,
@@ -564,6 +715,8 @@ struct Builder<'a> {
     delete_ids: HashMap<String, Vec<usize>>,
     /// Number of rule strands compiled into fused elements.
     fused_strands: usize,
+    /// Number of rules lowered to materialized view elements.
+    mat_views: usize,
 }
 
 impl<'a> Builder<'a> {
@@ -617,6 +770,7 @@ impl<'a> Builder<'a> {
             table_aggs: HashMap::new(),
             delete_ids: HashMap::new(),
             fused_strands: 0,
+            mat_views: 0,
         };
         builder.demux_id = builder.add("demux", ElementSpec::Demux);
 
@@ -756,6 +910,7 @@ impl<'a> Builder<'a> {
             facts,
             jitter_periodics: self.config.jitter_periodics,
             fused_strands: self.fused_strands,
+            mat_views: self.mat_views,
         })
     }
 
@@ -814,8 +969,41 @@ impl<'a> Builder<'a> {
             if tables.is_empty() {
                 return Err(PlanError::in_rule(&rule.id, "rule body has no predicates"));
             }
-            // Delta-triggered: updates to any of the body tables re-evaluate
-            // the rule against the others.
+            // Try the view lowering first: analyse every trigger's strand;
+            // if each one qualifies, the whole rule becomes a single
+            // incrementally maintained MatView element.
+            if self.config.materialize_views && !rule.delete {
+                let mut trigger_ids = Vec::with_capacity(tables.len());
+                for t in &tables {
+                    trigger_ids.push(self.table_id(rule, &t.name)?);
+                }
+                let mut analysed = Vec::with_capacity(tables.len());
+                let mut viewable = true;
+                for (i, trigger) in tables.iter().enumerate() {
+                    let others: Vec<&Predicate> = tables
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, p)| *p)
+                        .collect();
+                    let stages = self.analyze_strand(
+                        rule,
+                        trigger,
+                        &TriggerSource::TableDelta(&trigger.name),
+                        &others,
+                    )?;
+                    if !Self::stages_viewable(&stages, &trigger_ids) {
+                        viewable = false;
+                        break;
+                    }
+                    analysed.push(stages);
+                }
+                if viewable {
+                    return self.lower_view(rule, &tables, analysed);
+                }
+            }
+            // Delta-triggered fallback: updates to any of the body tables
+            // re-evaluate the rule against the others.
             for (i, trigger) in tables.iter().enumerate() {
                 let others: Vec<&Predicate> = tables
                     .iter()
@@ -874,6 +1062,147 @@ impl<'a> Builder<'a> {
             }
         }
         true
+    }
+
+    /// Whether one trigger's analysed strand can become an input of an
+    /// incrementally maintained view. The checks extend
+    /// [`Builder::stages_fusable`]'s — the view reuses the fused strand
+    /// executor for both live emission and delta-time derivation — with
+    /// the maintenance-specific ones: no probe or anti-join may touch a
+    /// *trigger* table of the rule (replaying a delta would observe the
+    /// post-mutation state of the very table being replayed), and no
+    /// program may read the clock (`uses_time`) since derivations are
+    /// re-evaluated at delta time, not event time. Unlike fusion, a
+    /// single-stage strand (bare head projection) qualifies: the view's
+    /// value there is the retractable row set, not call-count savings.
+    fn stages_viewable(stages: &[Stage], trigger_tables: &[usize]) -> bool {
+        let mut probed: Vec<usize> = Vec::new();
+        for stage in stages {
+            match stage {
+                Stage::Join { table, .. } => {
+                    if probed.contains(table) || trigger_tables.contains(table) {
+                        return false;
+                    }
+                    probed.push(*table);
+                }
+                Stage::AntiJoin { table, .. } if trigger_tables.contains(table) => {
+                    return false;
+                }
+                Stage::Other { .. } => return false,
+                _ => {}
+            }
+        }
+        if probed.len() > p2_dataflow::elements::MAX_STRAND_PROBES {
+            return false;
+        }
+        let impure = |p: &PelProgram| p.uses_random() || p.uses_time();
+        for stage in stages {
+            let blocked = match stage {
+                Stage::Select { filter, .. } => impure(filter),
+                Stage::Assign { expr, .. } => impure(expr),
+                Stage::Head { fields, .. } => fields.iter().any(impure),
+                Stage::AntiJoin { table, .. } => probed.contains(table),
+                Stage::Join { .. } | Stage::Other { .. } => false,
+            };
+            if blocked {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Lowers a pure-join table rule (every trigger analysed and checked
+    /// by [`Builder::stages_viewable`]) to one [`ElementSpec::MatView`]
+    /// plus per-trigger pad chains and head routing. Port `k` of the view
+    /// is poked by inserts into trigger `k`'s table and emits that
+    /// trigger's live derivations at the BFS level of the generic chain
+    /// it replaces; the retraction port stays unwired.
+    fn lower_view(
+        &mut self,
+        rule: &Rule,
+        triggers: &[&Predicate],
+        per_trigger: Vec<Vec<Stage>>,
+    ) -> Result<(), PlanError> {
+        let mut inputs = Vec::with_capacity(per_trigger.len());
+        let mut pad_counts = Vec::with_capacity(per_trigger.len());
+        let mut shared_out = None;
+        for (trigger, stages) in triggers.iter().zip(per_trigger) {
+            let table = self.table_id(rule, &trigger.name)?;
+            pad_counts.push(stages.len() - 1);
+            let mut pre_filters = Vec::new();
+            let mut ops: Vec<StrandOpSpec> = Vec::new();
+            let mut head = None;
+            for stage in stages {
+                match stage {
+                    Stage::Select { filter, .. } => {
+                        if ops.is_empty() {
+                            pre_filters.push(filter);
+                        } else {
+                            ops.push(StrandOpSpec::Filter(filter));
+                        }
+                    }
+                    Stage::Join { table, key, .. } => ops.push(StrandOpSpec::Probe { table, key }),
+                    Stage::AntiJoin { table, key, .. } => {
+                        ops.push(StrandOpSpec::AntiJoin { table, key })
+                    }
+                    Stage::Assign { expr, .. } => ops.push(StrandOpSpec::Assign(expr)),
+                    Stage::Head {
+                        out_name, fields, ..
+                    } => head = Some((out_name, fields)),
+                    Stage::Other { .. } => unreachable!("stages_viewable rejects Other"),
+                }
+            }
+            let (out_name, head_fields) = head.expect("every strand ends in its head projection");
+            shared_out = Some(out_name);
+            inputs.push(ViewInputSpec {
+                table,
+                pre_filters,
+                ops,
+                head_fields,
+            });
+        }
+        let out_name = shared_out.expect("rules have at least one trigger");
+        let view = self.add(
+            format!("{}:view", rule.id),
+            ElementSpec::MatView { inputs, out_name },
+        );
+        self.mat_views += 1;
+
+        for (k, (trigger, pad_count)) in triggers.iter().zip(pad_counts).enumerate() {
+            let mut chain = vec![view];
+            for i in 0..pad_count {
+                chain.push(self.add(format!("{}:vpad{k}.{i}", rule.id), ElementSpec::Pad));
+            }
+            // The first hop leaves the view on this trigger's out port;
+            // pads chain on port 0 like every other element.
+            for (j, pair) in chain.windows(2).enumerate() {
+                let out_port = if j == 0 { k } else { 0 };
+                self.connect(pair[0], out_port, pair[1], 0);
+            }
+            let last = *chain.last().expect("chain starts with the view");
+            let last_port = if chain.len() == 1 { k } else { 0 };
+            match &rule.head.location {
+                None => self.connect(last, last_port, self.demux_id, 0),
+                Some(loc) => {
+                    let dest_field = Self::head_dest_field(rule, loc)?;
+                    let id = self.add(
+                        format!("{}:netout{k}", rule.id),
+                        ElementSpec::NetOut { dest_field },
+                    );
+                    self.connect(last, last_port, id, 0);
+                    // Local tuples wrap around into the demultiplexer.
+                    self.connect(id, 0, self.demux_id, 0);
+                }
+            }
+            let insert = *self.insert_ids.get(&trigger.name).ok_or_else(|| {
+                PlanError::in_rule(
+                    &rule.id,
+                    format!("no insert element for table `{}`", trigger.name),
+                )
+            })?;
+            self.connect(insert, 0, view, k);
+        }
+        Ok(())
     }
 
     /// Lowers a stage list to graph elements, returning the chain in
@@ -988,6 +1317,55 @@ impl<'a> Builder<'a> {
         source: TriggerSource<'_>,
         other_tables: &[&Predicate],
     ) -> Result<(), PlanError> {
+        let stages = self.analyze_strand(rule, trigger, &source, other_tables)?;
+
+        // --- Lower the stage list to elements (generic chain or fused
+        // strand + pads), then attach the routing.
+        let mut chain = self.lower_stages(rule, stages);
+        self.route_head(rule, &mut chain)?;
+
+        // --- Wire the chain and its trigger source.
+        for pair in chain.windows(2) {
+            self.connect(pair[0], 0, pair[1], 0);
+        }
+        let entry = Route {
+            element: chain[0],
+            port: 0,
+        };
+        match source {
+            TriggerSource::Stream(name) => {
+                let port = self.demux_port(name).ok_or_else(|| {
+                    PlanError::in_rule(&rule.id, format!("no demux port for stream `{name}`"))
+                })?;
+                self.connect(self.demux_id, port, entry.element, entry.port);
+            }
+            TriggerSource::TableDelta(name) => {
+                let insert = *self.insert_ids.get(name).ok_or_else(|| {
+                    PlanError::in_rule(&rule.id, format!("no insert element for table `{name}`"))
+                })?;
+                self.connect(insert, 0, entry.element, entry.port);
+            }
+            TriggerSource::Periodic(pred) => {
+                let periodic = self.make_periodic(rule, pred)?;
+                let id = self.add(format!("{}:periodic", rule.id), periodic);
+                self.connect(id, 0, entry.element, entry.port);
+            }
+        }
+        Ok(())
+    }
+
+    /// Analyses one strand of `rule` into its [`Stage`] list (trigger
+    /// checks, joins, anti-joins, assignments, conditions, aggregation,
+    /// head projection) without lowering anything to elements. Shared by
+    /// [`Builder::build_strand`] and the view lowering, which analyses
+    /// every trigger's strand before deciding how to lower the rule.
+    fn analyze_strand(
+        &mut self,
+        rule: &Rule,
+        trigger: &Predicate,
+        source: &TriggerSource<'_>,
+        other_tables: &[&Predicate],
+    ) -> Result<Vec<Stage>, PlanError> {
         let mut layout = Layout::new();
         let mut stages: Vec<Stage> = Vec::new();
 
@@ -1249,19 +1627,24 @@ impl<'a> Builder<'a> {
                 }
             };
             let table = self.table_id(rule, &pred.name)?;
+            let filter = if filter.is_empty() {
+                None
+            } else {
+                Some(PelProgram::compile(&and_all(filter)))
+            };
+            let agg_expr = PelProgram::compile(&agg_expr);
+            let incremental =
+                self.config.materialize_views && AggProbe::can_increment(&filter, &agg_expr);
             stages.push(Stage::Other {
                 label: format!("{}:agg:{}", rule.id, pred.name),
                 spec: ElementSpec::AggProbe {
                     table,
                     table_arity: pred.args.len(),
                     func: aggp.spec.func,
-                    filter: if filter.is_empty() {
-                        None
-                    } else {
-                        Some(PelProgram::compile(&and_all(filter)))
-                    },
-                    agg_expr: PelProgram::compile(&agg_expr),
+                    filter,
+                    agg_expr,
                     out_name: format!("{}#agg", rule.id).into(),
+                    incremental,
                 },
             });
             layout = agg_layout;
@@ -1294,40 +1677,7 @@ impl<'a> Builder<'a> {
             out_name: rule.head.name.as_str().into(),
             fields,
         });
-
-        // --- Lower the stage list to elements (generic chain or fused
-        // strand + pads), then attach the routing.
-        let mut chain = self.lower_stages(rule, stages);
-        self.route_head(rule, &mut chain)?;
-
-        // --- Wire the chain and its trigger source.
-        for pair in chain.windows(2) {
-            self.connect(pair[0], 0, pair[1], 0);
-        }
-        let entry = Route {
-            element: chain[0],
-            port: 0,
-        };
-        match source {
-            TriggerSource::Stream(name) => {
-                let port = self.demux_port(name).ok_or_else(|| {
-                    PlanError::in_rule(&rule.id, format!("no demux port for stream `{name}`"))
-                })?;
-                self.connect(self.demux_id, port, entry.element, entry.port);
-            }
-            TriggerSource::TableDelta(name) => {
-                let insert = *self.insert_ids.get(name).ok_or_else(|| {
-                    PlanError::in_rule(&rule.id, format!("no insert element for table `{name}`"))
-                })?;
-                self.connect(insert, 0, entry.element, entry.port);
-            }
-            TriggerSource::Periodic(pred) => {
-                let periodic = self.make_periodic(rule, pred)?;
-                let id = self.add(format!("{}:periodic", rule.id), periodic);
-                self.connect(id, 0, entry.element, entry.port);
-            }
-        }
-        Ok(())
+        Ok(stages)
     }
 
     /// Routes the head projection output: deletes go straight to the head
@@ -1367,21 +1717,7 @@ impl<'a> Builder<'a> {
                 Ok(())
             }
             Some(loc) => {
-                let dest_field = rule
-                    .head
-                    .args
-                    .iter()
-                    .position(|a| match a {
-                        HeadArg::Expr(OExpr::Var(v)) => v == loc,
-                        HeadArg::Agg(spec) => spec.var.as_deref() == Some(loc.as_str()),
-                        _ => false,
-                    })
-                    .ok_or_else(|| {
-                        PlanError::in_rule(
-                            &rule.id,
-                            format!("head location variable `{loc}` must appear among the head arguments"),
-                        )
-                    })?;
+                let dest_field = Self::head_dest_field(rule, loc)?;
                 let id = self.add(
                     format!("{}:netout", rule.id),
                     ElementSpec::NetOut { dest_field },
@@ -1392,6 +1728,25 @@ impl<'a> Builder<'a> {
                 Ok(())
             }
         }
+    }
+
+    /// The head-argument position carrying the head's location variable
+    /// (the field a network egress element reads the destination from).
+    fn head_dest_field(rule: &Rule, loc: &str) -> Result<usize, PlanError> {
+        rule.head
+            .args
+            .iter()
+            .position(|a| match a {
+                HeadArg::Expr(OExpr::Var(v)) => v == loc,
+                HeadArg::Agg(spec) => spec.var.as_deref() == Some(loc),
+                _ => false,
+            })
+            .ok_or_else(|| {
+                PlanError::in_rule(
+                    &rule.id,
+                    format!("head location variable `{loc}` must appear among the head arguments"),
+                )
+            })
     }
 
     /// Builds the materialized-aggregate strand for a rule whose body is a

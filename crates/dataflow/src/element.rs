@@ -115,6 +115,13 @@ pub trait Element: Send {
     /// Called once when the engine starts, before any tuple is processed.
     /// Elements use this to emit initial facts or schedule their first timer.
     fn on_start(&mut self, _ctx: &mut ElementCtx<'_>) {}
+
+    /// Downcast hook for diagnostics and equivalence gates. Elements with
+    /// externally inspectable state override this to return `Some(self)`;
+    /// the default keeps internals private.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -212,13 +212,17 @@ fn pushed<'a>(rows: &[&'a [Value]], row: &'a [Value]) -> ([&'a [Value]; MAX_PART
 }
 
 /// Runs the remaining ops of a strand for the current row combination,
-/// depth-first, emitting one head tuple per surviving combination. `rows`
-/// holds the trigger plus the rows matched by earlier probes; `extras`
-/// holds the assigned values (pushed and popped around the recursion so
-/// sibling combinations never see each other's assignments). Free function
-/// over explicit field borrows so callers can hold probe guards.
+/// depth-first, handing one head tuple to `sink` per surviving combination
+/// (the fused strand's sink emits on port 0; `MatView` reuses the same
+/// executor — so exactly the same probe order, error drops, and
+/// depth-first enumeration — both for live emission on its per-input ports
+/// and for delta-time derivation into a buffer). `rows` holds the trigger
+/// plus the rows matched by earlier probes; `extras` holds the assigned
+/// values (pushed and popped around the recursion so sibling combinations
+/// never see each other's assignments). Free function over explicit field
+/// borrows so callers can hold probe guards.
 #[allow(clippy::too_many_arguments)]
-fn exec(
+pub(crate) fn exec<S: FnMut(&mut ElementCtx<'_>, Tuple)>(
     ops: &[StrandOp],
     rows: &[&[Value]],
     extras: &mut Vec<Value>,
@@ -226,6 +230,7 @@ fn exec(
     out_name: &str,
     eval_errors: &mut u64,
     ctx: &mut ElementCtx<'_>,
+    sink: &mut S,
 ) {
     // The evaluation view is `rows ++ extras`; rebuilt per op because
     // `extras` may have grown.
@@ -241,7 +246,7 @@ fn exec(
                 }
             }
         }
-        ctx.emit(0, Tuple::new(out_name, values));
+        sink(ctx, Tuple::new(out_name, values));
         return;
     };
     match op {
@@ -251,7 +256,16 @@ fn exec(
                 filter.eval_bool_concat(&view[..n], ctx.eval())
             };
             match ok {
-                Ok(true) => exec(rest, rows, extras, head_fields, out_name, eval_errors, ctx),
+                Ok(true) => exec(
+                    rest,
+                    rows,
+                    extras,
+                    head_fields,
+                    out_name,
+                    eval_errors,
+                    ctx,
+                    sink,
+                ),
                 Ok(false) => {}
                 Err(_) => *eval_errors += 1,
             }
@@ -264,7 +278,16 @@ fn exec(
             match v {
                 Ok(v) => {
                     extras.push(v);
-                    exec(rest, rows, extras, head_fields, out_name, eval_errors, ctx);
+                    exec(
+                        rest,
+                        rows,
+                        extras,
+                        head_fields,
+                        out_name,
+                        eval_errors,
+                        ctx,
+                        sink,
+                    );
                     extras.pop();
                 }
                 Err(_) => *eval_errors += 1,
@@ -290,7 +313,16 @@ fn exec(
             // Malformed (None) drops the combination, like the generic
             // element.
             if any_match == Some(false) {
-                exec(rest, rows, extras, head_fields, out_name, eval_errors, ctx);
+                exec(
+                    rest,
+                    rows,
+                    extras,
+                    head_fields,
+                    out_name,
+                    eval_errors,
+                    ctx,
+                    sink,
+                );
             }
         }
         StrandOp::Probe { table, key } => {
@@ -310,6 +342,7 @@ fn exec(
                         out_name,
                         eval_errors,
                         ctx,
+                        sink,
                     );
                 }
                 return;
@@ -328,6 +361,7 @@ fn exec(
                         out_name,
                         eval_errors,
                         ctx,
+                        sink,
                     );
                 }
             });
@@ -371,6 +405,7 @@ impl Element for FusedStrand {
             out_name,
             eval_errors,
             ctx,
+            &mut |ctx: &mut ElementCtx<'_>, t| ctx.emit(0, t),
         );
     }
 }

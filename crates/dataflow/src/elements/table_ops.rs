@@ -25,8 +25,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use p2_pel::Program;
-use p2_table::{AggFunc, AggState, DeltaSubscription, TableDelta, TableRef};
+use p2_pel::{EvalContext, Program};
+use p2_table::{AggFunc, AggState, DeltaSubscription, RowId, TableDelta, TableRef};
 use p2_value::{Tuple, Value};
 
 use crate::element::{Element, ElementCtx};
@@ -152,6 +152,24 @@ impl Element for Delete {
 ///   is null-padded; `count` and `sum` emit a zero even when no row
 ///   contributes (Narada's `membersFound ... count<*>` relies on seeing 0),
 ///   while `min`/`max`/`avg` emit nothing.
+///
+/// # Delta-fed mode
+///
+/// A probe built through [`AggProbe::with_subscription`] /
+/// [`AggProbe::new_incremental`] stops rescanning the table per event.
+/// It keeps a `RowId`-sorted **mirror** of the table maintained from the
+/// delta stream, plus per-*event-class* contribution lists: two events
+/// that agree on every field the filter and aggregate expression actually
+/// read (and on arity) compute identical per-row results, so they share
+/// one cached [`ProbeGroup`]. A probe then folds the group's precomputed
+/// `(RowId, value)` contributions — already in scan order — through the
+/// very same witness/accumulate/finish logic as the scan path, which keeps
+/// emissions bit-for-bit identical. Delta-queue overflow or any state
+/// incoherence falls back to a counted full scan
+/// ([`p2_table::Table::scan_rows_counted`]) and reports the rebuild via
+/// [`p2_table::Table::note_rebuild`]. Expressions that read the RNG or the
+/// clock are not pure functions of their inputs, so such probes refuse the
+/// cache (see [`AggProbe::can_increment`]) and stay on the scan path.
 pub struct AggProbe {
     table: TableRef,
     table_arity: usize,
@@ -159,11 +177,73 @@ pub struct AggProbe {
     filter: Option<Program>,
     agg_expr: Program,
     out_name: String,
+    /// Delta-fed state; `None` runs the recompute-per-event scan path.
+    inc: Option<ProbeCache>,
+}
+
+/// Bound on the per-event-class groups a delta-fed [`AggProbe`] keeps
+/// alive; beyond it the least-recently-probed group is replaced. Chord's
+/// hot probes (SU1's best-successor scan) use a single class per node, so
+/// the cap only matters for per-lookup classes (L2), where the group is
+/// rebuilt from the mirror instead of from a table scan.
+const MAX_PROBE_GROUPS: usize = 8;
+
+/// Contribution state for one class of event tuples (same arity, same
+/// values at every field the probe's programs read).
+struct ProbeGroup {
+    /// `(event arity, referenced-field projection)` identifying the class.
+    key: (usize, Vec<Value>),
+    /// Representative event; delta-time evaluations join rows against it.
+    event: Tuple,
+    /// `(row, value)` for every mirror row passing the filter, ascending
+    /// `RowId` — exactly the table's scan order.
+    contribs: Vec<(RowId, Value)>,
+    /// Tick of the last probe that used this group (LRU replacement).
+    last_used: u64,
+}
+
+/// The delta-fed half of an [`AggProbe`].
+struct ProbeCache {
+    sub: DeltaSubscription,
+    /// `RowId`-sorted mirror of the aggregate table.
+    rows: Vec<(RowId, Tuple)>,
+    groups: Vec<ProbeGroup>,
+    /// Sorted field indices the filter and aggregate expression read.
+    refs: Vec<usize>,
+    needs_rebuild: bool,
+    /// False until the first mirror build (which is initialization, not a
+    /// fallback, and therefore not reported via `note_rebuild`).
+    built: bool,
+    /// Reused delta drain buffer.
+    scratch: Vec<TableDelta>,
+    /// Reused class-key buffer (group hits allocate nothing).
+    key_scratch: Vec<Value>,
+    tick: u64,
+}
+
+/// Evaluates one row's contribution against `event ++ row`, replicating
+/// the scan path's row handling exactly: a false or failed filter and a
+/// failed aggregate expression both mean "does not contribute".
+fn contribution(
+    filter: &Option<Program>,
+    agg_expr: &Program,
+    event: &Tuple,
+    row: &Tuple,
+    ev: &mut EvalContext,
+) -> Option<Value> {
+    if let Some(filter) = filter {
+        match filter.eval_bool_joined(event, row, ev) {
+            Ok(true) => {}
+            _ => return None,
+        }
+    }
+    agg_expr.eval_joined(event, row, ev).ok()
 }
 
 impl AggProbe {
-    /// Creates an aggregation probe over a table whose rows have
-    /// `table_arity` fields.
+    /// Creates a recompute-per-event aggregation probe over a table whose
+    /// rows have `table_arity` fields (every event pays a counted full
+    /// scan).
     pub fn new(
         table: TableRef,
         table_arity: usize,
@@ -179,20 +259,94 @@ impl AggProbe {
             filter,
             agg_expr,
             out_name: out_name.into(),
+            inc: None,
         }
     }
-}
 
-impl Element for AggProbe {
-    fn class(&self) -> &'static str {
-        "AggProbe"
+    /// True if a probe with these programs may cache evaluation results
+    /// across events: programs that read the RNG (`f_rand`, `f_coinFlip`)
+    /// or the clock (`f_now`) are not pure functions of their inputs and
+    /// must stay on the scan path. Planners check this before creating the
+    /// delta subscription for [`AggProbe::with_subscription`].
+    pub fn can_increment(filter: &Option<Program>, agg_expr: &Program) -> bool {
+        let pure = |p: &Program| !p.uses_random() && !p.uses_time();
+        pure(agg_expr) && filter.as_ref().is_none_or(pure)
     }
 
-    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
-        // Scan the table through the borrowing iterator, evaluating the
-        // filter and aggregate expression against the *virtual* join
-        // `event ++ row` (`Program::eval_joined`): no per-row joined-tuple
-        // materialization; only the winning witness row is cloned.
+    /// Creates a delta-fed probe over an already-created subscription (the
+    /// planner pools subscriptions per table at instantiation). The caller
+    /// must have verified [`AggProbe::can_increment`] — an impure program
+    /// would cache stale evaluation results.
+    pub fn with_subscription(
+        table: TableRef,
+        table_arity: usize,
+        func: AggFunc,
+        filter: Option<Program>,
+        agg_expr: Program,
+        out_name: impl Into<String>,
+        sub: DeltaSubscription,
+    ) -> AggProbe {
+        debug_assert!(Self::can_increment(&filter, &agg_expr));
+        let mut refs: Vec<usize> = agg_expr
+            .ops()
+            .iter()
+            .chain(filter.iter().flat_map(|f| f.ops().iter()))
+            .filter_map(|op| match op {
+                p2_pel::Op::Load(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        refs.sort_unstable();
+        refs.dedup();
+        AggProbe {
+            table,
+            table_arity,
+            func,
+            filter,
+            agg_expr,
+            out_name: out_name.into(),
+            inc: Some(ProbeCache {
+                sub,
+                rows: Vec::new(),
+                groups: Vec::new(),
+                refs,
+                needs_rebuild: true,
+                built: false,
+                scratch: Vec::new(),
+                key_scratch: Vec::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Creates a delta-fed probe, subscribing to the table's delta stream;
+    /// falls back to the scan path when the programs are impure.
+    pub fn new_incremental(
+        table: TableRef,
+        table_arity: usize,
+        func: AggFunc,
+        filter: Option<Program>,
+        agg_expr: Program,
+        out_name: impl Into<String>,
+    ) -> AggProbe {
+        if !Self::can_increment(&filter, &agg_expr) {
+            return Self::new(table, table_arity, func, filter, agg_expr, out_name);
+        }
+        let sub = table.lock().subscribe_deltas();
+        Self::with_subscription(table, table_arity, func, filter, agg_expr, out_name, sub)
+    }
+
+    /// True if this probe runs in delta-fed mode (planner diagnostics).
+    pub fn is_incremental(&self) -> bool {
+        self.inc.is_some()
+    }
+
+    /// The recompute path: scan the table through the borrowing iterator,
+    /// evaluating the filter and aggregate expression against the *virtual*
+    /// join `event ++ row` (`Program::eval_joined`): no per-row
+    /// joined-tuple materialization; only the winning witness row is
+    /// cloned.
+    fn push_scan(&mut self, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
         let guard = self.table.lock();
         // Contributions stream straight into the shared accumulator — no
         // per-event contribution vector, no second fold over it. A value
@@ -201,7 +355,7 @@ impl Element for AggProbe {
         // over the collected vector used to.
         let mut state = AggState::new(self.func);
         let mut witness: Option<(Value, Tuple)> = None;
-        for row in guard.scan_iter() {
+        for row in guard.scan_iter_counted() {
             if let Some(filter) = &self.filter {
                 match filter.eval_bool_joined(tuple, row, ctx.eval()) {
                     Ok(true) => {}
@@ -237,6 +391,200 @@ impl Element for AggProbe {
         let mut extra = row_part;
         extra.push(aggregate);
         ctx.emit(0, tuple.extended(extra).renamed(&self.out_name));
+    }
+
+    /// The delta-fed path: catch up on the table's deltas, locate (or
+    /// build) the event's contribution group, then fold its contributions
+    /// in scan order through the same witness/accumulate/finish logic as
+    /// [`AggProbe::push_scan`].
+    fn push_incremental(&mut self, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        let AggProbe {
+            table,
+            table_arity,
+            func,
+            filter,
+            agg_expr,
+            out_name,
+            inc,
+        } = self;
+        let cache = inc.as_mut().expect("push_incremental requires the cache");
+        // Quiet fast path: no pending deltas means the mirror and every
+        // cached group are already exact — skip the lock/drain round trip
+        // (one atomic load instead).
+        if cache.needs_rebuild || cache.sub.has_pending() {
+            // Borrow a local clone of the `Arc` so the cache stays freely
+            // borrowable while the table is locked.
+            let table = table.clone();
+            let mut guard = table.lock();
+            if guard.drain_deltas(&cache.sub, &mut cache.scratch) {
+                cache.needs_rebuild = true;
+                cache.scratch.clear();
+            }
+            if !cache.needs_rebuild && !cache.apply_deltas(filter, agg_expr, ctx.eval()) {
+                cache.needs_rebuild = true;
+            }
+            cache.scratch.clear();
+            if cache.needs_rebuild {
+                if cache.built {
+                    guard.note_rebuild();
+                }
+                cache.rows = guard
+                    .scan_rows_counted()
+                    .map(|(id, t)| (id, t.clone()))
+                    .collect();
+                cache.groups.clear();
+                cache.needs_rebuild = false;
+                cache.built = true;
+            }
+        }
+
+        cache.tick += 1;
+        let tick = cache.tick;
+        let arity = tuple.arity();
+        // The class key is built in a reused scratch vector: probes that
+        // hit an existing group (the steady state) allocate nothing.
+        cache.key_scratch.clear();
+        let refs = &cache.refs;
+        cache.key_scratch.extend(
+            refs.iter()
+                .filter(|&&i| i < arity)
+                .map(|&i| tuple.field(i).clone()),
+        );
+        let pos = cache
+            .groups
+            .iter()
+            .position(|g| g.key.0 == arity && g.key.1 == cache.key_scratch);
+        let pos = match pos {
+            Some(p) => {
+                cache.groups[p].last_used = tick;
+                p
+            }
+            None => {
+                let key = std::mem::take(&mut cache.key_scratch);
+                // First event of its class: fold the mirror once (instead
+                // of the table), caching per-row results for every later
+                // event of the class.
+                let mut contribs = Vec::new();
+                for (id, row) in &cache.rows {
+                    if let Some(v) = contribution(filter, agg_expr, tuple, row, ctx.eval()) {
+                        contribs.push((*id, v));
+                    }
+                }
+                let group = ProbeGroup {
+                    key: (arity, key),
+                    event: tuple.clone(),
+                    contribs,
+                    last_used: tick,
+                };
+                if cache.groups.len() >= MAX_PROBE_GROUPS {
+                    let evict = cache
+                        .groups
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, g)| g.last_used)
+                        .map(|(i, _)| i)
+                        .expect("non-empty group cache");
+                    cache.groups[evict] = group;
+                    evict
+                } else {
+                    cache.groups.push(group);
+                    cache.groups.len() - 1
+                }
+            }
+        };
+
+        // The fold below is line-for-line the scan path's, over the cached
+        // contributions (already in scan order).
+        let group = &cache.groups[pos];
+        let mut state = AggState::new(*func);
+        let mut witness: Option<(&Value, RowId)> = None;
+        for (id, v) in &group.contribs {
+            let better = match (&witness, *func) {
+                (None, _) => true,
+                (Some((best, _)), AggFunc::Min) => v < *best,
+                (Some((best, _)), AggFunc::Max) => v > *best,
+                _ => false,
+            };
+            if better {
+                witness = Some((v, *id));
+            }
+            if state.accumulate(v).is_err() {
+                return;
+            }
+        }
+        let Some(aggregate) = state.finish() else {
+            return;
+        };
+        let row_part: Vec<Value> = match (*func, witness) {
+            (AggFunc::Min | AggFunc::Max, Some((_, id))) => {
+                let at = cache
+                    .rows
+                    .binary_search_by_key(&id, |(rid, _)| *rid)
+                    .expect("witness row present in mirror");
+                cache.rows[at].1.values().to_vec()
+            }
+            _ => vec![Value::Null; *table_arity],
+        };
+        let mut extra = row_part;
+        extra.push(aggregate);
+        ctx.emit(0, tuple.extended(extra).renamed(out_name));
+    }
+}
+
+impl ProbeCache {
+    /// Applies drained deltas to the mirror and every cached group;
+    /// `false` means the mirror no longer matches the table and must be
+    /// rebuilt from a scan.
+    fn apply_deltas(
+        &mut self,
+        filter: &Option<Program>,
+        agg_expr: &Program,
+        ev: &mut EvalContext,
+    ) -> bool {
+        for i in 0..self.scratch.len() {
+            let delta = &self.scratch[i];
+            if delta.kind.is_removal() {
+                match self.rows.binary_search_by_key(&delta.row, |(id, _)| *id) {
+                    Ok(at) => {
+                        self.rows.remove(at);
+                    }
+                    Err(_) => return false, // removal of an unknown row
+                }
+                for g in &mut self.groups {
+                    if let Ok(at) = g.contribs.binary_search_by_key(&delta.row, |(id, _)| *id) {
+                        g.contribs.remove(at);
+                    }
+                }
+            } else {
+                match self.rows.binary_search_by_key(&delta.row, |(id, _)| *id) {
+                    Ok(_) => return false, // insert into an occupied slot
+                    Err(at) => self.rows.insert(at, (delta.row, delta.tuple.clone())),
+                }
+                for g in &mut self.groups {
+                    if let Some(v) = contribution(filter, agg_expr, &g.event, &delta.tuple, ev) {
+                        match g.contribs.binary_search_by_key(&delta.row, |(id, _)| *id) {
+                            Ok(_) => return false,
+                            Err(at) => g.contribs.insert(at, (delta.row, v)),
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Element for AggProbe {
+    fn class(&self) -> &'static str {
+        "AggProbe"
+    }
+
+    fn push(&mut self, _port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>) {
+        if self.inc.is_some() {
+            self.push_incremental(tuple, ctx);
+        } else {
+            self.push_scan(tuple, ctx);
+        }
     }
 }
 
@@ -434,6 +782,20 @@ impl TableAgg {
         out_name: impl Into<String>,
     ) -> TableAgg {
         let sub = table.lock().subscribe_deltas();
+        Self::with_subscription(table, func, agg_col, group_cols, out_name, sub)
+    }
+
+    /// Like [`TableAgg::new`] but over an already-created subscription (the
+    /// planner pools subscriptions per table at instantiation so each
+    /// table is locked once, not once per consuming element).
+    pub fn with_subscription(
+        table: TableRef,
+        func: AggFunc,
+        agg_col: Option<usize>,
+        group_cols: Vec<usize>,
+        out_name: impl Into<String>,
+        sub: DeltaSubscription,
+    ) -> TableAgg {
         TableAgg {
             table,
             sub,
@@ -481,7 +843,7 @@ impl TableAgg {
         table: &p2_table::Table,
     ) -> Result<HashMap<Vec<Value>, GroupState>, p2_value::ValueError> {
         let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
-        for tuple in table.scan_iter() {
+        for tuple in table.scan_iter_counted() {
             let Some((key, contribution)) = self.classify(tuple) else {
                 continue;
             };
@@ -539,7 +901,7 @@ impl TableAgg {
             return;
         }
         let mut fresh: HashMap<Vec<Value>, GroupState> = HashMap::new();
-        for tuple in table.scan_iter() {
+        for tuple in table.scan_iter_counted() {
             let Some((key, contribution)) = self.classify(tuple) else {
                 continue;
             };
@@ -570,6 +932,11 @@ impl TableAgg {
     /// element: per sync, vanished and changed groups come out in one
     /// deterministic (sorted) pass.
     fn sync(&mut self, ctx: &mut ElementCtx<'_>) {
+        // Quiet fast path: nothing pending means no group changed since
+        // the last sync — one atomic load instead of a lock/drain.
+        if !self.needs_rebuild && !self.sub.has_pending() {
+            return;
+        }
         self.touched.clear();
         {
             // The guard borrows a local clone of the `Arc`, not `self`, so
@@ -577,12 +944,14 @@ impl TableAgg {
             // while the table stays locked.
             let table = self.table.clone();
             let mut guard = table.lock();
-            if guard.drain_deltas(self.sub, &mut self.scratch) {
+            if guard.drain_deltas(&self.sub, &mut self.scratch) {
                 self.needs_rebuild = true;
+                guard.note_rebuild();
                 self.scratch.clear();
             }
             if !self.needs_rebuild && !self.apply_deltas() {
                 self.needs_rebuild = true;
+                guard.note_rebuild();
             }
             self.scratch.clear();
             if self.needs_rebuild {
@@ -853,6 +1222,231 @@ mod tests {
         let agg = Program::compile(&Expr::Field(0));
         let probe = AggProbe::new(t, 3, AggFunc::Min, None, agg, "best");
         assert!(run_one(Box::new(probe), vec![event]).is_empty());
+    }
+
+    /// Chord L2 shapes for the incremental-probe equivalence tests: event
+    /// layout (NI, K, R, E, N), finger layout (NI, I, B, BI); joined B is
+    /// field 7, the filter is B in (N, K) and the aggregate K - B - 1.
+    fn chord_filter() -> Program {
+        Program::compile(&Expr::Interval {
+            kind: IntervalKind::OpenOpen,
+            value: Box::new(Expr::Field(7)),
+            low: Box::new(Expr::Field(4)),
+            high: Box::new(Expr::Field(1)),
+        })
+    }
+
+    fn chord_agg() -> Program {
+        Program::compile(&Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Sub, Expr::Field(1), Expr::Field(7)),
+            Expr::int(1),
+        ))
+    }
+
+    fn finger(b: u64, bi: &str) -> Tuple {
+        TupleBuilder::new("finger")
+            .push("n1")
+            .push(0i64)
+            .push(Value::Id(Uint160::from_u64(b)))
+            .push(bi)
+            .build()
+    }
+
+    fn lookup(k: u64, n: u64) -> Tuple {
+        TupleBuilder::new("lookup_node")
+            .push("n1")
+            .push(Value::Id(Uint160::from_u64(k)))
+            .push("n1")
+            .push(123i64)
+            .push(Value::Id(Uint160::from_u64(n)))
+            .build()
+    }
+
+    /// A scan-path probe and a delta-fed probe over two identically
+    /// mutated tables; every poke goes to both and the outputs must match
+    /// tuple-for-tuple.
+    struct ProbePair {
+        tables: [TableRef; 2],
+        engines: [Engine; 2],
+        bufs: [crate::elements::CollectorHandle; 2],
+    }
+
+    impl ProbePair {
+        fn new(spec: TableSpec) -> ProbePair {
+            let mk = |incremental: bool| {
+                let t = table(spec.clone(), vec![]);
+                let probe = if incremental {
+                    AggProbe::new_incremental(
+                        t.clone(),
+                        4,
+                        AggFunc::Min,
+                        Some(chord_filter()),
+                        chord_agg(),
+                        "bestLookupDist",
+                    )
+                } else {
+                    AggProbe::new(
+                        t.clone(),
+                        4,
+                        AggFunc::Min,
+                        Some(chord_filter()),
+                        chord_agg(),
+                        "bestLookupDist",
+                    )
+                };
+                assert_eq!(probe.is_incremental(), incremental);
+                let mut g = Graph::new();
+                let e = g.add("probe", Box::new(probe));
+                let (c, buf) = Collector::new();
+                let c = g.add("tap", Box::new(c));
+                g.connect(e, 0, c, 0);
+                let mut engine = Engine::new(g, "n1", 1);
+                engine.set_entry(Route {
+                    element: e,
+                    port: 0,
+                });
+                engine.start(SimTime::ZERO);
+                (t, engine, buf)
+            };
+            let (t0, e0, b0) = mk(false);
+            let (t1, e1, b1) = mk(true);
+            ProbePair {
+                tables: [t0, t1],
+                engines: [e0, e1],
+                bufs: [b0, b1],
+            }
+        }
+
+        fn mutate(&self, f: impl Fn(&mut Table)) {
+            for t in &self.tables {
+                f(&mut t.lock());
+            }
+        }
+
+        fn poke(&mut self, event: Tuple, at: SimTime) {
+            for e in &mut self.engines {
+                e.deliver(event.clone(), at);
+            }
+        }
+
+        fn assert_outputs_match(&self) {
+            let dump = |b: &crate::elements::CollectorHandle| -> Vec<Tuple> {
+                b.lock().iter().map(|(_, t)| t.clone()).collect()
+            };
+            let scan = dump(&self.bufs[0]);
+            let inc = dump(&self.bufs[1]);
+            assert_eq!(scan, inc, "delta-fed probe diverged from scan probe");
+            assert!(!scan.is_empty(), "vacuous equivalence: nothing emitted");
+        }
+    }
+
+    /// The delta-fed probe must match the scan probe bit-for-bit across
+    /// every table mutation kind: insert, replace, delete, expire, evict.
+    #[test]
+    fn agg_probe_incremental_matches_scan_across_mutations() {
+        let spec = TableSpec::new("finger", vec![2])
+            .with_lifetime_secs(100)
+            .with_max_size(4);
+        let mut pair = ProbePair::new(spec);
+
+        pair.mutate(|t| {
+            for (b, bi) in [(10, "n10"), (40, "n40"), (90, "n90")] {
+                t.insert(finger(b, bi), SimTime::from_secs(1)).unwrap();
+            }
+        });
+        pair.poke(lookup(70, 5), SimTime::from_secs(2));
+
+        // Insert a better finger: same event class must pick it up.
+        pair.mutate(|t| {
+            t.insert(finger(60, "n60"), SimTime::from_secs(3)).unwrap();
+        });
+        pair.poke(lookup(70, 5), SimTime::from_secs(3));
+
+        // Replace (same key B=60, new BI): Delete+Insert under one RowId.
+        pair.mutate(|t| {
+            t.insert(finger(60, "n60b"), SimTime::from_secs(4)).unwrap();
+        });
+        pair.poke(lookup(70, 5), SimTime::from_secs(4));
+
+        // Delete the current winner.
+        pair.mutate(|t| {
+            t.delete_matching(&finger(60, "n60b")).unwrap();
+        });
+        pair.poke(lookup(70, 5), SimTime::from_secs(5));
+
+        // A different event class (different K, N) in the same run.
+        pair.poke(lookup(100, 20), SimTime::from_secs(6));
+
+        // Eviction: the table caps at 4 rows.
+        pair.mutate(|t| {
+            for (b, bi) in [(20, "n20"), (30, "n30"), (50, "n50")] {
+                t.insert(finger(b, bi), SimTime::from_secs(7)).unwrap();
+            }
+        });
+        pair.poke(lookup(70, 5), SimTime::from_secs(8));
+
+        // Expiry: everything inserted before t=7 ages out at t=105.
+        pair.mutate(|t| {
+            t.expire(SimTime::from_secs(105));
+        });
+        pair.poke(lookup(70, 5), SimTime::from_secs(106));
+
+        pair.assert_outputs_match();
+        // The observable perf contract: the scan probe pays one full scan
+        // per event; the delta-fed probe only scanned to build its mirror.
+        let scan_scans = pair.tables[0].lock().stats().full_scans;
+        let inc_scans = pair.tables[1].lock().stats().full_scans;
+        assert_eq!(scan_scans, 7);
+        assert_eq!(inc_scans, 1, "delta path should not rescan per event");
+    }
+
+    /// Overflowing the delta log between pokes forces a mirror rebuild
+    /// (counted in `TableStats::rebuilds`) and still matches the scan.
+    #[test]
+    fn agg_probe_overflow_rebuilds_and_matches() {
+        let mut pair = ProbePair::new(TableSpec::new("finger", vec![2]));
+        pair.mutate(|t| {
+            t.insert(finger(40, "n40"), SimTime::from_secs(1)).unwrap();
+        });
+        pair.poke(lookup(70, 5), SimTime::from_secs(2));
+
+        pair.mutate(|t| {
+            for i in 0..(p2_table::DELTA_LOG_CAP as u64 + 8) {
+                // Distinct keys: every insert is a fresh delta.
+                t.insert(finger(1000 + i, "bulk"), SimTime::from_secs(3))
+                    .unwrap();
+            }
+            t.delete_matching(&finger(40, "n40")).unwrap();
+            t.insert(finger(30, "n30"), SimTime::from_secs(3)).unwrap();
+        });
+        pair.poke(lookup(70, 5), SimTime::from_secs(4));
+
+        pair.assert_outputs_match();
+        assert_eq!(pair.tables[1].lock().stats().rebuilds, 1);
+        assert_eq!(pair.tables[0].lock().stats().rebuilds, 0);
+    }
+
+    /// More event classes than `MAX_PROBE_GROUPS`: stale groups are
+    /// LRU-evicted and rebuilt from the in-memory mirror — correct
+    /// answers, still no table rescans.
+    #[test]
+    fn agg_probe_lru_rebuilds_groups_from_mirror() {
+        let mut pair = ProbePair::new(TableSpec::new("finger", vec![2]));
+        pair.mutate(|t| {
+            for b in [10u64, 40, 90] {
+                t.insert(finger(b, "x"), SimTime::from_secs(1)).unwrap();
+            }
+        });
+        // 12 distinct (K, N) classes overflow the 8-entry group cache,
+        // then the first class comes back after being evicted.
+        for k in 0..12u64 {
+            pair.poke(lookup(60 + k, 5), SimTime::from_secs(2 + k));
+        }
+        pair.poke(lookup(60, 5), SimTime::from_secs(20));
+
+        pair.assert_outputs_match();
+        assert_eq!(pair.tables[1].lock().stats().full_scans, 1);
     }
 
     #[test]

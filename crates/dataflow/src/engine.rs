@@ -276,6 +276,23 @@ impl Engine {
         self.elements.is_empty()
     }
 
+    /// Index of the first element with the given graph name, if any.
+    pub fn element_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| &**n == name)
+    }
+
+    /// Runs `f` against element `index`, for diagnostics and equivalence
+    /// gates that need to inspect element state (e.g. a `MatView`'s
+    /// maintained contents) from outside the graph. Combine with
+    /// [`Element::as_any_mut`] to downcast to the concrete type.
+    pub fn with_element<R>(
+        &mut self,
+        index: usize,
+        f: impl FnOnce(&mut dyn Element) -> R,
+    ) -> Option<R> {
+        self.elements.get_mut(index).map(|e| f(e.as_mut()))
+    }
+
     /// The compiled routes out of `(element, out_port)`, in `connect` order.
     /// Empty for unconnected ports — the compiled equivalent of a missing
     /// edge-map entry (tuples emitted there are discarded).

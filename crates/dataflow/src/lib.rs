@@ -18,6 +18,27 @@
 //!   per-event and materialized aggregates, table insert/delete bridges,
 //!   periodic event sources, network output, and debugging taps.
 //!
+//! # Incremental dataflow
+//!
+//! Stored tables publish their mutations as per-subscriber delta streams
+//! (`p2_table::Table::subscribe_deltas`: `Insert`, `Delete`, `Expire`,
+//! `Evict`, with replacement encoded as a Delete/Insert pair). Three
+//! elements consume them instead of rescanning their base tables:
+//! [`elements::TableAgg`] (materialized aggregates maintained per delta),
+//! [`elements::AggProbe`] in delta-fed mode (cached per-event-class
+//! contributions for in-strand aggregation), and [`elements::MatView`]
+//! (provenance-counted join views with exact retractions). All three share
+//! the same fallback contract: a bounded per-subscriber delta log
+//! (`p2_table::DELTA_LOG_CAP`) whose overflow — or any detected
+//! incoherence — triggers a rebuild from a counted scan that restores
+//! bit-for-bit the rescanning behaviour, observable via
+//! `p2_table::TableStats` (`overflows`, `rebuilds`, `full_scans`). All
+//! three also share the quiet fast path: a subscription's lock-free
+//! pending flag (`p2_table::DeltaSubscription::has_pending`) lets a sync
+//! poked on every event cost one atomic load — no table lock, no drain —
+//! when nothing changed, which under refresh-heavy workloads (pure
+//! refreshes log no delta) is the overwhelmingly common case.
+//!
 //! Deviation from the 2005 C++ implementation: the original uses push *and*
 //! pull ports with continuation callbacks for flow control; here every edge
 //! is push-driven from an explicit FIFO work queue and back-pressure is

@@ -1,0 +1,285 @@
+//! Property test pinning `MatView`'s provenance counts to a from-scratch
+//! reference join.
+//!
+//! The view under test materializes the two-table join
+//! `out(S, D, Tag) :- link(S, D, W), node(D, Tag)` — one delta-fed input
+//! per trigger table, duplicate derivations possible because the head
+//! projects `W` away. Under arbitrary interleavings of insert / delete /
+//! expire / evict on *both* tables (including batches that dirty both
+//! inputs between pokes, which must fall back to a rebuild rather than
+//! double-count), at every poke:
+//!
+//! * the view's `(head values, provenance count)` set must equal the join
+//!   recomputed from scratch over the tables' current contents, and
+//! * every head tuple that stopped being derivable since the previous poke
+//!   must have been emitted on the retraction port.
+
+use p2_dataflow::elements::{Collector, Delete, Demux, FusedStrand, Insert, MatView, ViewInput};
+use p2_dataflow::{Engine, Graph, Route};
+use p2_pel::{Expr, Program};
+use p2_table::{Table, TableRef, TableSpec};
+use p2_value::{SimTime, Tuple, TupleBuilder, Value};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Insert `link(s, d, w)` (pokes the view's link input).
+    InsertLink {
+        s: i64,
+        d: i64,
+        w: i64,
+        at_secs: u64,
+    },
+    /// Insert `node(d, tag)`; same `d` replaces (Delete + Insert deltas).
+    InsertNode { d: i64, tag: i64, at_secs: u64 },
+    /// Delete every link into `d` (pattern delete, possibly multi-row).
+    DeleteLink { d: i64 },
+    /// Delete the node row for `d`.
+    DeleteNode { d: i64 },
+    /// Expire soft state on both tables (observable only through deltas).
+    Expire { at_secs: u64 },
+    /// Sync the view without mutating anything and compare against the
+    /// reference. Mutations between pokes accumulate into one drain batch.
+    Poke,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    // The vendored proptest has no weighted arms; duplication stands in
+    // for weights (inserts and pokes dominate).
+    let insert_link =
+        || {
+            (0i64..3, 0i64..3, 0i64..3, 0u64..200)
+                .prop_map(|(s, d, w, at_secs)| Action::InsertLink { s, d, w, at_secs })
+        };
+    let insert_node = || {
+        (0i64..3, 0i64..3, 0u64..200).prop_map(|(d, tag, at_secs)| Action::InsertNode {
+            d,
+            tag,
+            at_secs,
+        })
+    };
+    prop_oneof![
+        insert_link(),
+        insert_link(),
+        insert_link(),
+        insert_node(),
+        insert_node(),
+        insert_node(),
+        (0i64..3).prop_map(|d| Action::DeleteLink { d }),
+        (0i64..3).prop_map(|d| Action::DeleteNode { d }),
+        (0u64..260).prop_map(|at_secs| Action::Expire { at_secs }),
+        Just(Action::Poke),
+        Just(Action::Poke),
+        Just(Action::Poke),
+        Just(Action::Poke),
+    ]
+}
+
+fn field(i: usize) -> Program {
+    Program::compile(&Expr::Field(i))
+}
+
+struct Rig {
+    engine: Engine,
+    link: TableRef,
+    node: TableRef,
+    retracts: p2_dataflow::elements::CollectorHandle,
+    view_id: usize,
+}
+
+fn build_rig(link_cap: usize) -> Rig {
+    let link: TableRef = {
+        let mut t = Table::new(
+            TableSpec::new("link", vec![0, 1, 2])
+                .with_lifetime_secs(50)
+                .with_max_size(link_cap),
+        );
+        t.add_index(vec![1]);
+        Arc::new(parking_lot::Mutex::new(t))
+    };
+    let node: TableRef = Arc::new(parking_lot::Mutex::new(Table::new(
+        TableSpec::new("node", vec![0]).with_lifetime_secs(80),
+    )));
+
+    let mut g = Graph::new();
+    let demux = g.add(
+        "demux",
+        Box::new(Demux::new(vec![
+            "link".into(),
+            "node".into(),
+            "unlink".into(),
+            "unnode".into(),
+            "poke".into(),
+        ])),
+    );
+    let ins_link = g.add("ins_link", Box::new(Insert::new(link.clone())));
+    let ins_node = g.add("ins_node", Box::new(Insert::new(node.clone())));
+    let del_link = g.add("del_link", Box::new(Delete::new(link.clone())));
+    let del_node = g.add("del_node", Box::new(Delete::new(node.clone())));
+    let link_sub = link.lock().subscribe_deltas();
+    let node_sub = node.lock().subscribe_deltas();
+    let view = MatView::new(
+        vec![
+            // Trigger link(S, D, W): probe node on D, head (S, D, Tag).
+            ViewInput {
+                table: link.clone(),
+                sub: link_sub,
+                pre_filters: vec![],
+                ops: vec![FusedStrand::probe_op(node.clone(), vec![(1, 0)])],
+                head_fields: vec![field(0), field(1), field(4)],
+            },
+            // Trigger node(D, Tag): probe link on D, head (S, D, Tag).
+            ViewInput {
+                table: node.clone(),
+                sub: node_sub,
+                pre_filters: vec![],
+                ops: vec![FusedStrand::probe_op(link.clone(), vec![(0, 1)])],
+                head_fields: vec![field(2), field(0), field(1)],
+            },
+        ],
+        "out",
+    );
+    let view_id = g.add("view", Box::new(view));
+    let (c, live) = Collector::new();
+    let live_id = g.add("live", Box::new(c));
+    drop(live);
+    let (c, retracts) = Collector::new();
+    let retract_id = g.add("retracts", Box::new(c));
+    g.connect(demux, 0, ins_link, 0);
+    g.connect(demux, 1, ins_node, 0);
+    g.connect(demux, 2, del_link, 0);
+    g.connect(demux, 3, del_node, 0);
+    g.connect(ins_link, 0, view_id, 0);
+    g.connect(ins_node, 0, view_id, 1);
+    // Deletes and explicit pokes sync the view without a live derivation
+    // (input port `inputs.len()` is past the trigger ports).
+    g.connect(del_link, 0, view_id, 2);
+    g.connect(del_node, 0, view_id, 2);
+    g.connect(demux, 4, view_id, 2);
+    g.connect(view_id, 0, live_id, 0);
+    g.connect(view_id, 1, live_id, 0);
+    g.connect(view_id, 2, retract_id, 0);
+    let mut engine = Engine::new(g, "n1", 1);
+    engine.set_entry(Route {
+        element: demux,
+        port: 0,
+    });
+    engine.start(SimTime::ZERO);
+    Rig {
+        engine,
+        link,
+        node,
+        retracts,
+        view_id,
+    }
+}
+
+fn view_contents(engine: &mut Engine, id: usize) -> Vec<(Vec<Value>, usize)> {
+    engine
+        .with_element(id, |e| {
+            e.as_any_mut()
+                .and_then(|a| a.downcast_mut::<MatView>())
+                .map(|v| v.contents())
+        })
+        .flatten()
+        .expect("the view element must downcast")
+}
+
+/// The reference: recompute the join from the tables' current contents.
+fn reference_join(link: &TableRef, node: &TableRef) -> Vec<(Vec<Value>, usize)> {
+    let link = link.lock();
+    let node = node.lock();
+    let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+    for l in link.scan_iter() {
+        for n in node.scan_iter() {
+            if l.field(1) == n.field(0) {
+                let head = vec![l.field(0).clone(), l.field(1).clone(), n.field(1).clone()];
+                *counts.entry(head).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<(Vec<Value>, usize)> = counts.into_iter().collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn mat_view_counts_match_recomputed_join(
+        actions in proptest::collection::vec(arb_action(), 1..80),
+        link_cap in 3usize..9,
+    ) {
+        let mut rig = build_rig(link_cap);
+        let mut now = SimTime::ZERO;
+        let mut prev: HashSet<Vec<Value>> =
+            reference_join(&rig.link, &rig.node).into_iter().map(|(k, _)| k).collect();
+        let mut seen_retracts = 0usize;
+        for action in actions {
+            match action {
+                Action::InsertLink { s, d, w, at_secs } => {
+                    now = now.max(SimTime::from_secs(at_secs));
+                    let t = TupleBuilder::new("link").push(s).push(d).push(w).build();
+                    rig.engine.deliver(t, now);
+                }
+                Action::InsertNode { d, tag, at_secs } => {
+                    now = now.max(SimTime::from_secs(at_secs));
+                    let t = TupleBuilder::new("node").push(d).push(tag).build();
+                    rig.engine.deliver(t, now);
+                }
+                Action::DeleteLink { d } => {
+                    let pattern = Tuple::new(
+                        "unlink",
+                        vec![Value::Null, Value::Int(d), Value::Null],
+                    );
+                    rig.engine.deliver(pattern, now);
+                }
+                Action::DeleteNode { d } => {
+                    let pattern = Tuple::new("unnode", vec![Value::Int(d), Value::Null]);
+                    rig.engine.deliver(pattern, now);
+                }
+                Action::Expire { at_secs } => {
+                    now = now.max(SimTime::from_secs(at_secs));
+                    rig.link.lock().expire(now);
+                    rig.node.lock().expire(now);
+                }
+                Action::Poke => {
+                    check(&mut rig, &mut prev, &mut seen_retracts, now);
+                }
+            }
+            rig.link.lock().check_consistency().unwrap();
+            rig.node.lock().check_consistency().unwrap();
+        }
+        // Final poke so trailing mutations are always verified.
+        check(&mut rig, &mut prev, &mut seen_retracts, now);
+    }
+}
+
+/// Pokes the view, then asserts (panicking, which proptest catches and
+/// shrinks) that the counts match the reference join and that every row
+/// that stopped being derivable since the last check was retracted.
+fn check(rig: &mut Rig, prev: &mut HashSet<Vec<Value>>, seen_retracts: &mut usize, now: SimTime) {
+    rig.engine.deliver(Tuple::new("poke", vec![]), now);
+    let expected = reference_join(&rig.link, &rig.node);
+    let got = view_contents(&mut rig.engine, rig.view_id);
+    assert_eq!(got, expected, "count divergence at {now:?}");
+    let live: HashSet<Vec<Value>> = expected.into_iter().map(|(k, _)| k).collect();
+    let fresh_retracts: Vec<Vec<Value>> = {
+        let guard = rig.retracts.lock();
+        guard[*seen_retracts..]
+            .iter()
+            .map(|(_, t)| t.values().to_vec())
+            .collect()
+    };
+    *seen_retracts += fresh_retracts.len();
+    for gone in prev.difference(&live) {
+        assert!(
+            fresh_retracts.contains(gone),
+            "vanished row {gone:?} was not retracted at {now:?}"
+        );
+    }
+    *prev = live;
+}

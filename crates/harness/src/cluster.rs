@@ -84,6 +84,7 @@ pub struct ChordClusterBuilder {
     par_threads: Option<usize>,
     join_seed: bool,
     fuse_strands: bool,
+    materialize_views: bool,
 }
 
 impl ChordClusterBuilder {
@@ -107,6 +108,16 @@ impl ChordClusterBuilder {
     /// that both translations produce bit-identical event streams.
     pub fn fuse_strands(mut self, on: bool) -> ChordClusterBuilder {
         self.fuse_strands = on;
+        self
+    }
+
+    /// Selects incremental view materialization (default on): pure
+    /// table-join rules become [`p2_dataflow::elements::MatView`] elements
+    /// and eligible aggregate probes keep delta-fed per-group state. The
+    /// rescanning translation is kept available for the view-equivalence
+    /// gate, which asserts both produce bit-identical event streams.
+    pub fn materialize_views(mut self, on: bool) -> ChordClusterBuilder {
+        self.materialize_views = on;
         self
     }
 
@@ -137,6 +148,7 @@ pub struct ChordCluster {
     seed: u64,
     join_seed: bool,
     fuse_strands: bool,
+    materialize_views: bool,
     next_event: i64,
     rng: SmallRng,
     brought_up_at: SimTime,
@@ -152,6 +164,7 @@ impl ChordCluster {
             par_threads: None,
             join_seed: false,
             fuse_strands: true,
+            materialize_views: true,
         }
     }
 
@@ -172,6 +185,7 @@ impl ChordCluster {
             par_threads,
             join_seed,
             fuse_strands,
+            materialize_views,
         } = config;
         let mut sim = AnySimulator::build(NetworkConfig::emulab_default(seed), par_threads);
         let addrs: Vec<String> = (0..n).map(node_addr).collect();
@@ -189,6 +203,7 @@ impl ChordCluster {
                     jitter: true,
                     join_seed,
                     fuse_strands,
+                    materialize_views,
                 },
             )
             .expect("chord node must plan");
@@ -200,6 +215,7 @@ impl ChordCluster {
             seed,
             join_seed,
             fuse_strands,
+            materialize_views,
             next_event: 1_000_000,
             rng: SmallRng::seed_from_u64(seed ^ 0x5EED),
             brought_up_at: SimTime::ZERO,
@@ -552,6 +568,7 @@ impl ChordCluster {
                 jitter: true,
                 join_seed: self.join_seed,
                 fuse_strands: self.fuse_strands,
+                materialize_views: self.materialize_views,
             },
         )
         .expect("chord node plans");

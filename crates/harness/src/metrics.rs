@@ -20,6 +20,11 @@ pub struct StorageOps {
     pub expired: u64,
     /// Rows evicted by table size bounds.
     pub evicted: u64,
+    /// Delta-subscription queues that overflowed `DELTA_LOG_CAP` (each one
+    /// forces the subscriber into a from-scratch rebuild).
+    pub overflows: u64,
+    /// From-scratch rebuilds reported by incremental delta consumers.
+    pub rebuilds: u64,
 }
 
 impl StorageOps {
@@ -42,6 +47,8 @@ impl From<p2_table::TableStats> for StorageOps {
             full_scans: s.full_scans,
             expired: s.expired,
             evicted: s.evicted,
+            overflows: s.overflows,
+            rebuilds: s.rebuilds,
         }
     }
 }

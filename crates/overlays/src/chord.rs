@@ -37,8 +37,9 @@ pub fn program_with_join_seed() -> &'static Program {
 }
 
 /// Plan-variant selection for a Chord node: periodic jitter, the JS1
-/// join-seeding program extension, and rule-strand fusion (on by default;
-/// the generic element graph is kept for the strand-equivalence gates).
+/// join-seeding program extension, rule-strand fusion, and incremental view
+/// materialization (both on by default; the generic element graph is kept
+/// for the strand- and view-equivalence gates).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChordOpts {
     /// Whether periodic sources start at a random phase.
@@ -47,6 +48,9 @@ pub struct ChordOpts {
     pub join_seed: bool,
     /// Whether eligible rule strands are compiled into fused elements.
     pub fuse_strands: bool,
+    /// Whether pure table-join rules are lowered to materialized views and
+    /// eligible aggregate probes maintain delta-fed per-group state.
+    pub materialize_views: bool,
 }
 
 impl Default for ChordOpts {
@@ -55,6 +59,7 @@ impl Default for ChordOpts {
             jitter: true,
             join_seed: false,
             fuse_strands: true,
+            materialize_views: true,
         }
     }
 }
@@ -64,6 +69,7 @@ impl ChordOpts {
         usize::from(self.jitter)
             | (usize::from(self.join_seed) << 1)
             | (usize::from(self.fuse_strands) << 2)
+            | (usize::from(self.materialize_views) << 3)
     }
 }
 
@@ -86,9 +92,17 @@ pub fn shared_plan_opts(jitter: bool, join_seed: bool) -> &'static PlannedProgra
 }
 
 /// The fully variant-selected shared plan: one cached compilation per
-/// (jitter, join_seed, fuse_strands) combination.
+/// (jitter, join_seed, fuse_strands, materialize_views) combination.
 pub fn shared_plan_for(opts: ChordOpts) -> &'static PlannedProgram {
-    static PLANS: [OnceLock<PlannedProgram>; 8] = [
+    static PLANS: [OnceLock<PlannedProgram>; 16] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
         OnceLock::new(),
         OnceLock::new(),
         OnceLock::new(),
@@ -106,6 +120,9 @@ pub fn shared_plan_for(opts: ChordOpts) -> &'static PlannedProgram {
         }
         if !opts.fuse_strands {
             config = config.without_fusion();
+        }
+        if !opts.materialize_views {
+            config = config.without_views();
         }
         let program = if opts.join_seed {
             program_with_join_seed()
@@ -313,6 +330,31 @@ mod tests {
         assert!(desc.contains("L2:agg:finger"), "{desc}");
         assert!(desc.contains("CM8:strand"), "{desc}");
         assert!(desc.contains("SB5:strand"), "{desc}");
+    }
+
+    #[test]
+    fn view_materialization_covers_the_pure_join_rules() {
+        // The pure table-join rules (successor/finger bookkeeping and the
+        // connectivity-monitor pair) lower to materialized views; everything
+        // else keeps its strand or aggregate chain.
+        let viewed = shared_plan(false);
+        assert!(
+            viewed.mat_view_count() >= 6,
+            "only {} rules lowered to views",
+            viewed.mat_view_count()
+        );
+        let desc = viewed.instantiate("n1", 1).engine.describe();
+        for rule in ["SU0", "SU3", "S2", "F2", "CM2", "CM3"] {
+            assert!(desc.contains(&format!("{rule}:view")), "{rule} not a view");
+        }
+        // The escape hatch keeps the rescanning translation available.
+        let plain = shared_plan_for(ChordOpts {
+            jitter: false,
+            materialize_views: false,
+            ..ChordOpts::default()
+        });
+        assert_eq!(plain.mat_view_count(), 0);
+        assert!(!std::ptr::eq(viewed, plain));
     }
 
     #[test]

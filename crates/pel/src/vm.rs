@@ -119,6 +119,16 @@ impl Program {
         })
     }
 
+    /// True if evaluating this program reads the clock (`f_now`). Such
+    /// programs are not pure functions of their input tuple, so incremental
+    /// consumers (delta-fed probes, materialized views) must not cache their
+    /// results across events.
+    pub fn uses_time(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op, Op::Call(crate::expr::Builtin::Now)))
+    }
+
     /// Evaluates the program over an explicit field slice.
     pub fn eval_fields(
         &self,
@@ -386,5 +396,12 @@ mod tests {
         assert!(Program::compile(&Expr::Call(Builtin::CoinFlip, vec![Expr::int(1)])).uses_random());
         assert!(!Program::compile(&Expr::Call(Builtin::Now, vec![])).uses_random());
         assert!(!Program::compile(&Expr::Field(0)).uses_random());
+    }
+
+    #[test]
+    fn uses_time_detects_the_clock_builtin() {
+        assert!(Program::compile(&Expr::Call(Builtin::Now, vec![])).uses_time());
+        assert!(!Program::compile(&Expr::Call(Builtin::Rand, vec![])).uses_time());
+        assert!(!Program::compile(&Expr::Field(0)).uses_time());
     }
 }

@@ -142,7 +142,7 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2_value::{SimTime, TupleBuilder};
+    use p2_value::{SimTime, TupleBuilder, Value};
 
     #[test]
     fn declare_and_share() {
@@ -168,6 +168,69 @@ mod tests {
             .unwrap();
         assert_eq!(cat.expire_all(SimTime::from_secs(10)), 2);
         assert!(t1.lock().is_empty() && t2.lock().is_empty());
+    }
+
+    #[test]
+    fn three_subscribers_drain_the_full_stream_independently() {
+        use crate::table::TableDeltaKind;
+
+        let mut cat = Catalog::new();
+        let t = cat.declare(
+            TableSpec::new("succ", vec![1])
+                .with_lifetime_secs(10)
+                .with_max_size(4),
+        );
+        let (_, s1) = cat.subscribe_deltas("succ").unwrap();
+        let (_, s2) = cat.subscribe_deltas("succ").unwrap();
+        let (_, s3) = cat.subscribe_deltas("succ").unwrap();
+        let succ = |s: i64, si: &str| {
+            TupleBuilder::new("succ")
+                .push("n1")
+                .push(s)
+                .push(si)
+                .build()
+        };
+
+        // Phase 1: five inserts into a 4-row bound (one eviction), then a
+        // replacement (Delete + Insert of the same key).
+        for (i, s) in [1i64, 2, 3, 4, 5].iter().enumerate() {
+            t.lock()
+                .insert(succ(*s, "x"), SimTime::from_secs(i as u64))
+                .unwrap();
+        }
+        t.lock()
+            .insert(succ(2, "y"), SimTime::from_secs(5))
+            .unwrap();
+
+        // s1 drains mid-stream; the other queues are untouched by it.
+        let mut d1 = Vec::new();
+        assert!(!t.lock().drain_deltas(&s1, &mut d1));
+        let phase1 = d1.len();
+        assert!(phase1 > 0);
+
+        // Phase 2: an explicit delete and an expiry sweep.
+        t.lock().delete_key(&[Value::Int(3)]);
+        assert!(cat.expire_all(SimTime::from_secs(100)) > 0);
+
+        // s1 picks up only phase 2; s2 and s3 each still hold the full
+        // stream, drained independently and identically.
+        assert!(!t.lock().drain_deltas(&s1, &mut d1));
+        let (mut d2, mut d3) = (Vec::new(), Vec::new());
+        assert!(!t.lock().drain_deltas(&s2, &mut d2));
+        assert!(!t.lock().drain_deltas(&s3, &mut d3));
+        assert_eq!(d1, d2, "split drain concatenates to the full stream");
+        assert_eq!(d2, d3, "subscribers see identical streams");
+        for kind in [
+            TableDeltaKind::Insert,
+            TableDeltaKind::Delete,
+            TableDeltaKind::Expire,
+            TableDeltaKind::Evict,
+        ] {
+            assert!(
+                d2.iter().any(|d| d.kind == kind),
+                "stream is missing {kind:?}"
+            );
+        }
     }
 
     #[test]

@@ -57,7 +57,34 @@
 //! A subscription queue that is never drained is bounded: past
 //! [`DELTA_LOG_CAP`] entries it is discarded and flagged, and the next
 //! [`Table::drain_deltas`] reports the overflow so the consumer can fall
-//! back to a from-scratch rebuild.
+//! back to a from-scratch rebuild. Overflows increment
+//! [`TableStats::overflows`]; consumers that rebuild report it back via
+//! [`Table::note_rebuild`], so a rebuild storm (queues sized below the
+//! mutation rate) is visible in the stats instead of silently degrading
+//! every consumer to recompute.
+//!
+//! ## Multi-subscriber drain contract
+//!
+//! Any number of consumers may subscribe to one table (`TableAgg`,
+//! `AggProbe`, and `MatView` routinely share the tables of one node). The
+//! contract each can rely on:
+//!
+//! * every subscription owns a **private queue**: each mutation appends to
+//!   all of them, and draining one queue never consumes or reorders another
+//!   subscriber's deltas;
+//! * each subscriber therefore sees the **full stream** — including
+//!   `Expire` and `Evict` — in the same mutation order as every other
+//!   subscriber, regardless of when or how often it drains;
+//! * overflow is **per queue**: a slow subscriber that overflows (and must
+//!   rebuild) does not disturb subscribers that drain promptly;
+//! * subscriptions are permanent for the table's lifetime (there is no
+//!   unsubscribe), so a [`DeltaSubscription`] handle never dangles;
+//! * the handle's [`DeltaSubscription::has_pending`] flag is readable
+//!   **without the table lock** and is `true` exactly when draining would
+//!   yield deltas (or an overflow signal) — sync paths poked on every
+//!   event use it to skip the lock/drain round trip entirely when quiet,
+//!   which under refresh-heavy workloads is almost always (refreshes log
+//!   no delta).
 //!
 //! # Batched refresh
 //!
@@ -77,6 +104,8 @@
 use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use p2_pel::{EvalContext, Program};
 use p2_value::{SimTime, Tuple, Value, ValueError};
@@ -134,8 +163,27 @@ pub struct TableDelta {
 }
 
 /// Handle identifying one delta subscription of a table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DeltaSubscription(usize);
+///
+/// The handle carries a lock-free *pending* flag shared with the table:
+/// [`DeltaSubscription::has_pending`] tells a consumer whether draining
+/// would yield anything **without taking the table lock**, so quiet sync
+/// paths (the common case under refresh-heavy workloads, where pure
+/// refreshes log no delta at all) cost one atomic load instead of a
+/// lock/drain round trip.
+#[derive(Debug, Clone)]
+pub struct DeltaSubscription {
+    idx: usize,
+    pending: Arc<AtomicBool>,
+}
+
+impl DeltaSubscription {
+    /// True if the subscription has undrained deltas (or an undrained
+    /// overflow signal). Readable without the table lock; a `false` result
+    /// means [`Table::drain_deltas`] would be a no-op right now.
+    pub fn has_pending(&self) -> bool {
+        self.pending.load(Ordering::Acquire)
+    }
+}
 
 /// Bound on an undrained subscription queue; beyond this the queue is
 /// discarded and the subscriber is told to rebuild from a table scan.
@@ -146,6 +194,9 @@ pub const DELTA_LOG_CAP: usize = 8192;
 struct SubQueue {
     log: Vec<TableDelta>,
     overflowed: bool,
+    /// Mirror of `!log.is_empty() || overflowed`, shared with the
+    /// subscriber's [`DeltaSubscription`] for lock-free quiet checks.
+    pending: Arc<AtomicBool>,
 }
 
 /// Result of inserting a tuple into a table.
@@ -179,6 +230,12 @@ pub struct TableStats {
     pub expired: u64,
     /// Rows evicted to honour the size bound.
     pub evicted: u64,
+    /// Delta-subscription queues that hit [`DELTA_LOG_CAP`] and were
+    /// discarded (one count per queue per overflow episode).
+    pub overflows: u64,
+    /// From-scratch rebuilds reported by incremental consumers via
+    /// [`Table::note_rebuild`] after an overflow or state incoherence.
+    pub rebuilds: u64,
 }
 
 impl std::ops::AddAssign for TableStats {
@@ -188,6 +245,8 @@ impl std::ops::AddAssign for TableStats {
         self.full_scans += rhs.full_scans;
         self.expired += rhs.expired;
         self.evicted += rhs.evicted;
+        self.overflows += rhs.overflows;
+        self.rebuilds += rhs.rebuilds;
     }
 }
 
@@ -199,6 +258,8 @@ struct StatCells {
     full_scans: Cell<u64>,
     expired: Cell<u64>,
     evicted: Cell<u64>,
+    overflows: Cell<u64>,
+    rebuilds: Cell<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -325,7 +386,17 @@ impl Table {
             full_scans: self.stats.full_scans.get(),
             expired: self.stats.expired.get(),
             evicted: self.stats.evicted.get(),
+            overflows: self.stats.overflows.get(),
+            rebuilds: self.stats.rebuilds.get(),
         }
+    }
+
+    /// Records that an incremental consumer of this table's deltas fell back
+    /// to a from-scratch rebuild (after a queue overflow or a state
+    /// incoherence it could not repair incrementally). Purely an
+    /// observability hook — see [`TableStats::rebuilds`].
+    pub fn note_rebuild(&self) {
+        self.stats.rebuilds.set(self.stats.rebuilds.get() + 1);
     }
 
     // ----- delta subscriptions ----------------------------------------
@@ -334,7 +405,10 @@ impl Table {
     /// a [`TableDelta`] to the subscription's private queue.
     pub fn subscribe_deltas(&mut self) -> DeltaSubscription {
         self.subs.push(SubQueue::default());
-        DeltaSubscription(self.subs.len() - 1)
+        DeltaSubscription {
+            idx: self.subs.len() - 1,
+            pending: self.subs.last().expect("just pushed").pending.clone(),
+        }
     }
 
     /// True if anyone subscribed to this table's deltas.
@@ -346,8 +420,8 @@ impl Table {
     /// mutation order). Returns `true` if the queue overflowed since the
     /// last drain — the deltas are gone and the subscriber must rebuild
     /// from a table scan instead.
-    pub fn drain_deltas(&mut self, sub: DeltaSubscription, out: &mut Vec<TableDelta>) -> bool {
-        let q = &mut self.subs[sub.0];
+    pub fn drain_deltas(&mut self, sub: &DeltaSubscription, out: &mut Vec<TableDelta>) -> bool {
+        let q = &mut self.subs[sub.idx];
         let overflowed = q.overflowed;
         q.overflowed = false;
         if overflowed {
@@ -355,6 +429,7 @@ impl Table {
         } else {
             out.append(&mut q.log);
         }
+        q.pending.store(false, Ordering::Release);
         overflowed
     }
 
@@ -364,9 +439,11 @@ impl Table {
             if q.overflowed {
                 continue;
             }
+            q.pending.store(true, Ordering::Release);
             if q.log.len() >= DELTA_LOG_CAP {
                 q.log.clear();
                 q.overflowed = true;
+                self.stats.overflows.set(self.stats.overflows.get() + 1);
                 continue;
             }
             q.log.push(TableDelta {
@@ -782,6 +859,29 @@ impl Table {
         self.slots
             .iter()
             .filter_map(|s| s.as_ref().map(|r| &r.tuple))
+    }
+
+    /// Like [`Table::scan_iter`] but counted as a full scan in
+    /// [`TableStats`]. Dataflow elements that derive output by walking the
+    /// whole table (recompute-style probes, incremental-consumer rebuilds)
+    /// use this so un-indexed O(n) work stays observable; bookkeeping walks
+    /// like [`Table::resident_bytes`] stay on the uncounted iterator.
+    pub fn scan_iter_counted(&self) -> impl Iterator<Item = &Tuple> {
+        self.stats.full_scans.set(self.stats.full_scans.get() + 1);
+        self.scan_iter()
+    }
+
+    /// Counted scan yielding each live row with its [`RowId`], in ascending
+    /// `RowId` order (the same order as [`Table::scan_iter`]). Incremental
+    /// consumers use the ids to key row mirrors that later deltas address
+    /// by `RowId`; the ids obey the usual caveat of being valid only until
+    /// the next mutation.
+    pub fn scan_rows_counted(&self) -> impl Iterator<Item = (RowId, &Tuple)> {
+        self.stats.full_scans.set(self.stats.full_scans.get() + 1);
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u32), &r.tuple)))
     }
 
     /// Returns rows whose values at `cols` equal `values`.
@@ -1343,6 +1443,40 @@ mod tests {
     }
 
     #[test]
+    fn overflow_and_rebuild_are_counted() {
+        let mut t = Table::new(TableSpec::new("x", vec![0]));
+        let sub = t.subscribe_deltas();
+        for i in 0..(DELTA_LOG_CAP as i64 + 1) {
+            t.insert(TupleBuilder::new("x").push(i).build(), SimTime::ZERO)
+                .unwrap();
+        }
+        assert_eq!(t.stats().overflows, 1);
+        let mut out = Vec::new();
+        assert!(t.drain_deltas(&sub, &mut out));
+        assert!(out.is_empty(), "overflowed queue is discarded");
+        // The consumer's from-scratch recovery is reported back.
+        t.note_rebuild();
+        assert_eq!(t.stats().rebuilds, 1);
+        // Further inserts queue normally again.
+        t.insert(TupleBuilder::new("x").push(-1i64).build(), SimTime::ZERO)
+            .unwrap();
+        assert!(!t.drain_deltas(&sub, &mut out));
+        assert_eq!(out.len(), 1);
+        assert_eq!(t.stats().overflows, 1);
+    }
+
+    #[test]
+    fn counted_scan_increments_full_scans() {
+        let mut t = Table::new(TableSpec::new("x", vec![0]));
+        t.insert(TupleBuilder::new("x").push(1i64).build(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(t.scan_iter().count(), 1);
+        assert_eq!(t.stats().full_scans, 0);
+        assert_eq!(t.scan_iter_counted().count(), 1);
+        assert_eq!(t.stats().full_scans, 1);
+    }
+
+    #[test]
     fn index_consistency_across_replace_and_delete() {
         let mut t = Table::new(TableSpec::new("finger", vec![1]));
         t.add_index(vec![2]);
@@ -1564,7 +1698,7 @@ mod tests {
         t.insert(succ(5, "n5b"), SimTime::from_secs(3)).unwrap();
         // Explicit delete.
         t.delete_key(&[Value::Int(5)]);
-        assert!(!t.drain_deltas(sub, &mut log));
+        assert!(!t.drain_deltas(&sub, &mut log));
         let kinds: Vec<TableDeltaKind> = log.iter().map(|d| d.kind).collect();
         assert_eq!(
             kinds,
@@ -1584,7 +1718,7 @@ mod tests {
             t.insert(succ(*s, "x"), SimTime::from_secs(10 + i as u64))
                 .unwrap();
         }
-        t.drain_deltas(sub, &mut log);
+        t.drain_deltas(&sub, &mut log);
         assert_eq!(
             log.iter()
                 .filter(|d| d.kind == TableDeltaKind::Evict)
@@ -1597,7 +1731,7 @@ mod tests {
 
         // Expiry.
         t.expire(SimTime::from_secs(40));
-        t.drain_deltas(sub, &mut log);
+        t.drain_deltas(&sub, &mut log);
         assert_eq!(log.len(), 4);
         assert!(log.iter().all(|d| d.kind == TableDeltaKind::Expire));
         assert!(TableDeltaKind::Expire.is_removal());
@@ -1614,13 +1748,13 @@ mod tests {
         }
         let mut log = Vec::new();
         assert!(
-            t.drain_deltas(sub, &mut log),
+            t.drain_deltas(&sub, &mut log),
             "queue should have overflowed"
         );
         assert!(log.is_empty(), "overflow discards the partial log");
         // After the rebuild signal, the stream resumes normally.
         t.insert(succ(-1, "x"), SimTime::ZERO).unwrap();
-        assert!(!t.drain_deltas(sub, &mut log));
+        assert!(!t.drain_deltas(&sub, &mut log));
         assert_eq!(log.len(), 1);
     }
 
@@ -1632,8 +1766,8 @@ mod tests {
         let b = t.subscribe_deltas();
         t.insert(succ(2, "y"), SimTime::ZERO).unwrap();
         let (mut la, mut lb) = (Vec::new(), Vec::new());
-        t.drain_deltas(a, &mut la);
-        t.drain_deltas(b, &mut lb);
+        t.drain_deltas(&a, &mut la);
+        t.drain_deltas(&b, &mut lb);
         assert_eq!(la.len(), 2, "first subscriber sees both inserts");
         assert_eq!(lb.len(), 1, "late subscriber sees only later mutations");
         assert_eq!(la[1], lb[0]);

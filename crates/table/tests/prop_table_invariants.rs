@@ -83,7 +83,7 @@ proptest! {
 
             // Replay the action's deltas into the shadow map.
             deltas.clear();
-            prop_assert!(!table.drain_deltas(sub, &mut deltas), "unexpected overflow");
+            prop_assert!(!table.drain_deltas(&sub, &mut deltas), "unexpected overflow");
             for d in &deltas {
                 let key = d.tuple.field(1).to_int().unwrap();
                 match d.kind {
