@@ -67,7 +67,10 @@ use p2_dataflow::elements::{
     MatView, NetOut, Pad, Periodic, Project, Select, StrandOp, TableAgg, ViewInput,
 };
 use p2_dataflow::{Element, Engine, Graph, Route};
-use p2_overlog::{AggSpec, BodyTerm, Expr as OExpr, HeadArg, Predicate, Program, Rule, SizeBound};
+use p2_overlog::{
+    analyze, AggSpec, BodyTerm, Expr as OExpr, HeadArg, Predicate, Program, Rule, RuleClass,
+    SizeBound,
+};
 use p2_pel::{BinOp, Expr as PExpr, Program as PelProgram};
 use p2_table::{AggFunc, Catalog, DeltaSubscription, TableSpec};
 use p2_value::Value;
@@ -717,6 +720,14 @@ struct Builder<'a> {
     fused_strands: usize,
     /// Number of rules lowered to materialized view elements.
     mat_views: usize,
+    /// Per-rule delta-safety classification from the whole-program
+    /// analyzer, parallel to `program.rules`. Fusion, view, and
+    /// incremental-aggregate eligibility read from here instead of
+    /// re-deriving purity from compiled PEL stages.
+    rule_classes: Vec<RuleClass>,
+    /// Classification of the rule currently being planned (set by
+    /// [`Builder::build`] before each `plan_rule` call).
+    current_class: RuleClass,
 }
 
 impl<'a> Builder<'a> {
@@ -756,6 +767,11 @@ impl<'a> Builder<'a> {
         }
         let demux_names: Vec<String> = names.into_iter().collect();
 
+        // Whole-program analysis: total (never fails), so planning proceeds
+        // even for programs the analyzer has complaints about — the planner
+        // only consumes the per-rule classification.
+        let rule_classes = analyze::analyze(program).rule_classes;
+
         let mut builder = Builder {
             program,
             config,
@@ -771,6 +787,13 @@ impl<'a> Builder<'a> {
             delete_ids: HashMap::new(),
             fused_strands: 0,
             mat_views: 0,
+            rule_classes,
+            current_class: RuleClass {
+                deterministic: false,
+                pure: false,
+                monotone: false,
+                refresh_transparent: false,
+            },
         };
         builder.demux_id = builder.add("demux", ElementSpec::Demux);
 
@@ -838,7 +861,8 @@ impl<'a> Builder<'a> {
 
     fn build(mut self) -> Result<PlannedProgram, PlanError> {
         let rules: Vec<&Rule> = self.program.rules.iter().collect();
-        for rule in rules {
+        for (i, rule) in rules.into_iter().enumerate() {
+            self.current_class = self.rule_classes[i];
             self.plan_rule(rule)?;
         }
 
@@ -972,7 +996,7 @@ impl<'a> Builder<'a> {
             // Try the view lowering first: analyse every trigger's strand;
             // if each one qualifies, the whole rule becomes a single
             // incrementally maintained MatView element.
-            if self.config.materialize_views && !rule.delete {
+            if self.config.materialize_views && !rule.delete && self.current_class.pure {
                 let mut trigger_ids = Vec::with_capacity(tables.len());
                 for t in &tables {
                     trigger_ids.push(self.table_id(rule, &t.name)?);
@@ -1024,10 +1048,11 @@ impl<'a> Builder<'a> {
 
     /// Whether a stage list has a fused form: a bounded number of join
     /// probes over pairwise-distinct tables, no fuse-less stages
-    /// (aggregation probes), no anti-join over a probed table (which would
-    /// dead-lock on that table's guard), and no RNG builtins (fusion
-    /// changes the cross-strand evaluation order, which an RNG-drawing
-    /// program would observe — same-seed runs would diverge).
+    /// (aggregation probes), and no anti-join over a probed table (which
+    /// would dead-lock on that table's guard). RNG-drawing rules are
+    /// rejected *before* this check by their [`RuleClass`]: fusion changes
+    /// the cross-strand evaluation order, which a nondeterministic rule
+    /// would observe — same-seed runs would diverge.
     fn stages_fusable(stages: &[Stage]) -> bool {
         if stages.len() < 2 {
             // A bare head projection gains nothing from fusion.
@@ -1050,15 +1075,10 @@ impl<'a> Builder<'a> {
             return false;
         }
         for stage in stages {
-            let unfusable = match stage {
-                Stage::Select { filter, .. } => filter.uses_random(),
-                Stage::Assign { expr, .. } => expr.uses_random(),
-                Stage::Head { fields, .. } => fields.iter().any(PelProgram::uses_random),
-                Stage::AntiJoin { table, .. } => probed.contains(table),
-                Stage::Join { .. } | Stage::Other { .. } => false,
-            };
-            if unfusable {
-                return false;
+            if let Stage::AntiJoin { table, .. } = stage {
+                if probed.contains(table) {
+                    return false;
+                }
             }
         }
         true
@@ -1068,13 +1088,14 @@ impl<'a> Builder<'a> {
     /// incrementally maintained view. The checks extend
     /// [`Builder::stages_fusable`]'s — the view reuses the fused strand
     /// executor for both live emission and delta-time derivation — with
-    /// the maintenance-specific ones: no probe or anti-join may touch a
+    /// the maintenance-specific one: no probe or anti-join may touch a
     /// *trigger* table of the rule (replaying a delta would observe the
-    /// post-mutation state of the very table being replayed), and no
-    /// program may read the clock (`uses_time`) since derivations are
-    /// re-evaluated at delta time, not event time. Unlike fusion, a
-    /// single-stage strand (bare head projection) qualifies: the view's
-    /// value there is the retractable row set, not call-count savings.
+    /// post-mutation state of the very table being replayed). Purity
+    /// (no RNG, no clock reads — derivations are re-evaluated at delta
+    /// time, not event time) is enforced before this check through the
+    /// rule's [`RuleClass`]. Unlike fusion, a single-stage strand (bare
+    /// head projection) qualifies: the view's value there is the
+    /// retractable row set, not call-count savings.
     fn stages_viewable(stages: &[Stage], trigger_tables: &[usize]) -> bool {
         let mut probed: Vec<usize> = Vec::new();
         for stage in stages {
@@ -1095,17 +1116,11 @@ impl<'a> Builder<'a> {
         if probed.len() > p2_dataflow::elements::MAX_STRAND_PROBES {
             return false;
         }
-        let impure = |p: &PelProgram| p.uses_random() || p.uses_time();
         for stage in stages {
-            let blocked = match stage {
-                Stage::Select { filter, .. } => impure(filter),
-                Stage::Assign { expr, .. } => impure(expr),
-                Stage::Head { fields, .. } => fields.iter().any(impure),
-                Stage::AntiJoin { table, .. } => probed.contains(table),
-                Stage::Join { .. } | Stage::Other { .. } => false,
-            };
-            if blocked {
-                return false;
+            if let Stage::AntiJoin { table, .. } = stage {
+                if probed.contains(table) {
+                    return false;
+                }
             }
         }
         true
@@ -1211,7 +1226,10 @@ impl<'a> Builder<'a> {
     /// `stages.len() - 1` pads, so head tuples surface at exactly the BFS
     /// level the generic chain would have emitted them at.
     fn lower_stages(&mut self, rule: &Rule, stages: Vec<Stage>) -> Vec<usize> {
-        if self.config.fuse_strands && Self::stages_fusable(&stages) {
+        if self.config.fuse_strands
+            && self.current_class.deterministic
+            && Self::stages_fusable(&stages)
+        {
             return self.lower_fused(rule, stages);
         }
         stages
@@ -1633,8 +1651,11 @@ impl<'a> Builder<'a> {
                 Some(PelProgram::compile(&and_all(filter)))
             };
             let agg_expr = PelProgram::compile(&agg_expr);
-            let incremental =
-                self.config.materialize_views && AggProbe::can_increment(&filter, &agg_expr);
+            // Rule-level purity subsumes the per-program `can_increment`
+            // scan (the debug_assert in `AggProbe::with_subscription`
+            // still cross-checks the compiled programs).
+            let incremental = self.config.materialize_views && self.current_class.pure;
+            debug_assert!(!incremental || AggProbe::can_increment(&filter, &agg_expr));
             stages.push(Stage::Other {
                 label: format!("{}:agg:{}", rule.id, pred.name),
                 spec: ElementSpec::AggProbe {

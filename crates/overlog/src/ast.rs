@@ -4,6 +4,51 @@ use p2_pel::{BinOp, IntervalKind, UnOp};
 use p2_table::{AggFunc, TableSpec};
 use p2_value::Value;
 
+/// Source position of a clause (1-based line/column of its first token).
+///
+/// Spans are carried for diagnostics only and are deliberately transparent
+/// to comparison: two ASTs that differ only in where their clauses sat in
+/// the source text are equal. This keeps pretty-print → reparse round-trips
+/// (`assert_eq!(original, reparsed)`) meaningful while still letting the
+/// validator and analyzer print `file:line:col`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    /// 1-based source line (0 when the clause was built programmatically).
+    pub line: usize,
+    /// 1-based source column (0 when built programmatically).
+    pub column: usize,
+}
+
+impl Span {
+    /// Creates a span at the given 1-based position.
+    pub fn new(line: usize, column: usize) -> Span {
+        Span { line, column }
+    }
+
+    /// True for spans from programmatically built ASTs (no source text).
+    pub fn is_unknown(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _other: &Span) -> bool {
+        true // positions never participate in AST equality
+    }
+}
+
+impl Eq for Span {}
+
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {} // matches Eq
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
 /// A complete OverLog program: table declarations, base facts, and rules.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
@@ -79,6 +124,8 @@ pub struct Materialize {
     pub max_size: SizeBound,
     /// Primary-key field positions **as written in the source (1-based)**.
     pub keys: Vec<usize>,
+    /// Source position of the declaration (diagnostics only).
+    pub span: Span,
 }
 
 impl Materialize {
@@ -113,6 +160,8 @@ pub struct Fact {
     pub location: Option<String>,
     /// Argument expressions (constants or the location variable).
     pub args: Vec<Expr>,
+    /// Source position of the fact (diagnostics only).
+    pub span: Span,
 }
 
 /// A deduction rule.
@@ -128,6 +177,8 @@ pub struct Rule {
     pub head: Head,
     /// The rule body, a conjunction of terms.
     pub body: Vec<BodyTerm>,
+    /// Source position of the rule (diagnostics only).
+    pub span: Span,
 }
 
 impl Rule {
@@ -325,6 +376,7 @@ mod tests {
             lifetime: Lifetime::Secs(10.0),
             max_size: SizeBound::Rows(100),
             keys: vec![2],
+            span: Span::default(),
         };
         let spec = m.to_spec();
         assert_eq!(spec.primary_key, vec![1]);
@@ -336,6 +388,7 @@ mod tests {
             lifetime: Lifetime::Infinity,
             max_size: SizeBound::Infinity,
             keys: vec![1],
+            span: Span::default(),
         };
         let spec = m.to_spec();
         assert_eq!(spec.lifetime, None);
@@ -363,6 +416,7 @@ mod tests {
             lifetime: Lifetime::Infinity,
             max_size: SizeBound::Infinity,
             keys: vec![1],
+            span: Span::default(),
         };
         let mut a = Program {
             materializations: vec![mat("node")],

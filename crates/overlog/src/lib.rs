@@ -15,10 +15,14 @@
 //! ([`parser`]), abstract syntax tree ([`ast`]), a semantic validator
 //! ([`validate`]) that enforces the restrictions of the 2005 planner
 //! (collocated rule bodies, stream/table equijoins, safe head variables),
-//! and a pretty-printer ([`pretty`]) used for round-trip testing and
-//! debugging. Compilation of validated programs into dataflow graphs lives
-//! in the `p2-core` crate.
+//! a pretty-printer ([`pretty`]) used for round-trip testing and
+//! debugging, and a whole-program static analyzer ([`analyze`]) that
+//! stratifies the predicate dependency graph, infers schemas, tracks
+//! soft-state lifetime flow, and classifies every rule's delta-safety
+//! ([`RuleClass`]) for the planner. Compilation of validated programs into
+//! dataflow graphs lives in the `p2-core` crate.
 
+pub mod analyze;
 pub mod ast;
 pub mod error;
 pub mod lexer;
@@ -26,9 +30,10 @@ pub mod parser;
 pub mod pretty;
 pub mod validate;
 
+pub use analyze::{analyze, Analysis, Diagnostic, RuleClass, Severity};
 pub use ast::{
     AggSpec, BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program, Rule,
-    SizeBound,
+    SizeBound, Span,
 };
 pub use error::ParseError;
 pub use parser::parse_program;

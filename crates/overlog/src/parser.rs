@@ -10,7 +10,7 @@ use p2_value::Value;
 
 use crate::ast::{
     AggSpec, BodyTerm, Expr, Fact, Head, HeadArg, Lifetime, Materialize, Predicate, Program, Rule,
-    SizeBound,
+    SizeBound, Span,
 };
 use crate::error::ParseError;
 use crate::lexer::{tokenize, Spanned, Token};
@@ -101,6 +101,7 @@ impl Parser {
     }
 
     fn materialize(&mut self) -> Result<Materialize, ParseError> {
+        let (line, column) = self.here();
         self.bump(); // `materialize`
         self.expect(&Token::LParen, "`(`")?;
         let name = self.expect_ident("table name")?;
@@ -142,11 +143,14 @@ impl Parser {
             lifetime,
             max_size,
             keys,
+            span: Span::new(line, column),
         })
     }
 
     /// Parses a rule or fact clause and appends it to the program.
     fn clause(&mut self, program: &mut Program) -> Result<(), ParseError> {
+        let (line, column) = self.here();
+        let span = Span::new(line, column);
         // Optional rule identifier. Head predicate names always start with a
         // lower-case letter, so an upper-case first token must be an id; a
         // lower-case first token is an id only when the *next* token is
@@ -197,6 +201,7 @@ impl Parser {
                     name: head.name,
                     location: head.location,
                     args,
+                    span,
                 });
                 Ok(())
             }
@@ -222,6 +227,7 @@ impl Parser {
                     delete,
                     head,
                     body,
+                    span,
                 });
                 Ok(())
             }

@@ -7,24 +7,29 @@
 //! restrictions ahead of planning, plus standard Datalog safety (every head
 //! variable must be bound in the body).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use p2_pel::Builtin;
 
-use crate::ast::{BodyTerm, Expr, Fact, HeadArg, Program, Rule};
+use crate::ast::{BodyTerm, Expr, Fact, HeadArg, Program, Rule, Span};
 
 /// A single validation problem.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Issue {
     /// The rule (or fact) identifier the problem was found in, if any.
     pub rule: Option<String>,
+    /// Source position of the offending clause, when the AST carries one.
+    pub span: Span,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for Issue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.span.is_unknown() {
+            write!(f, "{}: ", self.span)?;
+        }
         match &self.rule {
             Some(r) => write!(f, "rule {r}: {}", self.message),
             None => write!(f, "{}", self.message),
@@ -55,6 +60,21 @@ impl std::error::Error for ValidationError {}
 pub fn validate(program: &Program) -> Result<(), ValidationError> {
     let mut issues = Vec::new();
 
+    // --- Duplicate rule identifiers: two rules sharing an id make
+    // diagnostics and plan element names ambiguous.
+    let mut seen_ids: HashMap<&str, Span> = HashMap::new();
+    for rule in &program.rules {
+        if let Some(first) = seen_ids.get(rule.id.as_str()) {
+            issues.push(Issue {
+                rule: Some(rule.id.clone()),
+                span: rule.span,
+                message: format!("duplicate rule id `{}` (first defined at {first})", rule.id),
+            });
+        } else {
+            seen_ids.insert(&rule.id, rule.span);
+        }
+    }
+
     for fact in &program.facts {
         check_fact(fact, &mut issues);
     }
@@ -69,9 +89,10 @@ pub fn validate(program: &Program) -> Result<(), ValidationError> {
     }
 }
 
-fn issue(issues: &mut Vec<Issue>, rule: Option<&str>, message: impl Into<String>) {
+fn issue(issues: &mut Vec<Issue>, rule: Option<&str>, span: Span, message: impl Into<String>) {
     issues.push(Issue {
         rule: rule.map(str::to_string),
+        span,
         message: message.into(),
     });
 }
@@ -84,6 +105,7 @@ fn check_fact(fact: &Fact, issues: &mut Vec<Issue>) {
             other => issue(
                 issues,
                 fact.id.as_deref(),
+                fact.span,
                 format!(
                     "fact `{}` arguments must be constants or the location variable, found {other:?}",
                     fact.name
@@ -95,29 +117,30 @@ fn check_fact(fact: &Fact, issues: &mut Vec<Issue>) {
 
 fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
     let id = Some(rule.id.as_str());
+    let span = rule.span;
     let positives = rule.positive_predicates();
 
     if positives.is_empty() {
         issue(
             issues,
             id,
+            span,
             "rule body must contain at least one positive predicate",
         );
         return;
     }
 
     // --- Collocation: all body predicates must name the same location.
-    let mut body_locations: Vec<&str> = positives
+    let distinct: HashSet<&str> = positives
         .iter()
         .chain(rule.negated_predicates().iter())
         .filter_map(|p| p.location.as_deref())
         .collect();
-    body_locations.dedup();
-    let distinct: HashSet<&str> = body_locations.iter().copied().collect();
     if distinct.len() > 1 {
         issue(
             issues,
             id,
+            span,
             format!(
                 "rule body is not collocated: location specifiers {:?} refer to more than one node \
                  (the 2005 planner requires localized rewrites; see Appendix A of the paper)",
@@ -165,6 +188,7 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
             issue(
                 issues,
                 id,
+                span,
                 format!("assignment to `{var}` references unbound variables (or is circular)"),
             );
         }
@@ -178,6 +202,7 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
                     issue(
                         issues,
                         id,
+                        span,
                         format!("condition references unbound variable `{v}`"),
                     );
                 }
@@ -192,6 +217,7 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
             issue(
                 issues,
                 id,
+                span,
                 format!(
                     "negation over `{}` requires it to be a materialized table",
                     p.name
@@ -203,6 +229,7 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
                 issue(
                     issues,
                     id,
+                    span,
                     format!("negated predicate `{}` uses unbound variable `{v}`", p.name),
                 );
             }
@@ -219,6 +246,7 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
                         issue(
                             issues,
                             id,
+                            span,
                             format!("head variable `{v}` is not bound in the rule body"),
                         );
                     }
@@ -231,6 +259,7 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
                         issue(
                             issues,
                             id,
+                            span,
                             format!("aggregate variable `{v}` is not bound in the rule body"),
                         );
                     }
@@ -242,6 +271,7 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
         issue(
             issues,
             id,
+            span,
             "at most one aggregate is supported per rule head",
         );
     }
@@ -250,6 +280,7 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
             issue(
                 issues,
                 id,
+                span,
                 format!("head location variable `{loc}` is not bound in the rule body"),
             );
         }
@@ -263,24 +294,30 @@ fn check_rule(program: &Program, rule: &Rule, issues: &mut Vec<Issue>) {
             BodyTerm::Predicate(p) => p.args.iter().collect(),
         };
         for e in exprs {
-            check_builtins(e, id, issues);
+            check_builtins(e, id, span, issues);
         }
     }
     for arg in &rule.head.args {
         if let HeadArg::Expr(e) = arg {
-            check_builtins(e, id, issues);
+            check_builtins(e, id, span, issues);
         }
     }
 }
 
-fn check_builtins(expr: &Expr, rule: Option<&str>, issues: &mut Vec<Issue>) {
+fn check_builtins(expr: &Expr, rule: Option<&str>, span: Span, issues: &mut Vec<Issue>) {
     match expr {
         Expr::Call { name, args, .. } => {
             match Builtin::from_name(name) {
-                None => issue(issues, rule, format!("unknown built-in function `{name}`")),
+                None => issue(
+                    issues,
+                    rule,
+                    span,
+                    format!("unknown built-in function `{name}`"),
+                ),
                 Some(b) if b.arity() != args.len() => issue(
                     issues,
                     rule,
+                    span,
                     format!(
                         "built-in `{name}` expects {} argument(s), got {}",
                         b.arity(),
@@ -290,20 +327,20 @@ fn check_builtins(expr: &Expr, rule: Option<&str>, issues: &mut Vec<Issue>) {
                 Some(_) => {}
             }
             for a in args {
-                check_builtins(a, rule, issues);
+                check_builtins(a, rule, span, issues);
             }
         }
-        Expr::Unary { expr, .. } => check_builtins(expr, rule, issues),
+        Expr::Unary { expr, .. } => check_builtins(expr, rule, span, issues),
         Expr::Binary { lhs, rhs, .. } => {
-            check_builtins(lhs, rule, issues);
-            check_builtins(rhs, rule, issues);
+            check_builtins(lhs, rule, span, issues);
+            check_builtins(rhs, rule, span, issues);
         }
         Expr::Range {
             value, low, high, ..
         } => {
-            check_builtins(value, rule, issues);
-            check_builtins(low, rule, issues);
-            check_builtins(high, rule, issues);
+            check_builtins(value, rule, span, issues);
+            check_builtins(low, rule, span, issues);
+            check_builtins(high, rule, span, issues);
         }
         Expr::Var(_) | Expr::Wildcard | Expr::Const(_) => {}
     }
@@ -407,5 +444,24 @@ mod tests {
     fn error_display_lists_rule_ids() {
         let err = check("R9 out@X(X, Z) :- trigger@X(X).").unwrap_err();
         assert!(err.to_string().contains("R9"));
+    }
+
+    #[test]
+    fn rejects_duplicate_rule_ids() {
+        let src = r#"
+            R1 out@X(X, Y) :- trigger@X(X, Y).
+            R1 other@X(X, Y) :- trigger@X(X, Y).
+        "#;
+        let err = check(src).unwrap_err();
+        assert!(err.to_string().contains("duplicate rule id `R1`"), "{err}");
+    }
+
+    #[test]
+    fn issues_carry_source_spans() {
+        let src = "\n\nR9 out@X(X, Z) :- trigger@X(X).";
+        let err = check(src).unwrap_err();
+        let issue = &err.issues[0];
+        assert_eq!(issue.span.line, 3, "{issue}");
+        assert!(err.to_string().contains("3:"), "{err}");
     }
 }

@@ -1,0 +1,189 @@
+//! Property test: pretty-printing a program and reparsing it preserves the
+//! whole-program analysis — same predicate dependency graph, same per-rule
+//! delta-safety classification, same diagnostics, same inferred schemas.
+//!
+//! Programs are drawn from a seeded generator over a small OverLog grammar
+//! (materialize declarations with assorted lifetimes and keys, rules with
+//! joins, negation, deletion, aggregates, assignments through the pure and
+//! impure builtins, conditions, and both local and remote head locations),
+//! so the roundtrip exercises every classification axis and most analyzer
+//! diagnostics, not just the shipped overlay programs.
+
+use p2_overlog::analyze::analyze;
+use p2_overlog::parse_program;
+use p2_overlog::pretty::program_to_string;
+use proptest::prelude::*;
+
+/// Small deterministic generator state (splitmix-style), so each proptest
+/// case is a pure function of its seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+/// Predicate pool: name and arity (location argument included).
+const PREDS: &[(&str, usize)] = &[
+    ("alpha", 2),
+    ("beta", 3),
+    ("gamma", 2),
+    ("delta", 3),
+    ("omega", 4),
+];
+
+const VARS: &[&str] = &["Y", "Z", "W", "V", "U"];
+
+/// Generates one random-but-parseable OverLog program.
+fn gen_program(seed: u64) -> String {
+    let mut g = Gen(seed);
+    let mut out = String::new();
+
+    // Materialize a random subset of the pool with assorted lifetimes,
+    // sizes, and key sets (sometimes out-of-bounds on purpose).
+    for (name, arity) in PREDS {
+        if !g.chance(60) {
+            continue;
+        }
+        let lifetime = *g.pick(&["10", "120", "infinity"]);
+        let size = *g.pick(&["100", "infinity"]);
+        let keys = match g.below(4) {
+            0 => "keys(1)".to_string(),
+            1 => "keys(2)".to_string(),
+            2 => format!("keys(1, {})", arity.min(&3)),
+            // Rarely address a column past the arity to hit the bounds check.
+            _ => format!("keys({})", arity + 3),
+        };
+        out.push_str(&format!(
+            "materialize({name}, {lifetime}, {size}, {keys}).\n"
+        ));
+    }
+
+    let nrules = 1 + g.below(5);
+    for i in 0..nrules {
+        let delete = g.chance(10);
+        let (head_name, head_arity) = *g.pick(PREDS);
+
+        // Body: one to three positive predicates, collocated at X.
+        let nbody = 1 + g.below(2) as usize;
+        let mut body: Vec<String> = Vec::new();
+        let mut bound: Vec<String> = vec!["X".to_string()];
+        for _ in 0..nbody {
+            let (name, arity) = *g.pick(PREDS);
+            let mut args: Vec<String> = vec!["X".to_string()];
+            for _ in 1..arity {
+                if g.chance(15) {
+                    args.push(g.below(10).to_string());
+                } else {
+                    let v = g.pick(VARS).to_string();
+                    if !bound.contains(&v) {
+                        bound.push(v.clone());
+                    }
+                    args.push(v);
+                }
+            }
+            body.push(format!("{name}@X({})", args.join(", ")));
+        }
+
+        // Optional negation over a pool predicate, using bound vars only.
+        if g.chance(20) {
+            let (name, arity) = *g.pick(PREDS);
+            let mut args: Vec<String> = vec!["X".to_string()];
+            for _ in 1..arity {
+                args.push(g.pick(&bound).clone());
+            }
+            body.push(format!("not {name}@X({})", args.join(", ")));
+        }
+
+        // Optional assignment, drawing from pure and impure builtins.
+        if g.chance(30) {
+            let v = g.pick(&bound).clone();
+            let expr = match g.below(4) {
+                0 => "f_now()".to_string(),
+                1 => "f_rand()".to_string(),
+                2 => format!("f_sha1({v})"),
+                _ => format!("{v} + 1"),
+            };
+            bound.push("Q".to_string());
+            body.push(format!("Q := {expr}"));
+        }
+
+        // Optional condition over a bound variable.
+        if g.chance(30) {
+            let v = g.pick(&bound).clone();
+            body.push(format!("{v} > 2"));
+        }
+
+        // Head: location X (local) or a bound variable (ships the tuple).
+        let head_loc = if g.chance(75) {
+            "X".to_string()
+        } else {
+            g.pick(&bound).clone()
+        };
+        let mut head_args: Vec<String> = vec![head_loc.clone()];
+        for _ in 1..head_arity {
+            if g.chance(15) {
+                head_args.push(g.below(10).to_string());
+            } else {
+                head_args.push(g.pick(&bound).clone());
+            }
+        }
+        // Optional aggregate in the last head position.
+        if head_arity > 1 && g.chance(20) {
+            let last = head_args.len() - 1;
+            head_args[last] = if g.chance(50) {
+                "count<*>".to_string()
+            } else {
+                format!("min<{}>", g.pick(&bound))
+            };
+        }
+
+        let kw = if delete { "delete " } else { "" };
+        out.push_str(&format!(
+            "R{i} {kw}{head_name}@{head_loc}({}) :- {}.\n",
+            head_args.join(", "),
+            body.join(", ")
+        ));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pretty_reparse_preserves_analysis(seed in any::<u64>()) {
+        let source = gen_program(seed);
+        let program = parse_program(&source)
+            .unwrap_or_else(|e| panic!("generated program failed to parse: {e}\n{source}"));
+        let first = analyze(&program);
+
+        let printed = program_to_string(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("pretty output failed to reparse: {e}\n{printed}"));
+        prop_assert_eq!(&program, &reparsed);
+
+        let second = analyze(&reparsed);
+        prop_assert_eq!(&first.rule_classes, &second.rule_classes);
+        prop_assert_eq!(&first.edges, &second.edges);
+        prop_assert_eq!(&first.predicates, &second.predicates);
+        prop_assert_eq!(&first.diagnostics, &second.diagnostics);
+    }
+}

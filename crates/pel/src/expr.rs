@@ -79,6 +79,22 @@ impl Builtin {
         }
     }
 
+    /// True if the builtin draws on the node's RNG (`f_rand`,
+    /// `f_coinFlip`). Programs calling one are order-sensitive beyond
+    /// their inputs; this is the single source of truth behind both
+    /// [`crate::Program::uses_random`] and the whole-rule determinism
+    /// classification in the OverLog analyzer.
+    pub fn is_random(&self) -> bool {
+        matches!(self, Builtin::Rand | Builtin::CoinFlip)
+    }
+
+    /// True if the builtin reads the node's clock (`f_now`). Programs
+    /// calling one are not pure functions of their input tuple; see
+    /// [`crate::Program::uses_time`].
+    pub fn is_time(&self) -> bool {
+        matches!(self, Builtin::Now)
+    }
+
     /// Resolves an OverLog function name (`f_now`, `f_rand`, ...).
     pub fn from_name(name: &str) -> Option<Builtin> {
         match name {

@@ -111,12 +111,9 @@ impl Program {
     /// inputs: the planner must not re-schedule them (e.g. into a fused
     /// strand) relative to other RNG users, or same-seed runs diverge.
     pub fn uses_random(&self) -> bool {
-        self.ops.iter().any(|op| {
-            matches!(
-                op,
-                Op::Call(crate::expr::Builtin::Rand) | Op::Call(crate::expr::Builtin::CoinFlip)
-            )
-        })
+        self.ops
+            .iter()
+            .any(|op| matches!(op, Op::Call(b) if b.is_random()))
     }
 
     /// True if evaluating this program reads the clock (`f_now`). Such
@@ -126,7 +123,7 @@ impl Program {
     pub fn uses_time(&self) -> bool {
         self.ops
             .iter()
-            .any(|op| matches!(op, Op::Call(crate::expr::Builtin::Now)))
+            .any(|op| matches!(op, Op::Call(b) if b.is_time()))
     }
 
     /// Evaluates the program over an explicit field slice.
