@@ -38,16 +38,25 @@
 //! **exits non-zero if their NetStats or event counts diverge** (CI runs
 //! this in smoke mode).
 //!
-//! Usage: `cargo run --release --bin sim_bench [-- --smoke] [--par]
+//! With `--obs` the binary runs the **rule-level profiler** instead: each
+//! ring size is profiled over a steady-state window and the merged per-rule
+//! invocation/wasted-poke report is written to `BENCH_obs.json`, together
+//! with an off/on golden gate on the 100-node pinned ring — enabling
+//! observability must leave the NetStats and event-count pins bit-identical
+//! or the binary **exits non-zero**. The report tree is schema-checked
+//! in-process before it is written.
+//!
+//! Usage: `cargo run --release --bin sim_bench [-- --smoke] [--par] [--obs]
 //! [--view-gate] [--sizes N,N,..] [--workers N,N,..] [--out PATH]`
 
 use std::time::Instant;
 
 use p2_bench::to_json;
+use p2_harness::metrics::{EngineOps, SimOps, StorageOps};
 use p2_harness::ChordCluster;
 use p2_netsim::{Envelope, Host, NetworkConfig, Simulator};
 use p2_value::{SimTime, Tuple, TupleBuilder};
-use serde::Serialize;
+use serde::{Json, Serialize};
 
 /// A minimal host: one ping to its ring neighbor every second, phase-spread
 /// so events are not synchronized.
@@ -130,6 +139,12 @@ struct ChordResult {
     full_scans_per_event: f64,
     /// Full table scans per processed event, rescanning plan.
     views_off_full_scans_per_event: f64,
+    /// End-of-run table-storage counters of the incremental ring.
+    storage_ops: StorageOps,
+    /// End-of-run simulator event-loop counters of the incremental ring.
+    sim_ops: SimOps,
+    /// End-of-run engine ingress counters of the incremental ring.
+    engine_ops: EngineOps,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -337,6 +352,9 @@ fn bench_chord(nodes: usize, warmup_secs: u64, virtual_secs: u64) -> ChordResult
         views_speedup: events_per_sec / views_off_events_per_sec.max(1e-12),
         full_scans_per_event: full_scans as f64 / events.max(1) as f64,
         views_off_full_scans_per_event: rescan_full_scans as f64 / events.max(1) as f64,
+        storage_ops: cluster.storage_ops(),
+        sim_ops: cluster.sim_ops(),
+        engine_ops: cluster.engine_stats(),
     }
 }
 
@@ -496,6 +514,267 @@ fn golden_gate(nodes: usize, workers: usize, warmup_secs: u64) -> GoldenGate {
     }
 }
 
+/// Rule-level profile of one ring size (the `--obs` mode payload).
+#[derive(Debug, Clone, Serialize)]
+struct ObsSizeResult {
+    nodes: usize,
+    /// Virtual seconds profiled (steady state, after bring-up and warm-up).
+    virtual_secs: u64,
+    /// Cluster-wide engine ingress counters over the profiled window.
+    engine_ops: EngineOps,
+    /// The merged rule-level profile (per-rule wasted-poke rates, class
+    /// buckets, per-table refresh rates).
+    profile: p2_obs::ProfileReport,
+}
+
+/// The observability golden gate: the same staggered ring run with the
+/// profiler off and on must produce identical NetStats and event counts
+/// (observability taps must never change behaviour).
+#[derive(Debug, Clone, Serialize)]
+struct ObsGolden {
+    nodes: usize,
+    obs_off: GoldenPin,
+    obs_on: GoldenPin,
+    matches: bool,
+    obs_off_wall_secs: f64,
+    obs_on_wall_secs: f64,
+    /// `obs_on` events/s relative to `obs_off` (1.0 = no overhead; wall
+    /// clock, so noisy — informational, not gated).
+    throughput_ratio: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ObsReport {
+    bench: String,
+    profiles: Vec<ObsSizeResult>,
+    golden: ObsGolden,
+}
+
+/// Runs the measurement window with wall timing and returns the golden pin.
+fn pinned_window(cluster: &mut ChordCluster) -> (GoldenPin, f64) {
+    cluster.sim.reset_stats();
+    let before = cluster.sim.events_processed();
+    let t = Instant::now();
+    cluster.run_for(60.0);
+    let wall = t.elapsed().as_secs_f64();
+    let s = cluster.sim.stats();
+    let pin = GoldenPin {
+        messages_sent: s.messages_sent,
+        messages_delivered: s.messages_delivered,
+        messages_dropped: s.messages_dropped,
+        bytes_sent: s.bytes_sent,
+        events_processed: cluster.sim.events_processed() - before,
+    };
+    (pin, wall)
+}
+
+/// Profiles one ring size: steady-state window with the rule-level profiler
+/// on, reported as a merged cluster-wide profile.
+fn bench_obs(nodes: usize, warmup_secs: u64, virtual_secs: u64) -> ObsSizeResult {
+    let mut cluster = ChordCluster::builder(nodes, 42).build_fast(warmup_secs);
+    // Enabling after bring-up zeroes the counters at the steady state, so
+    // the profile reflects maintenance traffic, not joins.
+    cluster.enable_observability();
+    let engine_before = cluster.engine_stats();
+    cluster.run_for(virtual_secs as f64);
+    let mut engine_ops = cluster.engine_stats();
+    engine_ops.handoffs -= engine_before.handoffs;
+    engine_ops.injected -= engine_before.injected;
+    engine_ops.dropped_no_entry -= engine_before.dropped_no_entry;
+    engine_ops.timers_fired -= engine_before.timers_fired;
+    engine_ops.sent -= engine_before.sent;
+    ObsSizeResult {
+        nodes,
+        virtual_secs,
+        engine_ops,
+        profile: cluster.obs_report(),
+    }
+}
+
+/// The `--obs` mode: per-size rule-level profiles plus the off/on golden
+/// gate. Exits non-zero if observability perturbs the golden run or (at 100
+/// nodes) if the long-standing golden pin itself no longer holds.
+fn run_obs_mode(out_path: &str, smoke: bool, sizes: &[usize]) -> i32 {
+    let (warmup_secs, measure_secs) = if smoke { (60, 30) } else { (300, 60) };
+
+    let mut profiles = Vec::new();
+    for &n in sizes {
+        eprintln!("obs profile: {n} nodes ({measure_secs} virtual s steady state)...");
+        let r = bench_obs(n, warmup_secs, measure_secs);
+        let p = &r.profile;
+        eprintln!(
+            "  {} rules, {} pokes, {} wasted ({:.1}%); refresh-transparent rules: \
+             {} pokes, {:.1}% wasted; other rules: {} pokes, {:.1}% wasted",
+            p.rules.len(),
+            p.total_pokes,
+            p.total_wasted_pokes,
+            100.0 * p.wasted_rate,
+            p.refresh_transparent.pokes,
+            100.0 * p.refresh_transparent.wasted_rate,
+            p.other_rules.pokes,
+            100.0 * p.other_rules.wasted_rate
+        );
+        profiles.push(r);
+    }
+
+    // Golden gate: always the 100-node staggered ring whose NetStats and
+    // event count are pinned by the determinism tests, so CI asserts the
+    // pins hold with observability both off and on.
+    let gate_nodes = 100;
+    eprintln!("obs golden gate: {gate_nodes}-node ring, profiler off vs on...");
+    let mut off_ring = ChordCluster::build(gate_nodes, 120, 42);
+    let (obs_off, obs_off_wall_secs) = pinned_window(&mut off_ring);
+    let mut on_ring = ChordCluster::build(gate_nodes, 120, 42);
+    on_ring.enable_observability();
+    let (obs_on, obs_on_wall_secs) = pinned_window(&mut on_ring);
+    let golden = ObsGolden {
+        nodes: gate_nodes,
+        obs_off,
+        obs_on,
+        matches: obs_off == obs_on,
+        obs_off_wall_secs,
+        obs_on_wall_secs,
+        throughput_ratio: (obs_on.events_processed as f64 / obs_on_wall_secs.max(1e-12))
+            / (obs_off.events_processed as f64 / obs_off_wall_secs.max(1e-12)).max(1e-12),
+    };
+    eprintln!(
+        "  off {:?} vs on {:?} -> {} (on/off throughput {:.3})",
+        golden.obs_off,
+        golden.obs_on,
+        if golden.matches { "MATCH" } else { "DIVERGED" },
+        golden.throughput_ratio
+    );
+
+    let pin_holds = golden.obs_off
+        == GoldenPin {
+            messages_sent: 29_634,
+            messages_delivered: 29_638,
+            messages_dropped: 0,
+            bytes_sent: 2_787_660,
+            events_processed: 31_838,
+        };
+
+    let report = ObsReport {
+        bench: "obs_profile".to_string(),
+        profiles,
+        golden,
+    };
+    // The vendored serde has no JSON parser, so the schema check inspects
+    // the serialization tree in-process before it is rendered to disk.
+    let tree = report.to_json();
+    if let Err(e) = validate_obs_schema(&tree) {
+        eprintln!("error: BENCH_obs.json schema check failed: {e}");
+        return 1;
+    }
+    eprintln!("BENCH_obs.json schema OK");
+    let json = to_json(&tree);
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return 2;
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    if !report.golden.matches {
+        eprintln!("error: enabling observability perturbed the golden run");
+        return 1;
+    }
+    if !pin_holds {
+        eprintln!("error: 100-node golden pin no longer holds (obs off)");
+        return 1;
+    }
+    0
+}
+
+/// Structural schema check for the `--obs` report tree.
+fn validate_obs_schema(tree: &Json) -> Result<(), String> {
+    let obj = as_object(tree, "report")?;
+    field(obj, "bench").and_then(|v| match v {
+        Json::Str(_) => Ok(()),
+        _ => Err("report.bench must be a string".to_string()),
+    })?;
+    let profiles = match field(obj, "profiles")? {
+        Json::Array(items) => items,
+        _ => return Err("report.profiles must be an array".to_string()),
+    };
+    for (i, p) in profiles.iter().enumerate() {
+        let p = as_object(p, &format!("profiles[{i}]"))?;
+        for key in ["nodes", "virtual_secs"] {
+            expect_uint(p, key)?;
+        }
+        let profile = as_object(field(p, "profile")?, &format!("profiles[{i}].profile"))?;
+        for key in ["total_pokes", "total_wasted_pokes"] {
+            expect_uint(profile, key)?;
+        }
+        expect_number(profile, "wasted_rate")?;
+        let rules = match field(profile, "rules")? {
+            Json::Array(items) => items,
+            _ => return Err("profile.rules must be an array".to_string()),
+        };
+        for r in rules {
+            let r = as_object(r, "rule profile")?;
+            match field(r, "rule")? {
+                Json::Str(_) => {}
+                _ => return Err("rule profile .rule must be a string".to_string()),
+            }
+            expect_uint(r, "pokes")?;
+            expect_uint(r, "wasted_pokes")?;
+            expect_number(r, "wasted_rate")?;
+        }
+        for bucket in ["refresh_transparent", "other_rules"] {
+            let b = as_object(field(profile, bucket)?, bucket)?;
+            expect_uint(b, "rules")?;
+            expect_uint(b, "pokes")?;
+            expect_uint(b, "wasted_pokes")?;
+            expect_number(b, "wasted_rate")?;
+        }
+    }
+    let golden = as_object(field(obj, "golden")?, "golden")?;
+    for pin in ["obs_off", "obs_on"] {
+        let p = as_object(field(golden, pin)?, pin)?;
+        for key in [
+            "messages_sent",
+            "messages_delivered",
+            "messages_dropped",
+            "bytes_sent",
+            "events_processed",
+        ] {
+            expect_uint(p, key)?;
+        }
+    }
+    match field(golden, "matches")? {
+        Json::Bool(_) => Ok(()),
+        _ => Err("golden.matches must be a bool".to_string()),
+    }
+}
+
+fn as_object<'a>(v: &'a Json, what: &str) -> Result<&'a [(String, Json)], String> {
+    match v {
+        Json::Object(fields) => Ok(fields),
+        _ => Err(format!("{what} must be an object")),
+    }
+}
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn expect_uint(obj: &[(String, Json)], key: &str) -> Result<(), String> {
+    match field(obj, key)? {
+        Json::UInt(_) | Json::Int(_) => Ok(()),
+        _ => Err(format!("key {key:?} must be an integer")),
+    }
+}
+
+fn expect_number(obj: &[(String, Json)], key: &str) -> Result<(), String> {
+    match field(obj, key)? {
+        Json::UInt(_) | Json::Int(_) | Json::Float(_) => Ok(()),
+        _ => Err(format!("key {key:?} must be a number")),
+    }
+}
+
 fn run_par_mode(out_path: &str, smoke: bool, sizes: &[usize], workers: &[usize]) -> i32 {
     let (warmup_secs, measure_secs) = if smoke { (60, 10) } else { (300, 30) };
     let machine_cores = std::thread::available_parallelism()
@@ -573,10 +852,13 @@ fn main() {
 
     let smoke = flag("--smoke");
     let par = flag("--par");
+    let obs = flag("--obs");
     let view_gate_only = flag("--view-gate");
     let out_path = value("--out").unwrap_or_else(|| {
         if par {
             "BENCH_parsim.json".to_string()
+        } else if obs {
+            "BENCH_obs.json".to_string()
         } else {
             "BENCH_sim.json".to_string()
         }
@@ -627,6 +909,10 @@ fn main() {
             None => vec![1, 2, 4, 8],
         };
         std::process::exit(run_par_mode(&out_path, smoke, &sizes, &workers));
+    }
+
+    if obs {
+        std::process::exit(run_obs_mode(&out_path, smoke, &sizes));
     }
 
     let mut toy_event_loop = Vec::new();

@@ -245,6 +245,29 @@ impl P2Node {
         self.engine.stats()
     }
 
+    /// Enables the rule-level profiler using the plan's element metadata
+    /// (see [`PlannedProgram::obs_meta`]). Idempotent in effect but resets
+    /// counters when called again.
+    pub fn enable_obs(&mut self, meta: std::sync::Arc<p2_obs::ObsMeta>) {
+        self.engine.enable_obs(meta);
+    }
+
+    /// The node's observability state, when enabled.
+    pub fn obs(&self) -> Option<&p2_obs::NodeObs> {
+        self.engine.obs()
+    }
+
+    /// Starts provenance tracing for tuples carrying `tag` in any field.
+    /// Requires [`P2Node::enable_obs`] first; returns whether tracing is on.
+    pub fn set_trace_tag(&mut self, tag: p2_value::Value, ring_cap: usize) -> bool {
+        self.engine.set_trace_tag(tag, ring_cap)
+    }
+
+    /// Removes and returns buffered provenance trace events.
+    pub fn drain_trace(&mut self) -> Vec<p2_obs::TraceEvent> {
+        self.engine.drain_trace()
+    }
+
     /// Approximate bytes of soft state currently held by the node.
     pub fn resident_table_bytes(&self) -> usize {
         self.catalog.resident_bytes()

@@ -67,6 +67,7 @@ use p2_dataflow::elements::{
     MatView, NetOut, Pad, Periodic, Project, Select, StrandOp, TableAgg, ViewInput,
 };
 use p2_dataflow::{Element, Engine, Graph, Route};
+use p2_obs::{ElemKind, ElemMeta, ObsMeta, RuleClassBits};
 use p2_overlog::{
     analyze, AggSpec, BodyTerm, Expr as OExpr, HeadArg, Predicate, Program, Rule, RuleClass,
     SizeBound,
@@ -322,6 +323,40 @@ enum ElementSpec {
     Collector { watch: String },
 }
 
+impl ElementSpec {
+    /// The element-kind mirror the profiler reports under.
+    fn obs_kind(&self) -> ElemKind {
+        match self {
+            ElementSpec::Demux => ElemKind::Demux,
+            ElementSpec::Insert { .. } => ElemKind::Insert,
+            ElementSpec::Delete { .. } => ElemKind::Delete,
+            ElementSpec::Join { .. } => ElemKind::Join,
+            ElementSpec::AntiJoin { .. } => ElemKind::AntiJoin,
+            ElementSpec::Select { .. } => ElemKind::Select,
+            ElementSpec::Project { .. } => ElemKind::Project,
+            ElementSpec::AggProbe { .. } => ElemKind::AggProbe,
+            ElementSpec::TableAgg { .. } => ElemKind::TableAgg,
+            ElementSpec::Strand { .. } => ElemKind::Strand,
+            ElementSpec::Pad => ElemKind::Pad,
+            ElementSpec::MatView { .. } => ElemKind::MatView,
+            ElementSpec::Periodic { .. } => ElemKind::Periodic,
+            ElementSpec::NetOut { .. } => ElemKind::NetOut,
+            ElementSpec::Collector { .. } => ElemKind::Collector,
+        }
+    }
+}
+
+/// Mirrors the analyzer's [`RuleClass`] into the runtime-facing
+/// [`RuleClassBits`] (the obs crate must not depend on the frontend).
+fn class_bits(c: RuleClass) -> RuleClassBits {
+    RuleClassBits {
+        deterministic: c.deterministic,
+        pure: c.pure,
+        monotone: c.monotone,
+        refresh_transparent: c.refresh_transparent,
+    }
+}
+
 /// One trigger input of a planned materialized view: the strand that
 /// derives head rows from that trigger's bindings, in spec form.
 struct ViewInputSpec {
@@ -382,6 +417,12 @@ pub struct PlannedProgram {
     jitter_periodics: bool,
     fused_strands: usize,
     mat_views: usize,
+    /// Per-element observability metadata (rule id, kind, rule class),
+    /// parallel to `specs`. Built unconditionally at compile time — it is
+    /// one small shared allocation — and consumed only by engines that
+    /// enable observability, so plan identity and instantiation behaviour
+    /// are unaffected.
+    obs: Arc<ObsMeta>,
 }
 
 // Compile-time audit: the shared plan is handed out as `&'static` from
@@ -422,6 +463,13 @@ impl PlannedProgram {
     /// (zero when view materialization is disabled or no rule qualified).
     pub fn mat_view_count(&self) -> usize {
         self.mat_views
+    }
+
+    /// Per-element observability metadata: entry `i` describes element `i`
+    /// of every engine instantiated from this plan. Hand it to
+    /// `Engine::enable_obs` to turn on the rule-level profiler.
+    pub fn obs_meta(&self) -> Arc<ObsMeta> {
+        self.obs.clone()
     }
 
     /// The resolved program facts, as tuples for a node at `addr`.
@@ -728,6 +776,12 @@ struct Builder<'a> {
     /// Classification of the rule currently being planned (set by
     /// [`Builder::build`] before each `plan_rule` call).
     current_class: RuleClass,
+    /// Id of the rule currently being planned, `None` outside `plan_rule`;
+    /// `add` stamps it onto every element so the profiler can attribute
+    /// element counters to rules without parsing element names.
+    current_rule: Option<Arc<str>>,
+    /// Per-element `(rule id, class)` attribution, parallel to `specs`.
+    elem_rules: Vec<Option<(Arc<str>, RuleClass)>>,
 }
 
 impl<'a> Builder<'a> {
@@ -794,6 +848,8 @@ impl<'a> Builder<'a> {
                 monotone: false,
                 refresh_transparent: false,
             },
+            current_rule: None,
+            elem_rules: Vec::new(),
         };
         builder.demux_id = builder.add("demux", ElementSpec::Demux);
 
@@ -811,6 +867,8 @@ impl<'a> Builder<'a> {
     fn add(&mut self, name: impl Into<Arc<str>>, spec: ElementSpec) -> usize {
         self.specs.push(spec);
         self.names.push(name.into());
+        self.elem_rules
+            .push(self.current_rule.clone().map(|r| (r, self.current_class)));
         self.specs.len() - 1
     }
 
@@ -863,8 +921,10 @@ impl<'a> Builder<'a> {
         let rules: Vec<&Rule> = self.program.rules.iter().collect();
         for (i, rule) in rules.into_iter().enumerate() {
             self.current_class = self.rule_classes[i];
+            self.current_rule = Some(Arc::from(rule.id.as_str()));
             self.plan_rule(rule)?;
         }
+        self.current_rule = None;
 
         // Watchpoints.
         for w in &self.config.watches.clone() {
@@ -923,6 +983,20 @@ impl<'a> Builder<'a> {
             element: self.demux_id,
             port: 0,
         };
+        let obs = Arc::new(ObsMeta {
+            elems: self
+                .specs
+                .iter()
+                .zip(&self.names)
+                .zip(&self.elem_rules)
+                .map(|((spec, name), attribution)| ElemMeta {
+                    name: name.clone(),
+                    rule: attribution.as_ref().map(|(r, _)| r.clone()),
+                    kind: spec.obs_kind(),
+                    class: attribution.as_ref().map(|(_, c)| class_bits(*c)),
+                })
+                .collect(),
+        });
         Ok(PlannedProgram {
             specs: self.specs,
             names: self.names,
@@ -935,6 +1009,7 @@ impl<'a> Builder<'a> {
             jitter_periodics: self.config.jitter_periodics,
             fused_strands: self.fused_strands,
             mat_views: self.mat_views,
+            obs,
         })
     }
 

@@ -33,6 +33,7 @@ pub struct ElementCtx<'a> {
     emissions: &'a mut Vec<(usize, Tuple)>,
     outgoing: &'a mut Vec<Outgoing>,
     timers: &'a mut Vec<(u64, SimTime)>,
+    state_changed: bool,
 }
 
 impl<'a> ElementCtx<'a> {
@@ -51,6 +52,7 @@ impl<'a> ElementCtx<'a> {
             emissions,
             outgoing,
             timers,
+            state_changed: false,
         }
     }
 
@@ -93,6 +95,22 @@ impl<'a> ElementCtx<'a> {
     /// element's [`Element::on_timer`] will be invoked with `token`.
     pub fn schedule(&mut self, token: u64, delay: SimTime) {
         self.timers.push((token, self.now + delay));
+    }
+
+    /// Marks this invocation as having mutated durable state (a table row,
+    /// a materialized-view count, an aggregate cache). The profiler uses
+    /// this to separate real work from soft-state refresh no-ops; an
+    /// invocation with no emission, no send and no state change is a
+    /// wasted poke. Cheap enough to call unconditionally.
+    #[inline]
+    pub fn note_state_change(&mut self) {
+        self.state_changed = true;
+    }
+
+    /// Whether [`note_state_change`](Self::note_state_change) was called
+    /// during this invocation.
+    pub(crate) fn state_changed(&self) -> bool {
+        self.state_changed
     }
 }
 

@@ -262,6 +262,9 @@ impl MatView {
         if !self.needs_rebuild && !self.inputs.iter().any(|i| i.sub.has_pending()) {
             return false;
         }
+        // Past the quiet check this sync folds real deltas into the
+        // provenance counts (or rebuilds them): mark the poke as doing work.
+        ctx.note_state_change();
         // Phase 1: drain every input under its own lock (derivation later
         // probes the *other* tables through the strand ops and must not
         // hold any table guard while doing so). Incremental counting is

@@ -26,7 +26,7 @@
 use std::collections::{HashMap, HashSet};
 
 use p2_pel::{EvalContext, Program};
-use p2_table::{AggFunc, AggState, DeltaSubscription, RowId, TableDelta, TableRef};
+use p2_table::{AggFunc, AggState, DeltaSubscription, InsertOutcome, RowId, TableDelta, TableRef};
 use p2_value::{Tuple, Value};
 
 use crate::element::{Element, ElementCtx};
@@ -70,7 +70,13 @@ impl Element for Insert {
             .lock()
             .insert_spill(tuple.clone(), ctx.now(), &mut self.spill);
         match result {
-            Ok(_outcome) => {
+            Ok(outcome) => {
+                // A soft-state refresh of an identical row leaves the table
+                // unchanged; anything else (new row, replacement, eviction)
+                // is a real mutation the profiler should see.
+                if !matches!(outcome, InsertOutcome::Refreshed) || !self.spill.is_empty() {
+                    ctx.note_state_change();
+                }
                 ctx.emit(0, tuple.clone());
                 for e in self.spill.drain(..) {
                     ctx.emit(1, e);
@@ -122,6 +128,9 @@ impl Element for Delete {
             .delete_matching_spill(tuple, &mut self.spill);
         match result {
             Ok(_removed) => {
+                if !self.spill.is_empty() {
+                    ctx.note_state_change();
+                }
                 for r in self.spill.drain(..) {
                     ctx.emit(0, r);
                 }
@@ -412,6 +421,9 @@ impl AggProbe {
         // cached group are already exact — skip the lock/drain round trip
         // (one atomic load instead).
         if cache.needs_rebuild || cache.sub.has_pending() {
+            // Catching up on deltas mutates the mirror/groups: real work,
+            // not a refresh no-op.
+            ctx.note_state_change();
             // Borrow a local clone of the `Arc` so the cache stays freely
             // borrowable while the table is locked.
             let table = table.clone();
@@ -937,6 +949,9 @@ impl TableAgg {
         if !self.needs_rebuild && !self.sub.has_pending() {
             return;
         }
+        // Past the quiet check there are deltas (or a rebuild) to fold into
+        // the group states: this poke does real maintenance work.
+        ctx.note_state_change();
         self.touched.clear();
         {
             // The guard borrows a local clone of the `Arc`, not `self`, so

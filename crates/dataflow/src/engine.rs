@@ -43,8 +43,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
+use p2_obs::{NodeObs, ObsMeta, TraceEvent};
 use p2_pel::EvalContext;
-use p2_value::{SimTime, Tuple};
+use p2_value::{SimTime, Tuple, Value};
 
 use crate::element::{Element, ElementCtx, Outgoing};
 
@@ -189,6 +190,11 @@ pub struct Engine {
     scratch_emissions: Vec<(usize, Tuple)>,
     /// Reused timer-request buffer, same lifecycle.
     scratch_timers: Vec<(u64, SimTime)>,
+    /// Observability taps (profiler counters + provenance tracing). `None`
+    /// by default: the disabled cost is one branch per element invocation,
+    /// and enabling it never changes what the engine does — only what it
+    /// records.
+    obs: Option<Box<NodeObs>>,
 }
 
 impl Engine {
@@ -242,7 +248,54 @@ impl Engine {
             started: false,
             scratch_emissions: Vec::new(),
             scratch_timers: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Enables the rule-level profiler using the program's compile-time
+    /// element metadata (`meta` must describe this engine's elements; index
+    /// `i` of the meta table corresponds to element `i`). Counters start at
+    /// zero; tracing stays off until [`Engine::set_trace_tag`].
+    pub fn enable_obs(&mut self, meta: Arc<ObsMeta>) {
+        debug_assert_eq!(meta.len(), self.elements.len());
+        let addr: Arc<str> = Arc::from(self.eval.local_addr_str());
+        self.obs = Some(Box::new(NodeObs::new(meta, addr)));
+    }
+
+    /// Disables all observability taps, dropping collected state.
+    pub fn disable_obs(&mut self) {
+        self.obs = None;
+    }
+
+    /// The observability state, when enabled.
+    pub fn obs(&self) -> Option<&NodeObs> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable access to the observability state, when enabled.
+    pub fn obs_mut(&mut self) -> Option<&mut NodeObs> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Starts provenance tracing for tuples carrying `tag` in any field
+    /// (content-addressed: the tag crosses the network inside the tuple).
+    /// Requires [`Engine::enable_obs`] first; returns whether tracing is on.
+    pub fn set_trace_tag(&mut self, tag: Value, ring_cap: usize) -> bool {
+        match &mut self.obs {
+            Some(obs) => {
+                obs.set_trace(tag, ring_cap);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns buffered trace events (tracing stays enabled).
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        self.obs
+            .as_deref_mut()
+            .map(NodeObs::drain_trace)
+            .unwrap_or_default()
     }
 
     /// Declares the input port that externally injected tuples (network
@@ -371,6 +424,11 @@ impl Engine {
         };
         self.set_now(now);
         self.stats.injected += 1;
+        if let Some(obs) = &mut self.obs {
+            if obs.tagged(&tuple) {
+                obs.trace_recv(self.now, &tuple);
+            }
+        }
         let mut outgoing = Vec::new();
         self.queue.push_back((entry, tuple));
         self.drain(&mut outgoing);
@@ -396,6 +454,11 @@ impl Engine {
         let mut outgoing = Vec::new();
         let before = self.queue.len();
         for tuple in tuples {
+            if let Some(obs) = &mut self.obs {
+                if obs.tagged(&tuple) {
+                    obs.trace_recv(self.now, &tuple);
+                }
+            }
             self.queue.push_back((entry, tuple));
         }
         self.stats.injected += (self.queue.len() - before) as u64;
@@ -422,6 +485,8 @@ impl Engine {
             self.set_now(entry.fire_at);
             self.stats.timers_fired += 1;
             let idx = entry.element;
+            let sends_before = outgoing.len();
+            let state_changed;
             {
                 let mut ctx = ElementCtx::new(
                     self.now,
@@ -432,6 +497,10 @@ impl Engine {
                     &mut self.scratch_timers,
                 );
                 self.elements[idx].on_timer(entry.token, &mut ctx);
+                state_changed = ctx.state_changed();
+            }
+            if self.obs.is_some() {
+                self.record_obs_timer(idx, state_changed, sends_before, &outgoing);
             }
             self.absorb(idx);
             self.drain(&mut outgoing);
@@ -478,6 +547,8 @@ impl Engine {
         while let Some((route, tuple)) = self.queue.pop_front() {
             self.stats.handoffs += 1;
             let idx = route.element;
+            let sends_before = outgoing.len();
+            let state_changed;
             {
                 let mut ctx = ElementCtx::new(
                     self.now,
@@ -488,8 +559,63 @@ impl Engine {
                     &mut self.scratch_timers,
                 );
                 self.elements[idx].push(route.port, &tuple, &mut ctx);
+                state_changed = ctx.state_changed();
+            }
+            if self.obs.is_some() {
+                self.record_obs_push(idx, &tuple, state_changed, sends_before, outgoing);
             }
             self.absorb(idx);
+        }
+    }
+
+    /// Observability tap for one element invocation: runs between the
+    /// element call and `absorb`, while the invocation's emissions are
+    /// still in the scratch buffer and its sends occupy the tail of
+    /// `outgoing`. Only called when `self.obs` is `Some`.
+    fn record_obs_push(
+        &mut self,
+        idx: usize,
+        tuple: &Tuple,
+        state_changed: bool,
+        sends_before: usize,
+        outgoing: &[Outgoing],
+    ) {
+        let obs = self.obs.as_deref_mut().expect("obs enabled");
+        let emitted = self.scratch_emissions.len() as u64;
+        let sent = (outgoing.len() - sends_before) as u64;
+        obs.record_push(idx, emitted, sent, state_changed);
+        if obs.tracing() {
+            if obs.tagged(tuple) {
+                obs.trace_fire(self.now, idx, tuple, emitted, &self.scratch_emissions);
+            }
+            for o in &outgoing[sends_before..] {
+                if obs.tagged(&o.tuple) {
+                    obs.trace_send(self.now, &o.dst, &o.tuple);
+                }
+            }
+        }
+    }
+
+    /// Observability tap for one timer callback, mirroring
+    /// [`Engine::record_obs_push`]. Timer invocations have no input tuple,
+    /// so only tagged sends are traced.
+    fn record_obs_timer(
+        &mut self,
+        idx: usize,
+        state_changed: bool,
+        sends_before: usize,
+        outgoing: &[Outgoing],
+    ) {
+        let obs = self.obs.as_deref_mut().expect("obs enabled");
+        let emitted = self.scratch_emissions.len() as u64;
+        let sent = (outgoing.len() - sends_before) as u64;
+        obs.record_timer(idx, emitted, sent, state_changed);
+        if obs.tracing() {
+            for o in &outgoing[sends_before..] {
+                if obs.tagged(&o.tuple) {
+                    obs.trace_send(self.now, &o.dst, &o.tuple);
+                }
+            }
         }
     }
 }

@@ -152,6 +152,8 @@ pub struct ChordCluster {
     next_event: i64,
     rng: SmallRng,
     brought_up_at: SimTime,
+    obs_enabled: bool,
+    trace_tag: Option<Value>,
 }
 
 impl ChordCluster {
@@ -219,6 +221,8 @@ impl ChordCluster {
             next_event: 1_000_000,
             rng: SmallRng::seed_from_u64(seed ^ 0x5EED),
             brought_up_at: SimTime::ZERO,
+            obs_enabled: false,
+            trace_tag: None,
         }
     }
 
@@ -371,6 +375,17 @@ impl ChordCluster {
         self.next_event
     }
 
+    /// The program variant every node of this cluster runs (also the cache
+    /// key under which [`chord::shared_plan_for`] holds the shared plan).
+    fn chord_opts(&self) -> chord::ChordOpts {
+        chord::ChordOpts {
+            jitter: true,
+            join_seed: self.join_seed,
+            fuse_strands: self.fuse_strands,
+            materialize_views: self.materialize_views,
+        }
+    }
+
     /// All node addresses.
     pub fn addrs(&self) -> &[String] {
         &self.addrs
@@ -472,6 +487,10 @@ impl ChordCluster {
     /// Issues a lookup for `key` at `origin`.
     pub fn issue_lookup_from(&mut self, origin: &str, key: Uint160) -> LookupHandle {
         let event = self.fresh_event();
+        self.inject_lookup(origin, key, event)
+    }
+
+    fn inject_lookup(&mut self, origin: &str, key: Uint160, event: i64) -> LookupHandle {
         let handle = LookupHandle {
             origin: origin.to_string(),
             key,
@@ -560,19 +579,23 @@ impl ChordCluster {
         } else {
             Some(self.addrs[0].as_str())
         };
-        let host = chord::build_node_for(
-            addr,
-            landmark,
-            self.seed,
-            chord::ChordOpts {
-                jitter: true,
-                join_seed: self.join_seed,
-                fuse_strands: self.fuse_strands,
-                materialize_views: self.materialize_views,
-            },
-        )
-        .expect("chord node plans");
+        let host = chord::build_node_for(addr, landmark, self.seed, self.chord_opts())
+            .expect("chord node plans");
         self.sim.replace_node(addr, host);
+        // A replacement node starts with a fresh engine: re-arm the cluster's
+        // observability (and any active trace tag) so its counters and trace
+        // ring keep participating in cluster-wide aggregation.
+        if self.obs_enabled {
+            let meta = chord::shared_plan_for(self.chord_opts()).obs_meta();
+            let tag = self.trace_tag.clone();
+            if let Some(host) = self.sim.node_mut(addr) {
+                host.node_mut().enable_obs(meta);
+                if let Some(tag) = tag {
+                    host.node_mut()
+                        .set_trace_tag(tag, p2_obs::DEFAULT_TRACE_CAP);
+                }
+            }
+        }
         let event = self.fresh_event();
         self.sim.inject(addr, chord::join_tuple(addr, event));
     }
@@ -612,6 +635,100 @@ impl ChordCluster {
             packets_in_flight: self.sim.packets_in_flight(),
             scheduled_wakeups: self.sim.scheduled_wakeups(),
         }
+    }
+
+    /// Engine ingress counters summed over all up nodes (injected tuples,
+    /// drops for names with no entry port), the dataflow-layer companion of
+    /// [`ChordCluster::storage_ops`] and [`ChordCluster::sim_ops`].
+    pub fn engine_stats(&self) -> crate::metrics::EngineOps {
+        let mut total = crate::metrics::EngineOps::default();
+        for id in self.sim.up_ids() {
+            total.absorb(self.sim.node_by_id(id).node().stats());
+        }
+        total
+    }
+
+    /// Turns on the rule-level profiler on every node. Counters start at
+    /// zero from this instant; calling this mid-run therefore profiles the
+    /// steady state, not bring-up. Tracing stays off until
+    /// [`ChordCluster::issue_traced_lookup`] arms a tag.
+    pub fn enable_observability(&mut self) {
+        let meta = chord::shared_plan_for(self.chord_opts()).obs_meta();
+        let addrs = self.addrs.clone();
+        for addr in &addrs {
+            if let Some(host) = self.sim.node_mut(addr) {
+                host.node_mut().enable_obs(meta.clone());
+            }
+        }
+        self.obs_enabled = true;
+    }
+
+    /// True once [`ChordCluster::enable_observability`] has run.
+    pub fn observability_enabled(&self) -> bool {
+        self.obs_enabled
+    }
+
+    /// Issues a lookup whose event identifier is armed as the trace tag on
+    /// every node: each node records the tagged tuple's arrival, the rule
+    /// firings it feeds, and the sends it causes. Enables observability
+    /// first if it is not already on. The previous trace (if any) is
+    /// discarded.
+    pub fn issue_traced_lookup(&mut self, origin: &str, key: Uint160) -> LookupHandle {
+        if !self.obs_enabled {
+            self.enable_observability();
+        }
+        let event = self.fresh_event();
+        let tag = Value::Int(event);
+        let addrs = self.addrs.clone();
+        for addr in &addrs {
+            if let Some(host) = self.sim.node_mut(addr) {
+                host.node_mut()
+                    .set_trace_tag(tag.clone(), p2_obs::DEFAULT_TRACE_CAP);
+            }
+        }
+        self.trace_tag = Some(tag);
+        self.inject_lookup(origin, key, event)
+    }
+
+    /// Drains every node's trace ring into one deterministically ordered
+    /// event list (sorted by virtual time, then node address, then per-node
+    /// sequence number — all worker-count independent).
+    pub fn drain_trace(&mut self) -> Vec<p2_obs::TraceEvent> {
+        let mut events = Vec::new();
+        let addrs = self.addrs.clone();
+        for addr in &addrs {
+            if let Some(host) = self.sim.node_mut(addr) {
+                events.extend(host.node_mut().drain_trace());
+            }
+        }
+        p2_obs::sort_trace(&mut events);
+        events
+    }
+
+    /// Drains the trace as one JSONL document (one compact JSON object per
+    /// event, in the deterministic [`ChordCluster::drain_trace`] order).
+    pub fn drain_trace_jsonl(&mut self) -> String {
+        let events = self.drain_trace();
+        p2_obs::trace_jsonl(&events)
+    }
+
+    /// Per-element profiler counters merged over all up nodes (element
+    /// index = plan spec index, identical on every node).
+    pub fn obs_counters(&self) -> Vec<p2_obs::ElemCounters> {
+        let mut merged = Vec::new();
+        for id in self.sim.up_ids() {
+            if let Some(obs) = self.sim.node_by_id(id).node().obs() {
+                p2_obs::merge_counters(&mut merged, obs.counters());
+            }
+        }
+        merged
+    }
+
+    /// The cluster-wide rule-level profile: per-rule invocation and
+    /// wasted-poke counters bucketed by the static `RuleClass` analysis.
+    pub fn obs_report(&self) -> p2_obs::ProfileReport {
+        let meta = chord::shared_plan_for(self.chord_opts()).obs_meta();
+        p2_obs::build_report(&meta, &self.obs_counters())
     }
 }
 

@@ -20,4 +20,4 @@ pub mod metrics;
 pub use cluster::{
     BaselineCluster, ChordCluster, ChordClusterBuilder, LookupHandle, LookupOutcome,
 };
-pub use metrics::{Cdf, Histogram};
+pub use metrics::{Cdf, EngineOps, Histogram};

@@ -53,6 +53,35 @@ impl From<p2_table::TableStats> for StorageOps {
     }
 }
 
+/// Cluster-wide engine ingress counters (summed over nodes), the dataflow
+/// analogue of [`StorageOps`]: how many tuples entered each node's graph from
+/// the outside and how many arrived with no matching entry port. A non-zero
+/// `dropped_no_entry` flags traffic for tuple names the plan never declared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct EngineOps {
+    /// Tuples pushed into element input ports.
+    pub handoffs: u64,
+    /// Tuples injected from outside (network arrivals, application events).
+    pub injected: u64,
+    /// Tuples dropped because no entry port matched their name.
+    pub dropped_no_entry: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Tuples handed to the network.
+    pub sent: u64,
+}
+
+impl EngineOps {
+    /// Accumulates one node's [`p2_dataflow::EngineStats`] into the sum.
+    pub fn absorb(&mut self, s: p2_dataflow::EngineStats) {
+        self.handoffs += s.handoffs;
+        self.injected += s.injected;
+        self.dropped_no_entry += s.dropped_no_entry;
+        self.timers_fired += s.timers_fired;
+        self.sent += s.sent;
+    }
+}
+
 /// Simulator event-loop counters (the event-core analogue of
 /// [`StorageOps`]): how many events the loop has processed and what its
 /// pending-work structures currently hold. `scheduled_wakeups` can never
@@ -132,9 +161,22 @@ impl Histogram {
 
 /// An empirical CDF over floating-point samples (latencies, consistency
 /// fractions).
-#[derive(Debug, Clone, Default, Serialize)]
+///
+/// The sorted order is computed once on first use and cached; `add`
+/// invalidates the cache. This keeps repeated `quantile`/`points` calls at
+/// report time from re-cloning and re-sorting the sample vector each call.
+#[derive(Debug, Clone, Default)]
 pub struct Cdf {
     samples: Vec<f64>,
+    sorted: Vec<f64>,
+    dirty: bool,
+}
+
+impl Serialize for Cdf {
+    fn to_json(&self) -> serde::Json {
+        // Only the raw samples are data; the sort cache is derived state.
+        serde::Json::Object(vec![("samples".to_string(), self.samples.to_json())])
+    }
 }
 
 impl Cdf {
@@ -146,6 +188,17 @@ impl Cdf {
     /// Adds one sample.
     pub fn add(&mut self, sample: f64) {
         self.samples.push(sample);
+        self.dirty = true;
+    }
+
+    fn sorted(&mut self) -> &[f64] {
+        if self.dirty || self.sorted.len() != self.samples.len() {
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.samples);
+            self.sorted.sort_by(f64::total_cmp);
+            self.dirty = false;
+        }
+        &self.sorted
     }
 
     /// Number of samples.
@@ -168,12 +221,11 @@ impl Cdf {
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) of the samples.
-    pub fn quantile(&self, q: f64) -> f64 {
+    pub fn quantile(&mut self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(f64::total_cmp);
+        let sorted = self.sorted();
         let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         sorted[idx]
     }
@@ -187,13 +239,13 @@ impl Cdf {
     }
 
     /// `(value, cumulative fraction)` points suitable for plotting.
-    pub fn points(&self) -> Vec<(f64, f64)> {
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(f64::total_cmp);
+    pub fn points(&mut self) -> Vec<(f64, f64)> {
+        let sorted = self.sorted();
+        let n = sorted.len();
         sorted
             .iter()
             .enumerate()
-            .map(|(i, v)| (*v, (i + 1) as f64 / sorted.len() as f64))
+            .map(|(i, v)| (*v, (i + 1) as f64 / n as f64))
             .collect()
     }
 }
@@ -251,9 +303,47 @@ mod tests {
 
     #[test]
     fn empty_cdf_is_safe() {
-        let c = Cdf::new();
+        let mut c = Cdf::new();
         assert!(c.is_empty());
         assert_eq!(c.quantile(0.5), 0.0);
         assert_eq!(c.fraction_at_or_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_sort_cache_invalidated_by_add() {
+        let mut c = Cdf::new();
+        c.add(5.0);
+        c.add(1.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        // A sample below the current minimum must be visible after the
+        // cached sort has already been built.
+        c.add(0.5);
+        assert_eq!(c.quantile(0.0), 0.5);
+        assert_eq!(c.points().first().unwrap().0, 0.5);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn engine_ops_absorb_sums() {
+        let mut ops = EngineOps::default();
+        ops.absorb(p2_dataflow::EngineStats {
+            injected: 3,
+            dropped_no_entry: 1,
+            ..Default::default()
+        });
+        ops.absorb(p2_dataflow::EngineStats {
+            injected: 2,
+            sent: 4,
+            ..Default::default()
+        });
+        assert_eq!(
+            ops,
+            EngineOps {
+                injected: 5,
+                dropped_no_entry: 1,
+                sent: 4,
+                ..Default::default()
+            }
+        );
     }
 }

@@ -71,6 +71,42 @@ fn hundred_node_ring_matches_golden_stats() {
     assert_eq!(a, b, "same seed must give identical NetStats across runs");
 }
 
+/// The observability layer must be a pure observer: with the rule-level
+/// profiler enabled on every node, the golden run's NetStats and event
+/// count stay bit-identical, and the profiler must actually have recorded
+/// the window's work.
+#[test]
+fn golden_pin_holds_with_observability_enabled() {
+    let mut cluster = ChordCluster::build(100, 120, 42);
+    cluster.enable_observability();
+    cluster.sim.reset_stats();
+    let events_before = cluster.sim.events_processed();
+    cluster.run_for(60.0);
+    let s = cluster.sim.stats();
+    assert_eq!(
+        (
+            s.messages_sent,
+            s.messages_delivered,
+            s.messages_dropped,
+            s.bytes_sent
+        ),
+        (29_634, 29_638, 0, 2_787_660),
+        "NetStats diverged from the golden run with observability on"
+    );
+    assert_eq!(
+        cluster.sim.events_processed() - events_before,
+        31_838,
+        "event count diverged from the golden run with observability on"
+    );
+    let report = cluster.obs_report();
+    assert!(report.total_pokes > 0, "profiler recorded no pokes");
+    assert!(
+        report.wasted_rate > 0.0 && report.wasted_rate < 1.0,
+        "implausible wasted-poke rate {}",
+        report.wasted_rate
+    );
+}
+
 /// The parallel sharded simulator must reproduce the sequential golden run
 /// bit-for-bit: same NetStats, same events-processed pin, at a worker count
 /// that actually exercises cross-shard mailboxes and the conservative
