@@ -34,6 +34,10 @@ pub struct NodeConfig {
     /// elements and eligible aggregation probes run delta-fed (on by
     /// default; disable to force the recompute-everything lowering).
     pub materialize_views: bool,
+    /// Whether delta-driven rule scheduling suppresses provably no-op
+    /// pokes (on by default; disable to restore the poke-everything
+    /// behaviour).
+    pub delta_schedule: bool,
 }
 
 impl NodeConfig {
@@ -46,6 +50,7 @@ impl NodeConfig {
             jitter_periodics: true,
             fuse_strands: true,
             materialize_views: true,
+            delta_schedule: true,
         }
     }
 
@@ -71,6 +76,12 @@ impl NodeConfig {
     /// Disables materialized views and delta-fed aggregation probes.
     pub fn without_views(mut self) -> NodeConfig {
         self.materialize_views = false;
+        self
+    }
+
+    /// Disables delta-driven rule scheduling.
+    pub fn without_scheduling(mut self) -> NodeConfig {
+        self.delta_schedule = false;
         self
     }
 }
@@ -117,6 +128,7 @@ impl P2Node {
             jitter_periodics: config.jitter_periodics,
             fuse_strands: config.fuse_strands,
             materialize_views: config.materialize_views,
+            delta_schedule: config.delta_schedule,
         };
         let shared = PlannedProgram::compile(program, &plan_config)?;
         Ok(P2Node::from_plan(

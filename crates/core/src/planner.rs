@@ -39,6 +39,29 @@
 //! escape hatch back to the rescanning translation; the `view_gate` in
 //! `sim_bench` pins both translations to identical event streams.
 //!
+//! # Delta-driven scheduling
+//!
+//! With [`PlanConfig::delta_schedule`] (the default), the planner also
+//! compiles a per-element **refresh suppression mask** consumed by the
+//! engine's router. The table layer tags each Insert-element poke with a
+//! [`p2_table::DeltaKind`]: `Assert` for genuinely new or replaced rows,
+//! `Refresh` for keyed soft-state re-inserts that left the table's rows
+//! unchanged (`InsertOutcome::Refreshed`, which logs *no* delta). The mask
+//! marks the entry element of every table-delta-triggered strand whose rule
+//! the whole-program analyzer classified `refresh_transparent` and whose
+//! head is *transitively* TTL-neutral — the skipped re-derivation cascade
+//! provably sustains no soft state anywhere downstream; see
+//! [`Builder::refresh_neutral_preds`] for the fixpoint and
+//! [`Builder::mask_refresh_entry`] for the soundness argument and the
+//! deliberate exclusion of delta-fed consumers. Engines drop
+//! `Refresh` pokes into masked elements at routing time, and additionally
+//! consult `Element::would_wake` before invoking any element, letting
+//! strands, table aggregates, and views veto pokes that provably produce no
+//! emission, send, or state change. [`PlanConfig::without_scheduling`]
+//! restores the poke-everything behaviour bit-for-bit (the historical
+//! golden pins run with it); the `sched_gate` in `sim_bench` pins both
+//! modes to identical final ring state.
+//!
 //! # Shared plans
 //!
 //! Planning is split in two:
@@ -59,7 +82,7 @@
 //! [`plan`] remains as the one-shot convenience wrapper (compile +
 //! instantiate) for single-node uses.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use p2_dataflow::elements::{
@@ -100,6 +123,11 @@ pub struct PlanOptions {
     /// maintained view elements and aggregation probes run delta-fed
     /// (see [`PlanConfig::materialize_views`]).
     pub materialize_views: bool,
+    /// Whether delta-driven rule scheduling is enabled: refresh-kind
+    /// pokes are suppressed into refresh-transparent rule strands and
+    /// elements may veto provably no-op invocations
+    /// (see [`PlanConfig::delta_schedule`]).
+    pub delta_schedule: bool,
 }
 
 impl PlanOptions {
@@ -112,6 +140,7 @@ impl PlanOptions {
             jitter_periodics: true,
             fuse_strands: true,
             materialize_views: true,
+            delta_schedule: true,
         }
     }
 
@@ -140,6 +169,13 @@ impl PlanOptions {
         self.materialize_views = false;
         self
     }
+
+    /// Disables delta-driven rule scheduling (every delta pokes every
+    /// downstream strand, the pre-scheduling behaviour).
+    pub fn without_scheduling(mut self) -> PlanOptions {
+        self.delta_schedule = false;
+        self
+    }
 }
 
 /// Node-independent planning configuration: everything [`PlanOptions`]
@@ -166,6 +202,20 @@ pub struct PlanConfig {
     /// recompute-everything lowering (used by the view-equivalence gate
     /// and as the escape hatch if a maintenance bug surfaces).
     pub materialize_views: bool,
+    /// Whether delta-driven rule scheduling is enabled. When on, the
+    /// planner compiles a per-element *refresh suppression mask*: the
+    /// entry element of every table-delta-triggered strand whose rule is
+    /// `refresh_transparent` (per the whole-program analyzer) and whose
+    /// head is transitively TTL-neutral (the skipped re-derivation
+    /// cascade sustains no soft state) is marked, and engines drop
+    /// [`p2_table::DeltaKind::Refresh`] pokes into marked elements at
+    /// routing time. Engines additionally ask elements
+    /// (`Element::would_wake`) to veto pokes that provably produce no
+    /// emission, send, or state change. On by default;
+    /// [`PlanConfig::without_scheduling`] restores the poke-everything
+    /// behaviour bit-for-bit (used by the scheduling-equivalence gate and
+    /// the historical golden pins).
+    pub delta_schedule: bool,
 }
 
 impl Default for PlanConfig {
@@ -175,19 +225,21 @@ impl Default for PlanConfig {
             jitter_periodics: false,
             fuse_strands: true,
             materialize_views: true,
+            delta_schedule: true,
         }
     }
 }
 
 impl PlanConfig {
-    /// Creates a config with jitter, strand fusion, and view
-    /// materialization enabled, no watches.
+    /// Creates a config with jitter, strand fusion, view materialization,
+    /// and delta scheduling enabled, no watches.
     pub fn new() -> PlanConfig {
         PlanConfig {
             watches: Vec::new(),
             jitter_periodics: true,
             fuse_strands: true,
             materialize_views: true,
+            delta_schedule: true,
         }
     }
 
@@ -214,6 +266,12 @@ impl PlanConfig {
         self.materialize_views = false;
         self
     }
+
+    /// Disables delta-driven rule scheduling.
+    pub fn without_scheduling(mut self) -> PlanConfig {
+        self.delta_schedule = false;
+        self
+    }
 }
 
 /// The result of planning: a ready-to-run engine plus handles to its state.
@@ -235,6 +293,7 @@ pub fn plan(program: &Program, opts: &PlanOptions) -> Result<Planned, PlanError>
         jitter_periodics: opts.jitter_periodics,
         fuse_strands: opts.fuse_strands,
         materialize_views: opts.materialize_views,
+        delta_schedule: opts.delta_schedule,
     };
     let planned = PlannedProgram::compile(program, &config)?;
     Ok(planned.instantiate(opts.local_addr.clone(), opts.seed))
@@ -417,6 +476,15 @@ pub struct PlannedProgram {
     jitter_periodics: bool,
     fused_strands: usize,
     mat_views: usize,
+    /// Whether instantiated engines run with delta-driven scheduling on.
+    delta_schedule: bool,
+    /// Per-element refresh suppression mask, parallel to `specs`:
+    /// `refresh_masks[i]` means element `i` is the entry of a
+    /// table-delta-triggered strand whose rule is refresh-transparent
+    /// with a TTL-neutral head, so `DeltaKind::Refresh` pokes into it
+    /// may be dropped at routing time. Compiled unconditionally (it is
+    /// one cheap `Vec<bool>`), consumed only when `delta_schedule` is on.
+    refresh_masks: Vec<bool>,
     /// Per-element observability metadata (rule id, kind, rule class),
     /// parallel to `specs`. Built unconditionally at compile time — it is
     /// one small shared allocation — and consumed only by engines that
@@ -463,6 +531,18 @@ impl PlannedProgram {
     /// (zero when view materialization is disabled or no rule qualified).
     pub fn mat_view_count(&self) -> usize {
         self.mat_views
+    }
+
+    /// Whether engines instantiated from this plan run with delta-driven
+    /// scheduling enabled.
+    pub fn delta_scheduled(&self) -> bool {
+        self.delta_schedule
+    }
+
+    /// Number of strand entry elements carrying a refresh suppression
+    /// mask (zero only if no table-delta-triggered rule qualified).
+    pub fn refresh_mask_count(&self) -> usize {
+        self.refresh_masks.iter().filter(|&&m| m).count()
     }
 
     /// Per-element observability metadata: entry `i` describes element `i`
@@ -683,6 +763,10 @@ impl PlannedProgram {
 
         let mut engine = Engine::new(graph, local_addr, seed);
         engine.set_entry(self.entry);
+        if self.delta_schedule {
+            engine.set_refresh_masks(self.refresh_masks.clone());
+            engine.set_scheduling(true);
+        }
         Planned {
             engine,
             catalog,
@@ -782,6 +866,15 @@ struct Builder<'a> {
     current_rule: Option<Arc<str>>,
     /// Per-element `(rule id, class)` attribution, parallel to `specs`.
     elem_rules: Vec<Option<(Arc<str>, RuleClass)>>,
+    /// Element ids eligible for refresh suppression: strand entries
+    /// recorded at the `TriggerSource::TableDelta` wiring site (see
+    /// [`Builder::mask_refresh_entry`]).
+    refresh_entries: Vec<usize>,
+    /// Predicates whose refresh-derivation cone provably sustains no soft
+    /// state: the greatest fixpoint of [`Builder::refresh_neutral_preds`].
+    /// A rule's suppressed re-derivation may starve everything downstream
+    /// of its head, so head membership here is the mask precondition.
+    refresh_neutral: HashSet<String>,
 }
 
 impl<'a> Builder<'a> {
@@ -825,6 +918,7 @@ impl<'a> Builder<'a> {
         // even for programs the analyzer has complaints about — the planner
         // only consumes the per-rule classification.
         let rule_classes = analyze::analyze(program).rule_classes;
+        let refresh_neutral = Self::refresh_neutral_preds(program, &rule_classes, &demux_names);
 
         let mut builder = Builder {
             program,
@@ -850,6 +944,8 @@ impl<'a> Builder<'a> {
             },
             current_rule: None,
             elem_rules: Vec::new(),
+            refresh_entries: Vec::new(),
+            refresh_neutral,
         };
         builder.demux_id = builder.add("demux", ElementSpec::Demux);
 
@@ -997,6 +1093,10 @@ impl<'a> Builder<'a> {
                 })
                 .collect(),
         });
+        let mut refresh_masks = vec![false; self.specs.len()];
+        for id in &self.refresh_entries {
+            refresh_masks[*id] = true;
+        }
         Ok(PlannedProgram {
             specs: self.specs,
             names: self.names,
@@ -1009,6 +1109,8 @@ impl<'a> Builder<'a> {
             jitter_periodics: self.config.jitter_periodics,
             fused_strands: self.fused_strands,
             mat_views: self.mat_views,
+            delta_schedule: self.config.delta_schedule,
+            refresh_masks,
             obs,
         })
     }
@@ -1437,6 +1539,7 @@ impl<'a> Builder<'a> {
                     PlanError::in_rule(&rule.id, format!("no insert element for table `{name}`"))
                 })?;
                 self.connect(insert, 0, entry.element, entry.port);
+                self.mask_refresh_entry(rule, entry.element);
             }
             TriggerSource::Periodic(pred) => {
                 let periodic = self.make_periodic(rule, pred)?;
@@ -1445,6 +1548,111 @@ impl<'a> Builder<'a> {
             }
         }
         Ok(())
+    }
+
+    /// The greatest set of predicates whose refresh-derivation cone
+    /// provably sustains no soft state.
+    ///
+    /// Suppressing a refresh poke into a rule skips the rule's duplicate
+    /// re-derivation — and with it the *entire cascade* downstream of its
+    /// head: TTL extensions of derived soft state, and further events
+    /// those extensions would have triggered. A head predicate is
+    /// therefore "TTL-neutral" only transitively. The fixpoint starts
+    /// optimistic (every stream and infinite-lifetime table is neutral;
+    /// finite-lifetime tables never are — their rows need the re-derived
+    /// refresh) and removes any predicate that *triggers* a rule which is
+    /// either not `refresh_transparent` (the duplicate event could
+    /// produce different output) or whose own head is not neutral (the
+    /// starvation propagates). Only trigger positions count: a join probe
+    /// reads the table's stored rows, which the suppressed poke leaves
+    /// untouched — the trigger table's TTL was already extended by the
+    /// insert that produced the poke. Delete-rule heads are exempt
+    /// (re-deleting already-deleted rows is idempotent).
+    fn refresh_neutral_preds(
+        program: &Program,
+        rule_classes: &[RuleClass],
+        all_names: &[String],
+    ) -> HashSet<String> {
+        let mut neutral: HashSet<String> = all_names.iter().cloned().collect();
+        for m in &program.materializations {
+            if m.to_spec().lifetime.is_some() {
+                neutral.remove(&m.name);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (rule, class) in program.rules.iter().zip(rule_classes) {
+                let head_ok = rule.delete || neutral.contains(&rule.head.name);
+                if class.refresh_transparent && head_ok {
+                    continue;
+                }
+                // This rule must keep seeing refresh-derived events:
+                // whatever triggers it cannot be suppressed upstream.
+                let positives = rule.positive_predicates();
+                let stream_or_periodic = positives
+                    .iter()
+                    .any(|p| p.name == "periodic" || !program.is_materialized(&p.name));
+                for p in positives {
+                    if p.name == "periodic" {
+                        continue;
+                    }
+                    // Streams always trigger; table deltas trigger only
+                    // the all-table rules (stream rules merely probe).
+                    let triggers = !program.is_materialized(&p.name) || !stream_or_periodic;
+                    if triggers && neutral.remove(&p.name) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        neutral
+    }
+
+    /// Marks a table-delta-triggered strand entry for refresh
+    /// suppression, when sound.
+    ///
+    /// A `DeltaKind::Refresh` poke (keyed soft-state re-insert that left
+    /// the table's rows unchanged) may be dropped before it enters this
+    /// strand iff skipping the rule's re-run is a whole-system no-op:
+    ///
+    /// 1. the rule is `refresh_transparent` per the whole-program
+    ///    analyzer — its output on the refreshed tuple is identical to
+    ///    what it already produced, so the skipped derivations are pure
+    ///    duplicates;
+    /// 2. the head is transitively TTL-neutral
+    ///    ([`Builder::refresh_neutral_preds`]) or the rule is a delete —
+    ///    the skipped duplicates sustain no soft state anywhere
+    ///    downstream;
+    /// 3. the entry element is a plain strand-chain element. Delta-fed
+    ///    consumers (TableAgg, MatView, incremental AggProbe) must see
+    ///    every poke — a suppressed poke could strand a pending expiry
+    ///    delta in their subscription queue — so they are never masked
+    ///    statically; their `would_wake` guards are the sole authority.
+    ///
+    /// Notably, for the shipped Chord program this masks *nothing*: the
+    /// fixpoint proves every refresh cascade load-bearing (`succ`
+    /// refreshes keep `bestSucc`→`finger[0]` alive, `pred`/`succ` feed
+    /// the soft-state `pingNode`, …), which is exactly why the dynamic
+    /// `would_wake` guards carry the scheduling win there. Programs with
+    /// infinite-lifetime derived state do get masked entries (see the
+    /// planner tests).
+    fn mask_refresh_entry(&mut self, rule: &Rule, entry: usize) {
+        if !self.current_class.refresh_transparent {
+            return;
+        }
+        if !(rule.delete || self.refresh_neutral.contains(&rule.head.name)) {
+            return;
+        }
+        if matches!(
+            self.specs[entry],
+            ElementSpec::TableAgg { .. }
+                | ElementSpec::MatView { .. }
+                | ElementSpec::AggProbe { .. }
+        ) {
+            return;
+        }
+        self.refresh_entries.push(entry);
     }
 
     /// Analyses one strand of `rule` into its [`Stage`] list (trigger
@@ -2150,6 +2358,64 @@ mod tests {
         let desc = generic.instantiate("n1", 1).engine.describe();
         assert!(desc.contains("R1:join:sequence"), "{desc}");
         assert!(!desc.contains("R1:strand"));
+    }
+
+    #[test]
+    fn refresh_masks_cover_transitively_neutral_delta_strands() {
+        // Each rule re-derives only a dead-end stream: the skipped
+        // refresh cascade sustains no soft state, so every delta-strand
+        // entry carries the suppression mask (two strands for the
+        // two-table M1, one for the single-table M2). With view lowering
+        // enabled the single-table M2 becomes a MatView instead —
+        // delta-fed consumers are never masked statically (their
+        // `would_wake` guards decide) — while M1 probes its co-trigger
+        // table and therefore keeps its masked strands in both modes.
+        let src = r#"
+            materialize(peer, 30, infinity, keys(1,2)).
+            materialize(link, infinity, infinity, keys(1,2)).
+            M1 seen@X(X, Y) :- peer@X(X, Y), link@X(X, Y).
+            M2 known@X(X, Y) :- peer@X(X, Y).
+        "#;
+        let program = compile_checked(src).unwrap();
+        let strands = PlannedProgram::compile(
+            &program,
+            &PlanConfig::new().without_jitter().without_views(),
+        )
+        .unwrap();
+        assert!(strands.delta_scheduled());
+        assert_eq!(strands.refresh_mask_count(), 3);
+        let viewed =
+            PlannedProgram::compile(&program, &PlanConfig::new().without_jitter()).unwrap();
+        assert_eq!(viewed.mat_view_count(), 1);
+        assert_eq!(viewed.refresh_mask_count(), 2);
+        assert!(!PlannedProgram::compile(
+            &program,
+            &PlanConfig::new().without_jitter().without_scheduling(),
+        )
+        .unwrap()
+        .delta_scheduled());
+    }
+
+    #[test]
+    fn refresh_masks_respect_downstream_soft_state() {
+        // Identical shape, but the derived stream now sustains a
+        // finite-lifetime table: the TTL-neutrality fixpoint un-marks
+        // `seen`, so no strand entry may suppress refreshes — skipping
+        // the re-derivation would let `cache` rows expire.
+        let src = r#"
+            materialize(peer, 30, infinity, keys(1,2)).
+            materialize(link, infinity, infinity, keys(1,2)).
+            materialize(cache, 30, infinity, keys(1,2)).
+            M1 seen@X(X, Y) :- peer@X(X, Y), link@X(X, Y).
+            M2 cache@X(X, Y) :- seen@X(X, Y).
+        "#;
+        let program = compile_checked(src).unwrap();
+        let strands = PlannedProgram::compile(
+            &program,
+            &PlanConfig::new().without_jitter().without_views(),
+        )
+        .unwrap();
+        assert_eq!(strands.refresh_mask_count(), 0);
     }
 
     #[test]

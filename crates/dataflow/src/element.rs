@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use p2_pel::EvalContext;
+use p2_table::DeltaKind;
 use p2_value::{SimTime, Tuple};
 
 /// A tuple leaving the node for another node's address.
@@ -30,7 +31,7 @@ pub struct ElementCtx<'a> {
     now: SimTime,
     pending: usize,
     eval: &'a mut EvalContext,
-    emissions: &'a mut Vec<(usize, Tuple)>,
+    emissions: &'a mut Vec<(usize, Tuple, DeltaKind)>,
     outgoing: &'a mut Vec<Outgoing>,
     timers: &'a mut Vec<(u64, SimTime)>,
     state_changed: bool,
@@ -41,7 +42,7 @@ impl<'a> ElementCtx<'a> {
         now: SimTime,
         pending: usize,
         eval: &'a mut EvalContext,
-        emissions: &'a mut Vec<(usize, Tuple)>,
+        emissions: &'a mut Vec<(usize, Tuple, DeltaKind)>,
         outgoing: &'a mut Vec<Outgoing>,
         timers: &'a mut Vec<(u64, SimTime)>,
     ) -> ElementCtx<'a> {
@@ -78,9 +79,20 @@ impl<'a> ElementCtx<'a> {
         self.eval.local_addr_str()
     }
 
-    /// Emits a tuple on the given output port.
+    /// Emits a tuple on the given output port as a genuine assertion
+    /// ([`DeltaKind::Assert`]) — the right default for derived tuples.
     pub fn emit(&mut self, port: usize, tuple: Tuple) {
-        self.emissions.push((port, tuple));
+        self.emissions.push((port, tuple, DeltaKind::Assert));
+    }
+
+    /// Emits a tuple on the given output port with an explicit
+    /// [`DeltaKind`]. Table-maintaining elements use this to tag keyed
+    /// soft-state refreshes ([`DeltaKind::Refresh`]) and retractions
+    /// ([`DeltaKind::Retract`]); the engine's scheduler suppresses
+    /// refresh-kind pokes into strands the planner proved
+    /// refresh-transparent.
+    pub fn emit_kind(&mut self, port: usize, tuple: Tuple, kind: DeltaKind) {
+        self.emissions.push((port, tuple, kind));
     }
 
     /// Hands a tuple to the network for delivery to `dst`.
@@ -126,6 +138,20 @@ pub trait Element: Send {
 
     /// Handles a tuple arriving on input `port`.
     fn push(&mut self, port: usize, tuple: &Tuple, ctx: &mut ElementCtx<'_>);
+
+    /// Dynamic scheduling guard, consulted by the engine (only when
+    /// delta-driven scheduling is on) immediately before invoking
+    /// [`Element::push`]. Returning `false` promises the invocation would
+    /// be a provable no-op — zero emissions, zero sends, zero state change
+    /// — so the engine may skip it entirely. The default conservatively
+    /// wakes; elements override this only where the no-op proof is exact
+    /// (e.g. a fused strand whose pre-filter rejects the tuple, or an
+    /// aggregate sync with no pending deltas). Implementations must not
+    /// mutate element state and must not advance any RNG stream (guards
+    /// may never evaluate `f_rand`-bearing programs).
+    fn would_wake(&self, _port: usize, _tuple: &Tuple, _eval: &mut EvalContext) -> bool {
+        true
+    }
 
     /// Handles a timer previously scheduled with [`ElementCtx::schedule`].
     fn on_timer(&mut self, _token: u64, _ctx: &mut ElementCtx<'_>) {}
@@ -184,7 +210,11 @@ mod tests {
 
         assert_eq!(
             emissions,
-            vec![(3, TupleBuilder::new("ping").push("n1").build())]
+            vec![(
+                3,
+                TupleBuilder::new("ping").push("n1").build(),
+                DeltaKind::Assert
+            )]
         );
         assert_eq!(outgoing.len(), 1);
         assert_eq!(&*outgoing[0].dst, "n2");

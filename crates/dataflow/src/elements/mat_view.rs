@@ -73,7 +73,7 @@
 
 use std::collections::HashMap;
 
-use p2_pel::Program;
+use p2_pel::{EvalContext, Program};
 use p2_table::{DeltaSubscription, TableDelta, TableRef};
 use p2_value::{Tuple, Value};
 
@@ -468,6 +468,36 @@ impl Element for MatView {
 
     fn on_start(&mut self, ctx: &mut ElementCtx<'_>) {
         self.sync(ctx);
+    }
+
+    /// A poke is a provable no-op only when (a) every input is quiet (no
+    /// pending deltas, no rebuild owed — `sync` would take its fast path)
+    /// and (b) the poked port's live derivation is deterministically dead:
+    /// a rand-free pre-filter rejects the trigger. Anything else — pending
+    /// deltas, a passing or RNG-bearing filter, an evaluation error (whose
+    /// count must stay exact) — wakes. Pre-filters are pure expressions
+    /// over the trigger, so pre-evaluating one here returns exactly what
+    /// `push` would compute.
+    fn would_wake(&self, port: usize, tuple: &Tuple, eval: &mut EvalContext) -> bool {
+        if self.needs_rebuild || self.inputs.iter().any(|i| i.sub.has_pending()) {
+            return true;
+        }
+        let Some(inp) = self.inputs.get(port) else {
+            // Out-of-range poke (retract-port feedback, unwired in shipped
+            // plans): after a quiet sync, `push` returns without effect.
+            return false;
+        };
+        for f in &inp.pre_filters {
+            if f.uses_random() {
+                return true;
+            }
+            match f.eval_bool(tuple, eval) {
+                Ok(true) => {}
+                Ok(false) => return false,
+                Err(_) => return true,
+            }
+        }
+        true
     }
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {

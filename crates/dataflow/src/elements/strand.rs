@@ -56,7 +56,7 @@
 //! program that trips the gate should plan with
 //! `PlanConfig::without_fusion` until its rules are restructured.
 
-use p2_pel::Program;
+use p2_pel::{EvalContext, Program};
 use p2_table::TableRef;
 use p2_value::{Tuple, Value};
 
@@ -109,6 +109,12 @@ pub struct FusedStrand {
     /// evaluation error (the union of the generic chain's per-element
     /// `eval_errors`).
     pub eval_errors: u64,
+    /// Whether the scheduling guard may walk this strand: every pre-filter
+    /// and body program is RNG-free, so pre-evaluating one in
+    /// [`Element::would_wake`] returns exactly what `push` would compute
+    /// without desyncing the node's deterministic RNG stream. Computed
+    /// once at construction.
+    guardable: bool,
 }
 
 impl FusedStrand {
@@ -130,6 +136,11 @@ impl FusedStrand {
                 <= MAX_STRAND_PROBES,
             "fused strand exceeds MAX_STRAND_PROBES"
         );
+        let guardable = pre_filters.iter().all(|p| !p.uses_random())
+            && ops.iter().all(|op| match op {
+                StrandOp::Filter(p) | StrandOp::Assign(p) => !p.uses_random(),
+                StrandOp::Probe { .. } | StrandOp::AntiJoin { .. } => true,
+            });
         FusedStrand {
             pre_filters,
             ops,
@@ -137,6 +148,7 @@ impl FusedStrand {
             out_name: out_name.into(),
             extras: Vec::new(),
             eval_errors: 0,
+            guardable,
         }
     }
 
@@ -369,6 +381,116 @@ pub(crate) fn exec<S: FnMut(&mut ElementCtx<'_>, Tuple)>(
     }
 }
 
+/// The scheduling guard's no-op proof: walks the strand's single live
+/// combination the way [`exec`] would and reports whether any head tuple
+/// could come out. Returns `true` (wake) whenever it cannot decide
+/// cheaply. The walk mirrors `exec`'s drop semantics exactly:
+///
+/// * a `Filter` evaluating `false` kills the combination — suppress;
+/// * an `Assign` binds its value and the walk continues (programs are
+///   RNG-free here, so re-evaluating in `push` yields the same value);
+/// * a `Probe` with no matching row yields zero combinations — suppress;
+///   a probe of a **singleton** table (`max_size == 1`) with a match
+///   binds the one row and continues; any other match fans out into
+///   multiple combinations the guard will not enumerate — wake;
+/// * an `AntiJoin` whose table matches kills the combination — suppress;
+///   no match continues the walk;
+/// * malformed tuples / failed stream checks are dropped by `exec` too —
+///   suppress; evaluation **errors** wake, so `push` re-raises them and
+///   the error counters stay exact;
+/// * running out of ops means the head projection would run — wake.
+fn guard_walk(
+    ops: &[StrandOp],
+    rows: &[&[Value]],
+    extras: &mut Vec<Value>,
+    eval: &mut EvalContext,
+) -> bool {
+    let Some((op, rest)) = ops.split_first() else {
+        return true;
+    };
+    match op {
+        StrandOp::Filter(filter) => {
+            let ok = {
+                let (view, n) = pushed(rows, extras);
+                filter.eval_bool_concat(&view[..n], eval)
+            };
+            match ok {
+                Ok(true) => guard_walk(rest, rows, extras, eval),
+                Ok(false) => false,
+                Err(_) => true,
+            }
+        }
+        StrandOp::Assign(expr) => {
+            let v = {
+                let (view, n) = pushed(rows, extras);
+                expr.eval_concat(&view[..n], eval)
+            };
+            match v {
+                Ok(v) => {
+                    extras.push(v);
+                    let wake = guard_walk(rest, rows, extras, eval);
+                    extras.pop();
+                    wake
+                }
+                Err(_) => true,
+            }
+        }
+        StrandOp::AntiJoin { table, key } => {
+            let any_match = {
+                let guard = table.lock();
+                if key.is_empty() {
+                    Some(!guard.is_empty())
+                } else {
+                    let (view, n) = pushed(rows, extras);
+                    match view_stream_checks(key, &view[..n]) {
+                        Some(false) => Some(false),
+                        None => None,
+                        Some(true) => with_view_probe(key, &view[..n], |probe| {
+                            guard.contains_match(&key.table_cols, probe)
+                        }),
+                    }
+                }
+            };
+            match any_match {
+                // No match: the combination survives, keep walking.
+                Some(false) => guard_walk(rest, rows, extras, eval),
+                // A match (or a malformed tuple) drops it in `exec` too.
+                Some(true) | None => false,
+            }
+        }
+        StrandOp::Probe { table, key } => {
+            let guard = table.lock();
+            if key.is_empty() {
+                // Unkeyed scan: an empty table yields zero combinations;
+                // anything else fans out — wake.
+                return !guard.is_empty();
+            }
+            if view_stream_checks(key, rows) != Some(true) {
+                return false; // exec drops the combination here too
+            }
+            let singleton = guard.spec().max_size == Some(1);
+            with_view_probe(key, rows, |probe| {
+                if !guard.contains_match(&key.table_cols, probe) {
+                    return false;
+                }
+                if !singleton {
+                    return true;
+                }
+                // At most one row in the whole table, and it matches:
+                // bind it and keep walking the single combination.
+                match guard.lookup_iter(&key.table_cols, probe).next() {
+                    Some(row) => {
+                        let (next, n) = pushed(rows, row.values());
+                        guard_walk(rest, &next[..n], extras, eval)
+                    }
+                    None => false,
+                }
+            })
+            .unwrap_or(false)
+        }
+    }
+}
+
 impl Element for FusedStrand {
     fn class(&self) -> &'static str {
         "FusedStrand"
@@ -384,6 +506,7 @@ impl Element for FusedStrand {
             out_name,
             extras,
             eval_errors,
+            ..
         } = self;
 
         for filter in pre_filters.iter() {
@@ -407,6 +530,25 @@ impl Element for FusedStrand {
             ctx,
             &mut |ctx: &mut ElementCtx<'_>, t| ctx.emit(0, t),
         );
+    }
+
+    /// Provable no-op check for the delta-driven scheduler: pre-filters
+    /// and then [`guard_walk`] over the strand body. Only strands whose
+    /// programs are RNG-free participate (`guardable`); everything else —
+    /// and every undecidable case — wakes.
+    fn would_wake(&self, _port: usize, tuple: &Tuple, eval: &mut EvalContext) -> bool {
+        if !self.guardable {
+            return true;
+        }
+        for filter in &self.pre_filters {
+            match filter.eval_bool(tuple, eval) {
+                Ok(true) => {}
+                Ok(false) => return false,
+                Err(_) => return true,
+            }
+        }
+        let mut extras = Vec::new();
+        guard_walk(&self.ops, &[tuple.values()], &mut extras, eval)
     }
 }
 

@@ -26,7 +26,9 @@
 use std::collections::{HashMap, HashSet};
 
 use p2_pel::{EvalContext, Program};
-use p2_table::{AggFunc, AggState, DeltaSubscription, InsertOutcome, RowId, TableDelta, TableRef};
+use p2_table::{
+    AggFunc, AggState, DeltaKind, DeltaSubscription, InsertOutcome, RowId, TableDelta, TableRef,
+};
 use p2_value::{Tuple, Value};
 
 use crate::element::{Element, ElementCtx};
@@ -74,12 +76,21 @@ impl Element for Insert {
                 // A soft-state refresh of an identical row leaves the table
                 // unchanged; anything else (new row, replacement, eviction)
                 // is a real mutation the profiler should see.
-                if !matches!(outcome, InsertOutcome::Refreshed) || !self.spill.is_empty() {
+                let refreshed = matches!(outcome, InsertOutcome::Refreshed);
+                if !refreshed || !self.spill.is_empty() {
                     ctx.note_state_change();
                 }
-                ctx.emit(0, tuple.clone());
+                // The poke-stream DeltaKind discriminant: a pure refresh is
+                // tagged so the scheduler can suppress it at
+                // refresh-transparent strands; everything else asserts.
+                let kind = if refreshed {
+                    DeltaKind::Refresh
+                } else {
+                    DeltaKind::Assert
+                };
+                ctx.emit_kind(0, tuple.clone(), kind);
                 for e in self.spill.drain(..) {
-                    ctx.emit(1, e);
+                    ctx.emit_kind(1, e, DeltaKind::Retract);
                 }
             }
             Err(_) => {
@@ -132,7 +143,7 @@ impl Element for Delete {
                     ctx.note_state_change();
                 }
                 for r in self.spill.drain(..) {
-                    ctx.emit(0, r);
+                    ctx.emit_kind(0, r, DeltaKind::Retract);
                 }
             }
             Err(_) => {
@@ -1039,6 +1050,14 @@ impl Element for TableAgg {
 
     fn on_start(&mut self, ctx: &mut ElementCtx<'_>) {
         self.sync(ctx);
+    }
+
+    /// A poke only does work when the delta subscription has pending
+    /// deltas (or a rebuild is owed) — exactly the condition `sync`'s
+    /// quiet fast path checks before touching any state. The pending flag
+    /// is a lock-free atomic, so the guard costs one load.
+    fn would_wake(&self, _port: usize, _tuple: &Tuple, _eval: &mut EvalContext) -> bool {
+        self.needs_rebuild || self.sub.has_pending()
     }
 }
 

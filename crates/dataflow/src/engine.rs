@@ -34,6 +34,37 @@
 //! per-delivery bookkeeping (one outgoing buffer, one queue drain) across
 //! the batch.
 //!
+//! # Delta-driven scheduling
+//!
+//! Every emission carries a [`p2_table::DeltaKind`] (assert / retract /
+//! refresh — see the *DeltaKind* section of `p2-table`'s module docs).
+//! When scheduling is enabled ([`Engine::set_scheduling`], wired from
+//! `PlanConfig::delta_schedule` by the planner), the engine suppresses
+//! provably-useless pokes at two points:
+//!
+//! * **Static refresh masks** (absorb time): the planner compiles a
+//!   per-element mask ([`Engine::set_refresh_masks`]) marking the entry
+//!   elements of strands whose rule is refresh-transparent
+//!   (`RuleClass::refresh_transparent`) *and* whose head cannot lose a
+//!   TTL extension from the poke. A `Refresh`-kind emission routed at such
+//!   an element is dropped at enqueue time instead of queued. The decision
+//!   is purely static (rule classification), so applying it while the
+//!   emission is routed — before downstream state mutates — is sound.
+//! * **Dynamic wake guards** (drain time): just before invoking an
+//!   element, the engine consults [`Element::would_wake`]; a `false`
+//!   answer is the element's proof that the invocation would produce zero
+//!   emissions, sends and state change, and the call is skipped. Guards
+//!   run at invocation time (not enqueue time) because they read element
+//!   state, which other queued work may change in between. Guards never
+//!   evaluate RNG-bearing programs, so the node's deterministic RNG
+//!   stream is untouched and sharded runs stay bit-identical.
+//!
+//! Both suppressions are counted ([`EngineStats::suppressed_refresh_pokes`]
+//! / [`EngineStats::suppressed_guard_pokes`] and the profiler's per-element
+//! suppressed counter) so the wasted-poke audit distinguishes "never ran"
+//! from "ran and wasted". With scheduling off (the default for raw
+//! engines) every tuple is delivered exactly as before.
+//!
 //! The engine is instantiated per node, but the *plan* it executes can be
 //! shared: see `p2_core::PlannedProgram`, which compiles an OverLog program
 //! once into element specs plus this module's edge list, and stamps out
@@ -45,6 +76,7 @@ use std::sync::Arc;
 
 use p2_obs::{NodeObs, ObsMeta, TraceEvent};
 use p2_pel::EvalContext;
+use p2_table::DeltaKind;
 use p2_value::{SimTime, Tuple, Value};
 
 use crate::element::{Element, ElementCtx, Outgoing};
@@ -135,6 +167,13 @@ pub struct EngineStats {
     pub timers_fired: u64,
     /// Tuples handed to the network.
     pub sent: u64,
+    /// Pokes dropped at enqueue time by the planner-compiled static
+    /// refresh masks (a `Refresh`-kind emission routed at a
+    /// refresh-transparent strand entry). Zero with scheduling off.
+    pub suppressed_refresh_pokes: u64,
+    /// Pokes skipped at invocation time by a [`Element::would_wake`]
+    /// guard proving the call a no-op. Zero with scheduling off.
+    pub suppressed_guard_pokes: u64,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -185,9 +224,19 @@ pub struct Engine {
     now: SimTime,
     stats: EngineStats,
     started: bool,
+    /// Whether delta-driven scheduling (static refresh masks + dynamic
+    /// wake guards) is active. Off by default so raw engines and unit
+    /// graphs behave exactly as before; the planner turns it on from
+    /// `PlanConfig::delta_schedule`.
+    scheduling: bool,
+    /// Planner-compiled static suppression mask, indexed by element id:
+    /// `true` means `Refresh`-kind emissions routed at this element are
+    /// dropped at enqueue time. Empty (no suppression) unless the planner
+    /// installed masks via [`Engine::set_refresh_masks`].
+    refresh_masks: Vec<bool>,
     /// Reused emission buffer: filled by one element call, drained by
     /// `absorb`, never reallocated in steady state.
-    scratch_emissions: Vec<(usize, Tuple)>,
+    scratch_emissions: Vec<(usize, Tuple, DeltaKind)>,
     /// Reused timer-request buffer, same lifecycle.
     scratch_timers: Vec<(u64, SimTime)>,
     /// Observability taps (profiler counters + provenance tracing). `None`
@@ -246,6 +295,8 @@ impl Engine {
             now: SimTime::ZERO,
             stats: EngineStats::default(),
             started: false,
+            scheduling: false,
+            refresh_masks: Vec::new(),
             scratch_emissions: Vec::new(),
             scratch_timers: Vec::new(),
             obs: None,
@@ -302,6 +353,26 @@ impl Engine {
     /// arrivals, application requests) are delivered to.
     pub fn set_entry(&mut self, route: Route) {
         self.entry = Some(route);
+    }
+
+    /// Turns delta-driven scheduling on or off (see the module-level
+    /// *Delta-driven scheduling* section). Off by default.
+    pub fn set_scheduling(&mut self, on: bool) {
+        self.scheduling = on;
+    }
+
+    /// Whether delta-driven scheduling is active.
+    pub fn scheduling(&self) -> bool {
+        self.scheduling
+    }
+
+    /// Installs the planner-compiled static refresh-suppression mask:
+    /// `masks[e]` is `true` iff `Refresh`-kind emissions routed at element
+    /// `e` may be dropped at enqueue time. Only consulted while scheduling
+    /// is on; must cover every element.
+    pub fn set_refresh_masks(&mut self, masks: Vec<bool>) {
+        debug_assert!(masks.is_empty() || masks.len() == self.elements.len());
+        self.refresh_masks = masks;
     }
 
     /// The node's address.
@@ -516,7 +587,8 @@ impl Engine {
     fn absorb(&mut self, idx: usize) {
         let base = self.port_base[idx];
         let nports = self.port_base[idx + 1] - base;
-        for (port, tuple) in self.scratch_emissions.drain(..) {
+        let mask_refreshes = self.scheduling && !self.refresh_masks.is_empty();
+        for (port, tuple, kind) in self.scratch_emissions.drain(..) {
             // Emissions on unconnected ports are silently dropped, like
             // Click's Discard element.
             if port >= nports {
@@ -524,7 +596,26 @@ impl Engine {
             }
             let (start, end) = self.route_spans[base + port];
             let routes = &self.routes[start as usize..end as usize];
-            if let Some((last, rest)) = routes.split_last() {
+            if mask_refreshes && kind.is_refresh() {
+                // Static suppression: drop the refresh poke at masked
+                // destinations, keep routing it everywhere else.
+                let mut pending: Option<Route> = None;
+                for r in routes {
+                    if self.refresh_masks.get(r.element).copied().unwrap_or(false) {
+                        self.stats.suppressed_refresh_pokes += 1;
+                        if let Some(obs) = &mut self.obs {
+                            obs.record_suppressed(r.element);
+                        }
+                        continue;
+                    }
+                    if let Some(prev) = pending.replace(*r) {
+                        self.queue.push_back((prev, tuple.clone()));
+                    }
+                }
+                if let Some(r) = pending {
+                    self.queue.push_back((r, tuple));
+                }
+            } else if let Some((last, rest)) = routes.split_last() {
                 for r in rest {
                     self.queue.push_back((*r, tuple.clone()));
                 }
@@ -545,8 +636,18 @@ impl Engine {
     /// Processes the work queue until empty (run to completion).
     fn drain(&mut self, outgoing: &mut Vec<Outgoing>) {
         while let Some((route, tuple)) = self.queue.pop_front() {
-            self.stats.handoffs += 1;
             let idx = route.element;
+            if self.scheduling && !self.elements[idx].would_wake(route.port, &tuple, &mut self.eval)
+            {
+                // Dynamic suppression: the element proved this invocation
+                // a no-op (no emission, send, or state change possible).
+                self.stats.suppressed_guard_pokes += 1;
+                if let Some(obs) = &mut self.obs {
+                    obs.record_suppressed(idx);
+                }
+                continue;
+            }
+            self.stats.handoffs += 1;
             let sends_before = outgoing.len();
             let state_changed;
             {
@@ -586,7 +687,13 @@ impl Engine {
         obs.record_push(idx, emitted, sent, state_changed);
         if obs.tracing() {
             if obs.tagged(tuple) {
-                obs.trace_fire(self.now, idx, tuple, emitted, &self.scratch_emissions);
+                obs.trace_fire(
+                    self.now,
+                    idx,
+                    tuple,
+                    emitted,
+                    self.scratch_emissions.iter().map(|(_, t, _)| t),
+                );
             }
             for o in &outgoing[sends_before..] {
                 if obs.tagged(&o.tuple) {

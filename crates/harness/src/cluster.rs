@@ -85,6 +85,7 @@ pub struct ChordClusterBuilder {
     join_seed: bool,
     fuse_strands: bool,
     materialize_views: bool,
+    delta_schedule: bool,
 }
 
 impl ChordClusterBuilder {
@@ -121,6 +122,17 @@ impl ChordClusterBuilder {
         self
     }
 
+    /// Selects delta-driven rule scheduling (default on): refresh-kind
+    /// pokes into masked strands are dropped at routing time and elements
+    /// veto provably no-op invocations via `would_wake`. The
+    /// poke-everything behaviour is kept available for the
+    /// scheduling-equivalence gate and reproduces the historical golden
+    /// pins bit-for-bit.
+    pub fn delta_schedule(mut self, on: bool) -> ChordClusterBuilder {
+        self.delta_schedule = on;
+        self
+    }
+
     /// Builds and boots the ring with the paper's staggered bring-up (see
     /// [`ChordCluster::build`]).
     pub fn build(self, warmup_secs: u64) -> ChordCluster {
@@ -149,6 +161,7 @@ pub struct ChordCluster {
     join_seed: bool,
     fuse_strands: bool,
     materialize_views: bool,
+    delta_schedule: bool,
     next_event: i64,
     rng: SmallRng,
     brought_up_at: SimTime,
@@ -167,6 +180,7 @@ impl ChordCluster {
             join_seed: false,
             fuse_strands: true,
             materialize_views: true,
+            delta_schedule: true,
         }
     }
 
@@ -188,6 +202,7 @@ impl ChordCluster {
             join_seed,
             fuse_strands,
             materialize_views,
+            delta_schedule,
         } = config;
         let mut sim = AnySimulator::build(NetworkConfig::emulab_default(seed), par_threads);
         let addrs: Vec<String> = (0..n).map(node_addr).collect();
@@ -206,6 +221,7 @@ impl ChordCluster {
                     join_seed,
                     fuse_strands,
                     materialize_views,
+                    delta_schedule,
                 },
             )
             .expect("chord node must plan");
@@ -218,6 +234,7 @@ impl ChordCluster {
             join_seed,
             fuse_strands,
             materialize_views,
+            delta_schedule,
             next_event: 1_000_000,
             rng: SmallRng::seed_from_u64(seed ^ 0x5EED),
             brought_up_at: SimTime::ZERO,
@@ -383,6 +400,7 @@ impl ChordCluster {
             join_seed: self.join_seed,
             fuse_strands: self.fuse_strands,
             materialize_views: self.materialize_views,
+            delta_schedule: self.delta_schedule,
         }
     }
 
@@ -440,6 +458,23 @@ impl ChordCluster {
             .next()
             .map(|t| t.field(2).to_display_string());
         out
+    }
+
+    /// Sorted display rows of one node's named table (empty when the node
+    /// or table is absent). The scheduler-equivalence tests use this to
+    /// compare the full final routing state — successor lists, fingers,
+    /// predecessors — between delta-scheduled and poke-everything runs.
+    pub fn table_rows(&self, addr: &str, table: &str) -> Vec<String> {
+        let Some(host) = self.sim.node(addr) else {
+            return Vec::new();
+        };
+        let Some(table) = host.node().table(table) else {
+            return Vec::new();
+        };
+        let guard = table.lock();
+        let mut rows: Vec<String> = guard.scan_iter().map(|t| t.to_string()).collect();
+        rows.sort();
+        rows
     }
 
     /// Fraction of up nodes whose best successor is the correct ring

@@ -49,30 +49,78 @@ fn trace_and_profile_are_identical_across_worker_counts() {
     }
 }
 
+/// The wasted-poke audit in both scheduling regimes. With the delta
+/// scheduler off, the historical PR 9 claim holds: refresh-transparent
+/// rules carry the bulk of the ran-and-wasted pokes. With the scheduler on
+/// (the default), those same invocations are counted as suppressed-never-ran
+/// instead of ran-and-wasted — the audit's PR 10 blind-spot fix — and
+/// because the two runs process identical event streams, pokes are
+/// conserved: every poke the scheduler suppressed is one the unscheduled
+/// engine ran.
 #[test]
 fn wasted_poke_audit_matches_rule_classification() {
-    let mut cluster = ChordCluster::builder(16, 23).build_fast(120);
-    cluster.enable_observability();
-    cluster.run_for(60.0);
-    let report = cluster.obs_report();
-    assert!(report.total_pokes > 0, "no pokes profiled");
+    let profile = |schedule: bool| {
+        let mut cluster = ChordCluster::builder(16, 23)
+            .delta_schedule(schedule)
+            .build_fast(120);
+        cluster.enable_observability();
+        cluster.run_for(60.0);
+        cluster.obs_report()
+    };
+
+    let off = profile(false);
+    assert!(off.total_pokes > 0, "no pokes profiled");
+    assert_eq!(
+        off.total_suppressed_pokes, 0,
+        "poke-everything run reported suppressed pokes"
+    );
     assert!(
-        report.total_wasted_pokes > 0,
+        off.total_wasted_pokes > 0,
         "steady-state maintenance should contain refresh no-ops"
     );
     // The PR-8 classification predicted that refresh-transparent rules
     // (the SU0/SU1-style soft-state refresh paths) account for the bulk of
     // the no-op pokes; the measured audit must agree.
     assert!(
-        report.refresh_transparent.wasted_pokes >= report.other_rules.wasted_pokes,
+        off.refresh_transparent.wasted_pokes >= off.other_rules.wasted_pokes,
         "refresh-transparent rules no longer dominate wasted pokes: {} vs {}",
-        report.refresh_transparent.wasted_pokes,
-        report.other_rules.wasted_pokes
+        off.refresh_transparent.wasted_pokes,
+        off.other_rules.wasted_pokes
     );
     // Every rule the analyzer classified appears in the profile.
     assert!(
-        report.rules.iter().filter(|r| r.class.is_some()).count() > 30,
+        off.rules.iter().filter(|r| r.class.is_some()).count() > 30,
         "rule attribution lost most rules"
+    );
+
+    let on = profile(true);
+    assert!(
+        on.total_suppressed_pokes > 0,
+        "delta scheduling suppressed no pokes"
+    );
+    // Poke conservation across regimes: identical event streams mean every
+    // suppressed poke corresponds to an invocation the unscheduled engine
+    // performed (suppressed pokes are counted separately, never as ran).
+    assert_eq!(
+        on.total_pokes + on.total_suppressed_pokes,
+        off.total_pokes,
+        "ran + suppressed pokes with scheduling on must equal the \
+         poke-everything run's invocations"
+    );
+    // The scheduler's whole point: the refresh-transparent bucket's
+    // ran-and-wasted pokes collapse (the `would_wake` guards catch the
+    // refresh no-ops before they run) and the overall wasted rate drops.
+    assert!(
+        on.refresh_transparent.wasted_pokes < off.refresh_transparent.wasted_pokes,
+        "scheduling did not reduce refresh-transparent waste: {} vs {}",
+        on.refresh_transparent.wasted_pokes,
+        off.refresh_transparent.wasted_pokes
+    );
+    assert!(
+        on.wasted_rate < off.wasted_rate,
+        "scheduling did not reduce the wasted-poke rate: {:.3} vs {:.3}",
+        on.wasted_rate,
+        off.wasted_rate
     );
 }
 

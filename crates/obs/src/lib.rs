@@ -189,6 +189,12 @@ pub struct ElemCounters {
     /// Pokes (invocations of a pokeable element) with zero emissions, zero
     /// sends and zero state change.
     pub wasted_pokes: u64,
+    /// Pokes the delta-driven scheduler suppressed before the element ran
+    /// (static refresh mask or dynamic wake guard). Counted separately
+    /// from `wasted_pokes`, which only covers invocations that actually
+    /// happened and wasted — with scheduling on the audit stays
+    /// meaningful: would-have-wasted work shows up here instead.
+    pub suppressed_pokes: u64,
     /// Timer callbacks delivered to the element.
     pub timer_fires: u64,
 }
@@ -202,6 +208,7 @@ impl ElemCounters {
         self.sent += other.sent;
         self.state_changes += other.state_changes;
         self.wasted_pokes += other.wasted_pokes;
+        self.suppressed_pokes += other.suppressed_pokes;
         self.timer_fires += other.timer_fires;
     }
 }
@@ -418,6 +425,14 @@ impl NodeObs {
         }
     }
 
+    /// Records one poke of element `idx` suppressed by the delta-driven
+    /// scheduler (static refresh mask or dynamic wake guard) before the
+    /// element ran.
+    #[inline]
+    pub fn record_suppressed(&mut self, idx: usize) {
+        self.counters[idx].suppressed_pokes += 1;
+    }
+
     /// Records one timer callback into element `idx`.
     #[inline]
     pub fn record_timer(&mut self, idx: usize, emitted: u64, sent: u64, state_changed: bool) {
@@ -480,15 +495,17 @@ impl NodeObs {
         }
     }
 
-    /// Records an element consuming a tagged tuple. `out` holds the
-    /// invocation's emissions; only tagged ones are included in the event.
-    pub fn trace_fire(
+    /// Records an element consuming a tagged tuple. `out` iterates the
+    /// invocation's emitted tuples; only tagged ones are included in the
+    /// event. Generic over the iterator so the engine can feed its
+    /// kind-tagged scratch buffer without this crate knowing the layout.
+    pub fn trace_fire<'t>(
         &mut self,
         now: SimTime,
         idx: usize,
         tuple: &Tuple,
         emitted: u64,
-        out: &[(usize, Tuple)],
+        out: impl IntoIterator<Item = &'t Tuple>,
     ) {
         let node = self.node.clone();
         let meta = &self.meta.elems[idx];
@@ -496,9 +513,9 @@ impl NodeObs {
         let rule = meta.rule.as_ref().map(|r| r.to_string());
         if let Some(t) = &mut self.trace {
             let tagged_out: Vec<String> = out
-                .iter()
-                .filter(|(_, tp)| tp.values().contains(&t.tag))
-                .map(|(_, tp)| tp.to_string())
+                .into_iter()
+                .filter(|tp| tp.values().contains(&t.tag))
+                .map(|tp| tp.to_string())
                 .collect();
             t.ring.push(TraceEvent {
                 seq: 0,
@@ -580,10 +597,13 @@ pub struct RuleProfile {
     pub elements: u64,
     /// Summed counters over those elements.
     pub counters: ElemCounters,
-    /// Invocations of the rule's pokeable elements.
+    /// Invocations of the rule's pokeable elements (pokes that ran;
+    /// scheduler-suppressed pokes are not included).
     pub pokes: u64,
     /// Pokes with zero emissions, sends and state change.
     pub wasted_pokes: u64,
+    /// Pokes the delta-driven scheduler suppressed before the element ran.
+    pub suppressed_pokes: u64,
     /// `wasted_pokes / pokes` (0 when no pokes).
     pub wasted_rate: f64,
 }
@@ -609,10 +629,12 @@ pub struct TableProfile {
 pub struct ClassBucket {
     /// Rules in the bucket.
     pub rules: u64,
-    /// Pokes into the bucket's rules.
+    /// Pokes into the bucket's rules (ran; suppressed not included).
     pub pokes: u64,
     /// Wasted pokes.
     pub wasted_pokes: u64,
+    /// Scheduler-suppressed pokes.
+    pub suppressed_pokes: u64,
     /// `wasted_pokes / pokes` (0 when no pokes).
     pub wasted_rate: f64,
 }
@@ -635,11 +657,15 @@ pub struct ProfileReport {
     pub infra: ElemCounters,
     /// Counters summed over every element.
     pub totals: ElemCounters,
-    /// Total pokes across all rules.
+    /// Total pokes across all rules (ran; suppressed not included).
     pub total_pokes: u64,
     /// Total wasted pokes across all rules.
     pub total_wasted_pokes: u64,
-    /// `total_wasted_pokes / total_pokes`.
+    /// Total scheduler-suppressed pokes across all rules.
+    pub total_suppressed_pokes: u64,
+    /// `total_wasted_pokes / total_pokes` — the steady-state waste among
+    /// pokes that actually ran. Suppressed pokes cost nothing, so they
+    /// appear in `total_suppressed_pokes` instead of this rate.
     pub wasted_rate: f64,
     /// Bucket for refresh-transparent rules.
     pub refresh_transparent: ClassBucket,
@@ -676,6 +702,7 @@ pub fn build_report(meta: &ObsMeta, counters: &[ElemCounters]) -> ProfileReport 
                     counters: ElemCounters::default(),
                     pokes: 0,
                     wasted_pokes: 0,
+                    suppressed_pokes: 0,
                     wasted_rate: 0.0,
                 });
                 entry.elements += 1;
@@ -683,6 +710,7 @@ pub fn build_report(meta: &ObsMeta, counters: &[ElemCounters]) -> ProfileReport 
                 if em.kind.pokeable() {
                     entry.pokes += c.invocations;
                     entry.wasted_pokes += c.wasted_pokes;
+                    entry.suppressed_pokes += c.suppressed_pokes;
                 }
             }
             None => {
@@ -707,12 +735,14 @@ pub fn build_report(meta: &ObsMeta, counters: &[ElemCounters]) -> ProfileReport 
     let mut rules: Vec<RuleProfile> = by_rule.into_values().collect();
     let mut total_pokes = 0;
     let mut total_wasted = 0;
+    let mut total_suppressed = 0;
     let mut rt = ClassBucket::default();
     let mut other = ClassBucket::default();
     for r in &mut rules {
         r.wasted_rate = rate(r.wasted_pokes, r.pokes);
         total_pokes += r.pokes;
         total_wasted += r.wasted_pokes;
+        total_suppressed += r.suppressed_pokes;
         let bucket = match r.class {
             Some(c) if c.refresh_transparent => &mut rt,
             _ => &mut other,
@@ -720,6 +750,7 @@ pub fn build_report(meta: &ObsMeta, counters: &[ElemCounters]) -> ProfileReport 
         bucket.rules += 1;
         bucket.pokes += r.pokes;
         bucket.wasted_pokes += r.wasted_pokes;
+        bucket.suppressed_pokes += r.suppressed_pokes;
     }
     rt.finish();
     other.finish();
@@ -737,6 +768,7 @@ pub fn build_report(meta: &ObsMeta, counters: &[ElemCounters]) -> ProfileReport 
         totals,
         total_pokes,
         total_wasted_pokes: total_wasted,
+        total_suppressed_pokes: total_suppressed,
         wasted_rate: rate(total_wasted, total_pokes),
         refresh_transparent: rt,
         other_rules: other,
@@ -801,6 +833,13 @@ mod tests {
         assert_eq!(obs.counters()[1].wasted_pokes, 1);
         assert_eq!(obs.counters()[1].invocations, 3);
         assert_eq!(obs.counters()[1].state_changes, 1);
+        // Scheduler suppressions are a separate count: they never ran, so
+        // they must not inflate invocations or wasted pokes.
+        obs.record_suppressed(1);
+        obs.record_suppressed(1);
+        assert_eq!(obs.counters()[1].suppressed_pokes, 2);
+        assert_eq!(obs.counters()[1].invocations, 3);
+        assert_eq!(obs.counters()[1].wasted_pokes, 1);
     }
 
     #[test]
@@ -814,6 +853,7 @@ mod tests {
             sent: 0,
             state_changes: 0,
             wasted_pokes: 6,
+            suppressed_pokes: 3,
             timer_fires: 0,
         };
         counters[2] = ElemCounters {
@@ -823,6 +863,7 @@ mod tests {
             sent: 0,
             state_changes: 5,
             wasted_pokes: 0,
+            suppressed_pokes: 0,
             timer_fires: 0,
         };
         counters[3] = ElemCounters {
@@ -832,15 +873,18 @@ mod tests {
             sent: 0,
             state_changes: 2,
             wasted_pokes: 0,
+            suppressed_pokes: 0,
             timer_fires: 0,
         };
         let report = build_report(&m, &counters);
         assert_eq!(report.rules.len(), 2);
         assert_eq!(report.total_pokes, 15);
         assert_eq!(report.total_wasted_pokes, 6);
+        assert_eq!(report.total_suppressed_pokes, 3);
         assert_eq!(report.refresh_transparent.rules, 1);
         assert_eq!(report.refresh_transparent.pokes, 10);
         assert_eq!(report.refresh_transparent.wasted_pokes, 6);
+        assert_eq!(report.refresh_transparent.suppressed_pokes, 3);
         assert!((report.refresh_transparent.wasted_rate - 0.6).abs() < 1e-12);
         assert_eq!(report.other_rules.pokes, 5);
         assert_eq!(report.tables.len(), 1);
@@ -858,6 +902,7 @@ mod tests {
                 sent: 3,
                 state_changes: 1,
                 wasted_pokes: 0,
+                suppressed_pokes: 5,
                 timer_fires: 4,
             };
             2
@@ -887,7 +932,7 @@ mod tests {
             1,
             &tagged,
             2,
-            &[(0, tagged.clone()), (0, untagged.clone())],
+            [&tagged, &untagged],
         );
         obs.trace_send(SimTime::from_micros(10), "n1", &tagged);
         let events = obs.drain_trace();

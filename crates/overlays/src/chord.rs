@@ -51,6 +51,9 @@ pub struct ChordOpts {
     /// Whether pure table-join rules are lowered to materialized views and
     /// eligible aggregate probes maintain delta-fed per-group state.
     pub materialize_views: bool,
+    /// Whether delta-driven rule scheduling suppresses provably no-op
+    /// pokes (refresh-masked strand entries plus `would_wake` guards).
+    pub delta_schedule: bool,
 }
 
 impl Default for ChordOpts {
@@ -60,6 +63,7 @@ impl Default for ChordOpts {
             join_seed: false,
             fuse_strands: true,
             materialize_views: true,
+            delta_schedule: true,
         }
     }
 }
@@ -70,6 +74,7 @@ impl ChordOpts {
             | (usize::from(self.join_seed) << 1)
             | (usize::from(self.fuse_strands) << 2)
             | (usize::from(self.materialize_views) << 3)
+            | (usize::from(self.delta_schedule) << 4)
     }
 }
 
@@ -92,26 +97,12 @@ pub fn shared_plan_opts(jitter: bool, join_seed: bool) -> &'static PlannedProgra
 }
 
 /// The fully variant-selected shared plan: one cached compilation per
-/// (jitter, join_seed, fuse_strands, materialize_views) combination.
+/// (jitter, join_seed, fuse_strands, materialize_views, delta_schedule)
+/// combination.
 pub fn shared_plan_for(opts: ChordOpts) -> &'static PlannedProgram {
-    static PLANS: [OnceLock<PlannedProgram>; 16] = [
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-        OnceLock::new(),
-    ];
+    #[allow(clippy::declare_interior_mutable_const)]
+    const PLAN_CELL: OnceLock<PlannedProgram> = OnceLock::new();
+    static PLANS: [OnceLock<PlannedProgram>; 32] = [PLAN_CELL; 32];
     let cell = &PLANS[opts.cache_index()];
     cell.get_or_init(|| {
         let mut config = PlanConfig::new().watch("lookupResults").watch("lookup");
@@ -123,6 +114,9 @@ pub fn shared_plan_for(opts: ChordOpts) -> &'static PlannedProgram {
         }
         if !opts.materialize_views {
             config = config.without_views();
+        }
+        if !opts.delta_schedule {
+            config = config.without_scheduling();
         }
         let program = if opts.join_seed {
             program_with_join_seed()
@@ -355,6 +349,27 @@ mod tests {
         });
         assert_eq!(plain.mat_view_count(), 0);
         assert!(!std::ptr::eq(viewed, plain));
+    }
+
+    #[test]
+    fn delta_scheduling_proves_chord_refresh_cascades_load_bearing() {
+        // The planner's transitive TTL-neutrality fixpoint masks *no*
+        // Chord strand entry: every refresh cascade in the program
+        // sustains soft state (succ refreshes keep bestSucc→finger[0]
+        // alive, succ/pred feed the 10-second pingNode table, …), so the
+        // static refresh masks stay empty and the scheduling win comes
+        // entirely from the dynamic `would_wake` guards. The scheduler-off
+        // escape hatch is a distinct cached plan.
+        let scheduled = shared_plan(false);
+        assert!(scheduled.delta_scheduled());
+        assert_eq!(scheduled.refresh_mask_count(), 0);
+        let unscheduled = shared_plan_for(ChordOpts {
+            jitter: false,
+            delta_schedule: false,
+            ..ChordOpts::default()
+        });
+        assert!(!unscheduled.delta_scheduled());
+        assert!(!std::ptr::eq(scheduled, unscheduled));
     }
 
     #[test]
